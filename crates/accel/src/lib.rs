@@ -1,0 +1,59 @@
+//! An ISAAC-style memristive DNN accelerator with AN/ABN-protected
+//! in-situ matrix-vector multiplication.
+//!
+//! This crate ties the substrates together into the system the paper
+//! evaluates:
+//!
+//! - [`mapping`] places quantized weight matrices onto crossbar stacks —
+//!   column chunks of at most 128, logical rows packed into 128-bit
+//!   coded operand groups, encoded with the selected arithmetic code and
+//!   bit-sliced onto multi-bit cells;
+//! - [`ProtectionScheme`] enumerates the evaluated configurations
+//!   (unprotected, `Static16`, `Static128`, and the data-aware `ABN-X`
+//!   codes with 7–10 check bits);
+//! - [`CrossbarEngine`] executes MVMs cycle by cycle: bit-serial input
+//!   streaming, noisy row reads, shift-and-add reduction, and the error
+//!   correction unit (residue → table → correction → `B` check) per
+//!   group and cycle, mirroring Figure 9;
+//! - [`sim`] runs Monte-Carlo network inference (optionally across
+//!   threads) and reports misclassification rates;
+//! - [`cost`] reproduces the area/power/latency accounting of Table IV
+//!   and §VIII-B;
+//! - [`hierarchy`] plans networks onto the tile/IMA/array hierarchy and
+//!   accounts resources and per-inference energy;
+//! - [`remap`] implements fault-aware logical-row remapping (the
+//!   Xia-et-al. direction the paper cites), composing with the codes.
+//!
+//! # Example
+//!
+//! ```
+//! use accel::{AccelConfig, CrossbarProvider, ProtectionScheme};
+//! use neural::{models, QuantizedNetwork};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let net = models::mlp1(&mut rng);
+//! let qnet = QuantizedNetwork::from_network(&net);
+//!
+//! // A data-aware ABN-9 accelerator with 2-bit cells.
+//! let config = AccelConfig::new(ProtectionScheme::data_aware(9));
+//! let provider = CrossbarProvider::new(config, 42);
+//! let mut engines = qnet.build_engines(&provider);
+//! let image = vec![0.5f32; 784];
+//! let class = qnet.predict(&image, &mut engines);
+//! assert!(class < 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+mod engine;
+pub mod hierarchy;
+pub mod mapping;
+mod scheme;
+pub mod remap;
+pub mod sim;
+
+pub use engine::{CrossbarEngine, CrossbarProvider, DecodeStats};
+pub use scheme::{AccelConfig, ProtectionScheme};

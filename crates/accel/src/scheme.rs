@@ -1,0 +1,221 @@
+//! Protection schemes and accelerator configuration.
+
+use ancode::{AbnCode, AnCode, CorrectionPolicy, CorrectionTable, ErrorListConfig, GroupLayout};
+use xbar::DeviceParams;
+
+/// The error-protection configurations evaluated in Figures 10–12.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ProtectionScheme {
+    /// Unprotected 16-bit weights — the `NoECC` baseline.
+    None,
+    /// The naïve per-operand static code: each 16-bit weight encoded
+    /// with the minimal single-error `A` (47) and a `B = 3` check term.
+    /// Costs 6 check bits per operand (48 per 8-operand group).
+    Static16,
+    /// The naïve multi-operand static code: one minimal single-error
+    /// code over the whole 128-bit group with `B = 3`, no data
+    /// awareness.
+    Static128,
+    /// Data-aware ABN code over 128-bit groups (`ABN-X` in the paper,
+    /// where `X` is the total check-bit budget, 7–10).
+    DataAware {
+        /// Total ECC bits available to `A·B`.
+        check_bits: u32,
+        /// Restrict the `A` search to the five hardware divider
+        /// constants (the paper's §VI optimization) instead of all odd
+        /// candidates.
+        hardware_candidates: bool,
+    },
+}
+
+impl ProtectionScheme {
+    /// The detection multiplier used by every coded scheme.
+    pub const B: u64 = 3;
+
+    /// Convenience constructor for `ABN-X` with the hardware candidate
+    /// set (the configuration the paper evaluates).
+    pub fn data_aware(check_bits: u32) -> ProtectionScheme {
+        ProtectionScheme::DataAware {
+            check_bits,
+            hardware_candidates: true,
+        }
+    }
+
+    /// Whether the scheme encodes whole operand groups (vs per-operand
+    /// or no coding).
+    pub fn is_grouped(&self) -> bool {
+        matches!(
+            self,
+            ProtectionScheme::Static128 | ProtectionScheme::DataAware { .. }
+        )
+    }
+
+    /// Whether any arithmetic code is applied.
+    pub fn is_coded(&self) -> bool {
+        !matches!(self, ProtectionScheme::None)
+    }
+
+    /// Short display name matching the paper's figure legends.
+    pub fn label(&self) -> String {
+        match self {
+            ProtectionScheme::None => "NoECC".into(),
+            ProtectionScheme::Static16 => "Static16".into(),
+            ProtectionScheme::Static128 => "Static128".into(),
+            ProtectionScheme::DataAware { check_bits, .. } => format!("ABN-{check_bits}"),
+        }
+    }
+
+    /// Check bits added per 128-bit (8×16-bit) group of weights.
+    pub fn check_bits_per_group(&self) -> u32 {
+        match self {
+            ProtectionScheme::None => 0,
+            // 6 bits of A per operand (the B term rides along in the
+            // paper's accounting).
+            ProtectionScheme::Static16 => 48,
+            ProtectionScheme::Static128 => {
+                let a = ancode::search::min_a_for_data_bits(128);
+                crate::scheme::total_check_bits(a, ProtectionScheme::B)
+            }
+            ProtectionScheme::DataAware { check_bits, .. } => *check_bits,
+        }
+    }
+}
+
+/// Check bits consumed by the multiplier `a·b`.
+pub(crate) fn total_check_bits(a: u64, b: u64) -> u32 {
+    let m = a * b;
+    64 - (m - 1).leading_zeros()
+}
+
+/// Builds the static per-operand code used by `Static16`: minimal
+/// single-error `A` for 16-bit operands with `B = 3`, table covering
+/// per-row errors for the given cell width.
+pub(crate) fn static16_code(cell_bits: u32) -> AbnCode {
+    let a = ancode::search::min_a_for_data_bits(16); // 47
+    let an = AnCode::new(a).expect("minimal A is valid");
+    let width = 16 + total_check_bits(a, ProtectionScheme::B);
+    let table = CorrectionTable::for_cell_rows(&an, width, cell_bits);
+    AbnCode::from_table(a, ProtectionScheme::B, table, 16).expect("static code is valid")
+}
+
+/// Builds the static multi-operand code used by `Static128`.
+pub(crate) fn static128_code(cell_bits: u32) -> AbnCode {
+    let a = ancode::search::min_a_for_data_bits(128);
+    let an = AnCode::new(a).expect("minimal A is valid");
+    let width = 128 + total_check_bits(a, ProtectionScheme::B);
+    let table = CorrectionTable::for_cell_rows(&an, width, cell_bits);
+    AbnCode::from_table(a, ProtectionScheme::B, table, 128).expect("static code is valid")
+}
+
+/// Full accelerator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccelConfig {
+    /// Device and noise parameters (Table I defaults).
+    pub device: DeviceParams,
+    /// The protection scheme under evaluation.
+    pub scheme: ProtectionScheme,
+    /// Policy when the `B` check flags a miscorrection.
+    pub policy: CorrectionPolicy,
+    /// Retries of a group read on an uncorrectable error (0 in the
+    /// paper's default pipeline; >0 models the §VI-A retry option).
+    pub max_retries: u32,
+    /// Operand group geometry (8 × 16-bit in the paper).
+    pub group: GroupLayout,
+    /// Maximum crossbar columns per chunk (128 in the paper).
+    pub max_columns: usize,
+    /// Bits of each input applied bit-serially per cycle (16-bit
+    /// activations).
+    pub input_bits: u32,
+    /// Error-list enumeration bounds for data-aware table construction.
+    pub error_list: ErrorListConfig,
+}
+
+impl AccelConfig {
+    /// A configuration with Table I device defaults and the paper's
+    /// array geometry.
+    pub fn new(scheme: ProtectionScheme) -> AccelConfig {
+        AccelConfig {
+            device: DeviceParams::default(),
+            scheme,
+            policy: CorrectionPolicy::Revert,
+            max_retries: 0,
+            group: GroupLayout::PAPER_128,
+            max_columns: 128,
+            input_bits: 16,
+            error_list: crate::mapping::mapping_error_list_config(),
+        }
+    }
+
+    /// Sets the bits per memristor cell (1–5 in the evaluation).
+    #[must_use]
+    pub fn with_cell_bits(mut self, bits: u32) -> AccelConfig {
+        self.device.bits_per_cell = bits;
+        self
+    }
+
+    /// Sets the stuck-at fault rate (0 disables cell faults).
+    #[must_use]
+    pub fn with_fault_rate(mut self, rate: f64) -> AccelConfig {
+        self.device.fault_rate = rate;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(ProtectionScheme::None.label(), "NoECC");
+        assert_eq!(ProtectionScheme::Static16.label(), "Static16");
+        assert_eq!(ProtectionScheme::Static128.label(), "Static128");
+        assert_eq!(ProtectionScheme::data_aware(9).label(), "ABN-9");
+    }
+
+    #[test]
+    fn grouping_classification() {
+        assert!(!ProtectionScheme::None.is_grouped());
+        assert!(!ProtectionScheme::Static16.is_grouped());
+        assert!(ProtectionScheme::Static128.is_grouped());
+        assert!(ProtectionScheme::data_aware(8).is_grouped());
+        assert!(!ProtectionScheme::None.is_coded());
+        assert!(ProtectionScheme::Static16.is_coded());
+    }
+
+    #[test]
+    fn static16_uses_minimal_a_47() {
+        let code = static16_code(2);
+        assert_eq!(code.a(), 47);
+        assert_eq!(code.b(), 3);
+        // Every 2-bit row of the 16-bit operand is covered at ±1.
+        assert!(code.table().len() >= 16);
+    }
+
+    #[test]
+    fn static128_a_covers_group() {
+        let code = static128_code(2);
+        assert!(code.a() >= 277, "A = {}", code.a());
+        assert_eq!(code.data_bits(), 128);
+    }
+
+    #[test]
+    fn check_bit_accounting() {
+        assert_eq!(ProtectionScheme::None.check_bits_per_group(), 0);
+        assert_eq!(ProtectionScheme::Static16.check_bits_per_group(), 48);
+        assert!(ProtectionScheme::Static128.check_bits_per_group() >= 10);
+        assert_eq!(ProtectionScheme::data_aware(7).check_bits_per_group(), 7);
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = AccelConfig::new(ProtectionScheme::data_aware(9))
+            .with_cell_bits(4)
+            .with_fault_rate(0.0);
+        assert_eq!(c.device.bits_per_cell, 4);
+        assert_eq!(c.device.fault_rate, 0.0);
+        assert_eq!(c.max_columns, 128);
+        assert_eq!(c.input_bits, 16);
+    }
+}

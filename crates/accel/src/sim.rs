@@ -1,0 +1,216 @@
+//! Monte-Carlo accuracy evaluation (§VII of the paper).
+//!
+//! The paper evaluates each configuration by running inference over test
+//! examples on the noisy accelerator and reporting the misclassification
+//! rate. This module does the same, fanning the test set out across
+//! threads; each thread programs its own accelerator instance (an
+//! independently fabricated chip) from a deterministic seed.
+
+use neural::{QuantizedNetwork, Tensor};
+
+use crate::{AccelConfig, CrossbarProvider, DecodeStats};
+
+/// The outcome of one accuracy evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimResult {
+    /// Top-1 misclassification rate.
+    pub misclassification: f64,
+    /// Top-5 misclassification rate (1.0-capped; equals top-1 for tasks
+    /// with ≤ 5 classes).
+    pub top5_misclassification: f64,
+    /// Fraction of predictions that differ from the *exact fixed-point*
+    /// result — a low-variance measure of accelerator-induced damage
+    /// (zero when the analog path is error-free, regardless of how hard
+    /// the task is).
+    pub flip_rate: f64,
+    /// Number of evaluated examples.
+    pub samples: usize,
+    /// Aggregate ECU statistics over the run.
+    pub stats: DecodeStats,
+}
+
+/// Evaluates a quantized network on the noisy accelerator over a test
+/// set.
+///
+/// `images` is the `[n, ...]` test tensor; inference runs one image at
+/// a time (the accelerator pipeline is throughput-oriented, but accuracy
+/// is per-example). `threads` bounds the worker count; each worker
+/// programs its own engines with a seed derived from `seed`.
+pub fn evaluate(
+    qnet: &QuantizedNetwork,
+    images: &Tensor,
+    labels: &[usize],
+    config: &AccelConfig,
+    seed: u64,
+    threads: usize,
+) -> SimResult {
+    let n = labels.len();
+    assert!(n > 0, "empty test set");
+    assert_eq!(images.shape()[0], n, "one label per image");
+    let per_image = images.len() / n;
+    let threads = threads.clamp(1, n);
+
+    let chunk = n.div_ceil(threads);
+    let mut results: Vec<(usize, usize, usize, DecodeStats)> = Vec::new();
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            let images_data = images.data();
+            let handle = scope.spawn(move |_| {
+                let provider = CrossbarProvider::new(config.clone(), seed.wrapping_add(t as u64));
+                let mut engines = qnet.build_engines(&provider);
+                let mut exact_engines = qnet.build_engines(&neural::ExactProvider);
+                let mut top1_errors = 0usize;
+                let mut top5_errors = 0usize;
+                let mut flips = 0usize;
+                for i in lo..hi {
+                    let image = &images_data[i * per_image..(i + 1) * per_image];
+                    let logits = qnet.run(image, &mut engines);
+                    let k = 5.min(logits.len());
+                    let top = Tensor::from_vec(vec![logits.len()], logits).top_k(k);
+                    if top[0] != labels[i] {
+                        top1_errors += 1;
+                    }
+                    if !top.contains(&labels[i]) {
+                        top5_errors += 1;
+                    }
+                    if qnet.predict(image, &mut exact_engines) != top[0] {
+                        flips += 1;
+                    }
+                }
+                (top1_errors, top5_errors, flips, provider.stats())
+            });
+            handles.push(handle);
+        }
+        for handle in handles {
+            results.push(handle.join().expect("worker thread panicked"));
+        }
+    })
+    .expect("thread scope");
+
+    let mut stats = DecodeStats::default();
+    let mut top1 = 0usize;
+    let mut top5 = 0usize;
+    let mut flips = 0usize;
+    for (t1, t5, f, s) in results {
+        top1 += t1;
+        top5 += t5;
+        flips += f;
+        stats = merge(stats, s);
+    }
+    SimResult {
+        misclassification: top1 as f64 / n as f64,
+        top5_misclassification: top5 as f64 / n as f64,
+        flip_rate: flips as f64 / n as f64,
+        samples: n,
+        stats,
+    }
+}
+
+/// Evaluates the float software baseline on the same test set (the
+/// "Software" bars of Figures 10–11).
+pub fn software_baseline(
+    network: &mut neural::Network,
+    images: &Tensor,
+    labels: &[usize],
+) -> f64 {
+    1.0 - network.evaluate(images, labels)
+}
+
+fn merge(mut a: DecodeStats, b: DecodeStats) -> DecodeStats {
+    a.clean += b.clean;
+    a.corrected += b.corrected;
+    a.uncorrectable += b.uncorrectable;
+    a.miscorrected += b.miscorrected;
+    a.silent_a += b.silent_a;
+    a.retries += b.retries;
+    a.uncoded += b.uncoded;
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProtectionScheme;
+    use neural::{models, QuantizedNetwork};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// A tiny trained network and test set, shared by the tests.
+    fn tiny_problem() -> (QuantizedNetwork, Tensor, Vec<usize>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut net = models::mlp2(&mut rng);
+        let mut train = neural::data::digits(400, 1);
+        neural::data::shuffle(&mut train, 2);
+        for _ in 0..5 {
+            net.train_epoch(&train.images, &train.labels, 32, 0.1);
+        }
+        let test = neural::data::digits(20, 99);
+        let qnet = QuantizedNetwork::from_network(&net);
+        (qnet, test.images, test.labels)
+    }
+
+    #[test]
+    fn noiseless_accelerator_matches_software() {
+        let (qnet, images, labels) = tiny_problem();
+        let mut config = AccelConfig::new(ProtectionScheme::None);
+        config.device.rtn_state_probability = 0.0;
+        config.device.programming_tolerance = 0.0;
+        config.device.fault_rate = 0.0;
+        config.device.bandwidth = 0.0;
+        let result = evaluate(&qnet, &images, &labels, &config, 3, 2);
+        // Noise-free fixed point: identical predictions to the exact
+        // fixed-point engine.
+        let mut exact_engines = qnet.build_engines(&neural::ExactProvider);
+        let mut exact_errors = 0;
+        let per = images.len() / labels.len();
+        for (i, &label) in labels.iter().enumerate() {
+            let p = qnet.predict(&images.data()[i * per..(i + 1) * per], &mut exact_engines);
+            if p != label {
+                exact_errors += 1;
+            }
+        }
+        assert_eq!(
+            result.misclassification,
+            exact_errors as f64 / labels.len() as f64
+        );
+        assert!(result.top5_misclassification <= result.misclassification);
+        assert_eq!(result.flip_rate, 0.0);
+        assert_eq!(result.samples, 20);
+    }
+
+    #[test]
+    fn multithreaded_matches_single_thread_counts() {
+        let (qnet, images, labels) = tiny_problem();
+        let mut config = AccelConfig::new(ProtectionScheme::None);
+        config.device.rtn_state_probability = 0.0;
+        config.device.programming_tolerance = 0.0;
+        config.device.fault_rate = 0.0;
+        config.device.bandwidth = 0.0;
+        // Noise-free: results are deterministic, so thread count must not
+        // change them.
+        let single = evaluate(&qnet, &images, &labels, &config, 3, 1);
+        let multi = evaluate(&qnet, &images, &labels, &config, 3, 4);
+        assert_eq!(single.misclassification, multi.misclassification);
+    }
+
+    #[test]
+    fn noisy_runs_produce_decode_stats() {
+        let (qnet, images, labels) = tiny_problem();
+        let config = AccelConfig::new(ProtectionScheme::data_aware(9)).with_fault_rate(0.0);
+        // Two examples suffice to exercise the path.
+        let images_small = Tensor::from_vec(
+            vec![2, 1, 28, 28],
+            images.data()[..2 * 784].to_vec(),
+        );
+        let result = evaluate(&qnet, &images_small, &labels[..2], &config, 7, 1);
+        assert!(result.stats.total() > 0);
+        assert_eq!(result.samples, 2);
+    }
+}

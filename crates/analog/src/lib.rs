@@ -1,0 +1,49 @@
+//! Transient analog simulation of a memristive crossbar row (§IV,
+//! Figures 6 and 7 of the paper).
+//!
+//! The paper builds a SPICE model of a single 128-entry row (ideal
+//! voltage sources driving programmable resistors, with an RTN resistance
+//! modulator, a thermal-noise current source per cell and a shot-noise
+//! source at the summing node) and runs a one-second transient analysis.
+//! For linear resistors and additive noise sources, a SPICE `.tran`
+//! reduces exactly to time-stepped sampling of the same stochastic
+//! processes, which is what this crate implements:
+//!
+//! - each cell's RTN trap is a continuous-time two-state Markov process
+//!   with exponential dwell times `τ_on` (trapped) and `τ_off`
+//!   (untrapped), `τ_off > τ_on` per the asymmetric measurements the
+//!   paper cites;
+//! - thermal and shot noise are white over the measurement bandwidth and
+//!   are drawn per sample;
+//! - the row current is the sum of per-cell currents at the programmed
+//!   (RTN-offset) conductances.
+//!
+//! The headline artifact is [`TransientRow::run`], which produces the
+//! Figure 7 current trace together with the `±1`/`±2` quantization
+//! thresholds and the resulting error statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use analog::TransientRow;
+//! use rand::SeedableRng;
+//! use xbar::DeviceParams;
+//!
+//! let params = DeviceParams::default();
+//! // 128 cells, equal 2-bit state occupancy — the Figure 7 row.
+//! let levels: Vec<u32> = (0..128).map(|i| i % 4).collect();
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let mut row = TransientRow::new(&levels, &params, &mut rng);
+//! let trace = row.run(0.001, 20_000, &mut rng); // 1 ms at 20 MHz
+//! let stats = trace.error_stats();
+//! assert!(stats.total_rate() < 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod trace;
+mod transient;
+
+pub use trace::{ErrorStats, Trace};
+pub use transient::{RtnState, TransientRow};

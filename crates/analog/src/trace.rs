@@ -1,0 +1,179 @@
+//! Transient traces and their error statistics (Figure 7).
+
+/// Error statistics of a transient trace relative to the quantization
+/// thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Fraction of samples at least one LSB above the ideal current.
+    pub high_rate: f64,
+    /// Fraction of samples at least one LSB below the ideal current.
+    pub low_rate: f64,
+    /// Fraction of samples at least two LSBs away (either side).
+    pub two_step_rate: f64,
+    /// Number of samples inspected.
+    pub samples: usize,
+}
+
+impl ErrorStats {
+    /// Overall mis-quantization rate (`high + low`).
+    pub fn total_rate(&self) -> f64 {
+        self.high_rate + self.low_rate
+    }
+}
+
+/// A sampled current transient with its ideal value and quantization
+/// step — everything needed to plot Figure 7 and extract error rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    times: Vec<f64>,
+    currents: Vec<f64>,
+    ideal: f64,
+    lsb: f64,
+}
+
+impl Trace {
+    /// Builds a trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `times` and `currents` differ in length or are empty,
+    /// or if `lsb <= 0`.
+    pub fn new(times: Vec<f64>, currents: Vec<f64>, ideal: f64, lsb: f64) -> Trace {
+        assert_eq!(times.len(), currents.len(), "times/currents mismatch");
+        assert!(!times.is_empty(), "trace cannot be empty");
+        assert!(lsb > 0.0, "LSB must be positive");
+        Trace {
+            times,
+            currents,
+            ideal,
+            lsb,
+        }
+    }
+
+    /// Sample timestamps (s).
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Sampled currents (A).
+    pub fn currents(&self) -> &[f64] {
+        &self.currents
+    }
+
+    /// The ideal error-free current (A) — Figure 7's dotted line.
+    pub fn ideal(&self) -> f64 {
+        self.ideal
+    }
+
+    /// The quantization LSB (A).
+    pub fn lsb(&self) -> f64 {
+        self.lsb
+    }
+
+    /// The `±k` LSB error thresholds — Figure 7's black bars.
+    pub fn threshold(&self, k: i32) -> f64 {
+        self.ideal + k as f64 * self.lsb
+    }
+
+    /// Mean of the sampled currents.
+    pub fn mean_current(&self) -> f64 {
+        self.currents.iter().sum::<f64>() / self.currents.len() as f64
+    }
+
+    /// Classifies every sample against the `±0.5 LSB` correct-read band
+    /// and the `±1.5 LSB` two-step band.
+    pub fn error_stats(&self) -> ErrorStats {
+        let mut high = 0usize;
+        let mut low = 0usize;
+        let mut two = 0usize;
+        for &i in &self.currents {
+            let dev = (i - self.ideal) / self.lsb;
+            if dev > 0.5 {
+                high += 1;
+            } else if dev < -0.5 {
+                low += 1;
+            }
+            if dev.abs() > 1.5 {
+                two += 1;
+            }
+        }
+        let n = self.currents.len() as f64;
+        ErrorStats {
+            high_rate: high as f64 / n,
+            low_rate: low as f64 / n,
+            two_step_rate: two as f64 / n,
+            samples: self.currents.len(),
+        }
+    }
+
+    /// Downsamples to at most `max_points` evenly spaced samples, for
+    /// plotting.
+    #[must_use]
+    pub fn downsample(&self, max_points: usize) -> Trace {
+        assert!(max_points > 0, "need at least one point");
+        if self.times.len() <= max_points {
+            return self.clone();
+        }
+        let stride = self.times.len().div_ceil(max_points);
+        let times: Vec<f64> = self.times.iter().step_by(stride).copied().collect();
+        let currents: Vec<f64> = self.currents.iter().step_by(stride).copied().collect();
+        Trace {
+            times,
+            currents,
+            ideal: self.ideal,
+            lsb: self.lsb,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_trace() -> Trace {
+        // Ideal 10.0, LSB 1.0; two high errors (both ≥ 2 steps), two low.
+        let currents = vec![10.0, 10.2, 11.6, 9.3, 12.7, 10.4, 8.6, 10.0];
+        let times = (0..currents.len()).map(|i| i as f64).collect();
+        Trace::new(times, currents, 10.0, 1.0)
+    }
+
+    #[test]
+    fn stats_classify_samples() {
+        let stats = synthetic_trace().error_stats();
+        assert_eq!(stats.samples, 8);
+        assert!((stats.high_rate - 2.0 / 8.0).abs() < 1e-12);
+        assert!((stats.low_rate - 2.0 / 8.0).abs() < 1e-12);
+        assert!((stats.two_step_rate - 2.0 / 8.0).abs() < 1e-12);
+        assert!((stats.total_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thresholds_are_lsb_multiples() {
+        let t = synthetic_trace();
+        assert_eq!(t.threshold(1), 11.0);
+        assert_eq!(t.threshold(-2), 8.0);
+    }
+
+    #[test]
+    fn mean_current_is_average() {
+        let t = Trace::new(vec![0.0, 1.0], vec![2.0, 4.0], 3.0, 1.0);
+        assert_eq!(t.mean_current(), 3.0);
+    }
+
+    #[test]
+    fn downsample_bounds_length() {
+        let t = synthetic_trace();
+        let d = t.downsample(3);
+        assert!(d.times().len() <= 3);
+        assert_eq!(d.ideal(), t.ideal());
+        // No-op when already small.
+        let same = t.downsample(100);
+        assert_eq!(same.times().len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_lengths_rejected() {
+        Trace::new(vec![0.0], vec![1.0, 2.0], 0.0, 1.0);
+    }
+}

@@ -1,0 +1,326 @@
+//! Time-stepped simulation of one crossbar row.
+
+use rand::Rng;
+use xbar::stats::{sample_exponential, sample_normal};
+use xbar::{DeviceParams, InputMask};
+
+use crate::trace::Trace;
+
+/// The RTN trap occupancy of one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RtnState {
+    /// Electron trapped: resistance raised by `ΔR`.
+    Trapped,
+    /// Trap empty: nominal resistance.
+    Free,
+}
+
+/// One simulated cell: programmed conductance plus an RTN process.
+#[derive(Debug, Clone)]
+struct Cell {
+    /// Conductance with the trap empty (S), including the RTN offset and
+    /// programming error.
+    g_free: f64,
+    /// Conductance with the trap occupied (S).
+    g_trapped: f64,
+    state: RtnState,
+    /// Simulation time at which the next state flip occurs (s).
+    next_flip: f64,
+}
+
+/// A transient simulation of a single physical row driven by ideal
+/// voltage sources (Figure 6 of the paper).
+///
+/// All columns are driven (the worst case studied in §IV); the row
+/// current is sampled at a fixed rate, with RTN transitions resolved
+/// event-accurately between samples.
+#[derive(Debug, Clone)]
+pub struct TransientRow {
+    cells: Vec<Cell>,
+    params: DeviceParams,
+    tau_on: f64,
+    tau_off: f64,
+    /// Ideal (calibration-target) row current (A).
+    ideal_current: f64,
+    /// ADC LSB current (A).
+    lsb: f64,
+    time: f64,
+}
+
+impl TransientRow {
+    /// Programs a row of cells at the given target levels and
+    /// initializes each RTN process in its stationary distribution.
+    ///
+    /// Programming applies the same RTN-offset calibration and ±1 %
+    /// programming tolerance as [`xbar::CrossbarArray::program`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty, longer than 128, or contains a level
+    /// outside the device range.
+    pub fn new<R: Rng + ?Sized>(
+        levels: &[u32],
+        params: &DeviceParams,
+        rng: &mut R,
+    ) -> TransientRow {
+        assert!(
+            !levels.is_empty() && levels.len() <= 128,
+            "row must have 1..=128 cells"
+        );
+        let rtn = params.rtn();
+        let p = rtn.state_probability;
+        let tau_on = rtn.tau_on;
+        let tau_off = rtn.tau_off();
+
+        let cells = levels
+            .iter()
+            .map(|&level| {
+                assert!(level < params.levels(), "level {level} out of range");
+                let r_target = 1.0 / params.conductance(level);
+                let d_target = rtn.delta_r_over_r(r_target);
+                let offset = if params.rtn_offset {
+                    p * d_target / (1.0 + d_target)
+                } else {
+                    0.0
+                };
+                let tol = params.programming_tolerance;
+                let jitter = if tol > 0.0 {
+                    rng.gen_range(-tol..=tol)
+                } else {
+                    0.0
+                };
+                let r_prog = r_target * (1.0 - offset) * (1.0 + jitter);
+                let d = rtn.delta_r_over_r(r_prog);
+                let state = if rng.gen::<f64>() < p {
+                    RtnState::Trapped
+                } else {
+                    RtnState::Free
+                };
+                let dwell = match state {
+                    RtnState::Trapped => sample_exponential(rng, tau_on),
+                    RtnState::Free => sample_exponential(rng, tau_off),
+                };
+                Cell {
+                    g_free: 1.0 / r_prog,
+                    g_trapped: 1.0 / (r_prog * (1.0 + d)),
+                    state,
+                    next_flip: dwell,
+                }
+            })
+            .collect::<Vec<_>>();
+
+        let ideal_current: f64 = levels
+            .iter()
+            .map(|&l| params.cell_current(l))
+            .sum();
+        let lsb = params.v_read * params.g_step();
+
+        TransientRow {
+            cells,
+            params: params.clone(),
+            tau_on,
+            tau_off,
+            ideal_current,
+            lsb,
+            time: 0.0,
+        }
+    }
+
+    /// Number of cells in the row.
+    pub fn width(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The ideal error-free row current (A).
+    pub fn ideal_current(&self) -> f64 {
+        self.ideal_current
+    }
+
+    /// The ADC LSB current (A).
+    pub fn lsb(&self) -> f64 {
+        self.lsb
+    }
+
+    /// Current count of trapped cells.
+    pub fn trapped_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.state == RtnState::Trapped)
+            .count()
+    }
+
+    /// Advances to absolute time `t`, resolving all RTN transitions in
+    /// `(self.time, t]`, and samples the instantaneous row current.
+    pub fn sample_at<R: Rng + ?Sized>(&mut self, t: f64, rng: &mut R) -> f64 {
+        assert!(t >= self.time, "time must be monotonically increasing");
+        let mut g_total = 0.0;
+        for cell in &mut self.cells {
+            while cell.next_flip <= t {
+                let (next_state, mean_dwell) = match cell.state {
+                    RtnState::Trapped => (RtnState::Free, self.tau_off),
+                    RtnState::Free => (RtnState::Trapped, self.tau_on),
+                };
+                cell.state = next_state;
+                cell.next_flip += sample_exponential(rng, mean_dwell);
+            }
+            g_total += match cell.state {
+                RtnState::Trapped => cell.g_trapped,
+                RtnState::Free => cell.g_free,
+            };
+        }
+        self.time = t;
+
+        let current = self.params.v_read * g_total;
+        let sigma_thermal = (4.0
+            * 1.380_649e-23
+            * self.params.temperature
+            * self.params.bandwidth
+            * g_total)
+            .sqrt();
+        let sigma_shot = self.params.shot_sigma(current);
+        let sigma = (sigma_thermal * sigma_thermal + sigma_shot * sigma_shot).sqrt();
+        sample_normal(rng, current, sigma)
+    }
+
+    /// Runs a transient of `duration` seconds sampled `samples` times
+    /// and returns the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0` or `duration <= 0`.
+    pub fn run<R: Rng + ?Sized>(&mut self, duration: f64, samples: usize, rng: &mut R) -> Trace {
+        assert!(samples > 0, "need at least one sample");
+        assert!(duration > 0.0, "duration must be positive");
+        let dt = duration / samples as f64;
+        let start = self.time;
+        let mut times = Vec::with_capacity(samples);
+        let mut currents = Vec::with_capacity(samples);
+        for i in 0..samples {
+            let t = start + dt * (i + 1) as f64;
+            currents.push(self.sample_at(t, rng));
+            times.push(t);
+        }
+        Trace::new(times, currents, self.ideal_current, self.lsb)
+    }
+
+    /// Convenience: the full input mask for this row's width (all
+    /// columns driven, as in the paper's study).
+    pub fn full_mask(&self) -> InputMask {
+        InputMask::all_ones(self.width() as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(11)
+    }
+
+    fn fig7_levels() -> Vec<u32> {
+        (0..128).map(|i| i % 4).collect()
+    }
+
+    #[test]
+    fn construction_sets_stationary_occupancy() {
+        let params = DeviceParams::default();
+        let mut rng = rng();
+        // Average over many rows: trapped fraction ≈ p.
+        let mut trapped = 0usize;
+        let mut total = 0usize;
+        for _ in 0..50 {
+            let row = TransientRow::new(&fig7_levels(), &params, &mut rng);
+            trapped += row.trapped_count();
+            total += row.width();
+        }
+        let frac = trapped as f64 / total as f64;
+        assert!((frac - 0.25).abs() < 0.05, "trapped fraction {frac}");
+    }
+
+    #[test]
+    fn current_stays_near_ideal() {
+        let params = DeviceParams::default();
+        let mut rng = rng();
+        let mut row = TransientRow::new(&fig7_levels(), &params, &mut rng);
+        let trace = row.run(1e-4, 2000, &mut rng);
+        let mean = trace.mean_current();
+        let ideal = row.ideal_current();
+        assert!(
+            ((mean - ideal) / ideal).abs() < 0.01,
+            "mean {mean} vs ideal {ideal}"
+        );
+    }
+
+    #[test]
+    fn rtn_transitions_happen() {
+        let params = DeviceParams::default();
+        let mut rng = rng();
+        let mut row = TransientRow::new(&fig7_levels(), &params, &mut rng);
+        let before = row.trapped_count();
+        // Advance 100 mean dwell times: states decorrelate.
+        row.sample_at(params.rtn_tau_on * 100.0, &mut rng);
+        let after = row.trapped_count();
+        // Not a strict inequality (could coincide), but over 128 cells a
+        // collision of every state is vanishingly unlikely.
+        assert!(before != after || row.width() < 4);
+    }
+
+    #[test]
+    fn time_must_not_go_backwards() {
+        let params = DeviceParams::default();
+        let mut rng = rng();
+        let mut row = TransientRow::new(&[1, 2, 3], &params, &mut rng);
+        row.sample_at(1e-3, &mut rng);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            row.sample_at(0.5e-3, &mut rng)
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn noiseless_row_is_flat() {
+        let params = DeviceParams {
+            rtn_state_probability: 0.0,
+            programming_tolerance: 0.0,
+            bandwidth: 0.0,
+            ..DeviceParams::default()
+        };
+        let mut rng = rng();
+        let mut row = TransientRow::new(&fig7_levels(), &params, &mut rng);
+        let trace = row.run(1e-4, 100, &mut rng);
+        let ideal = row.ideal_current();
+        for &i in trace.currents() {
+            assert!(((i - ideal) / ideal).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn error_rate_in_figure_7_regime() {
+        // The paper reports a 14.5 % overall error rate for this row.
+        let params = DeviceParams {
+            fault_rate: 0.0,
+            ..DeviceParams::default()
+        };
+        let mut rng = rng();
+        let mut row = TransientRow::new(&fig7_levels(), &params, &mut rng);
+        let trace = row.run(0.01, 20_000, &mut rng);
+        let stats = trace.error_stats();
+        assert!(
+            (0.02..0.40).contains(&stats.total_rate()),
+            "error rate {}",
+            stats.total_rate()
+        );
+        assert!(stats.high_rate + stats.low_rate <= 1.0);
+    }
+
+    #[test]
+    fn full_mask_width() {
+        let params = DeviceParams::default();
+        let mut rng = rng();
+        let row = TransientRow::new(&[0, 1, 2], &params, &mut rng);
+        assert_eq!(row.full_mask().count_ones(), 3);
+    }
+}

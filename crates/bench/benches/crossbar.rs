@@ -1,0 +1,47 @@
+//! Microbenchmarks for the crossbar substrate: programming, row reads
+//! (independent and frozen-RTN), reduction, and error-rate prediction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand_chacha::rand_core::SeedableRng;
+use xbar::{rowerr, BitSlicer, CrossbarArray, DeviceParams, InputMask};
+
+fn bench_crossbar(c: &mut Criterion) {
+    let params = DeviceParams::default();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+    let levels: Vec<Vec<u32>> = (0..69)
+        .map(|r| (0..128).map(|j| ((r + j) % 4) as u32).collect())
+        .collect();
+    let array = CrossbarArray::program(&levels, &params, &mut rng);
+    let mask = InputMask::all_ones(128);
+
+    c.bench_function("program_69x128", |b| {
+        b.iter(|| CrossbarArray::program(black_box(&levels), &params, &mut rng))
+    });
+    c.bench_function("read_row_independent", |b| {
+        b.iter(|| array.read_row(black_box(0), &mask, &mut rng))
+    });
+    let snap = array.sample_rtn(&mut rng);
+    c.bench_function("read_row_frozen", |b| {
+        b.iter(|| array.read_row_frozen(black_box(0), &mask, &snap, &mut rng))
+    });
+    c.bench_function("sample_rtn_69x128", |b| {
+        b.iter(|| array.sample_rtn(&mut rng))
+    });
+
+    let slicer = BitSlicer::new(2, 138);
+    let outputs: Vec<u64> = (0..69).map(|r| (r * 37 % 256) as u64).collect();
+    c.bench_function("reduce_69_rows", |b| {
+        b.iter(|| slicer.reduce(black_box(&outputs)))
+    });
+
+    c.bench_function("predict_row_error", |b| {
+        b.iter(|| rowerr::predict_composition(black_box(&[32, 32, 32, 32]), &params))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_crossbar
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Ablation: multi-operand group size (§V-B2).
+//!
+//! Sweeps the coded group from 1 to 8 16-bit operands and reports both
+//! the storage overhead (check bits per 128 data bits) and MLP1
+//! accuracy, quantifying the amortization argument for wide groups.
+//!
+//! Usage: `cargo run --release -p bench --bin ablation_group_size`
+
+use accel::AccelConfig;
+use ancode::GroupLayout;
+use bench::{evaluate_config, workload, write_json};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct GroupRow {
+    operands: usize,
+    check_bits_per_128: f64,
+    misclassification: f64,
+}
+
+fn main() {
+    let wl = workload("mlp1");
+    let mut rows = Vec::new();
+    println!("=== Ablation: operand group size (ABN-9, 2-bit cells) ===");
+    for operands in [1usize, 2, 4, 8] {
+        let mut config = AccelConfig::new(accel::ProtectionScheme::DataAware {
+            check_bits: 9,
+            hardware_candidates: true,
+        })
+        .with_cell_bits(2)
+        .with_fault_rate(0.0);
+        config.group = GroupLayout::new(16, operands).expect("valid layout");
+        let row = evaluate_config(&wl, &config, 500 + operands as u64);
+        let per_128 = 9.0 * (128.0 / (16.0 * operands as f64));
+        println!(
+            "{operands} × 16-bit operands: {per_128:>5.1} check bits / 128 data bits, misclass {:.2}%",
+            row.misclassification * 100.0
+        );
+        rows.push(GroupRow {
+            operands,
+            check_bits_per_128: per_128,
+            misclassification: row.misclassification,
+        });
+    }
+    write_json("ablation_group_size", &rows);
+}

@@ -1,0 +1,60 @@
+//! Extension ablation: multiresidue detection (A·B₁·B₂ codes, Rao's
+//! construction referenced in §V-B3) — how much miscorrection escape
+//! probability extra residues buy per check bit.
+//!
+//! Usage: `cargo run --release -p bench --bin ablation_multiresidue`
+
+use ancode::multiresidue::MultiResidueCode;
+use ancode::{AnCode, CorrectionPolicy, CorrectionTable};
+use serde::Serialize;
+use wideint::{I256, U256};
+
+#[derive(Serialize)]
+struct ResidueRow {
+    bs: Vec<u64>,
+    check_bits: u32,
+    theoretical_escape: f64,
+    measured_silent_escapes: u64,
+    trials: u64,
+}
+
+fn main() {
+    let an = AnCode::new(79).unwrap();
+    let table = CorrectionTable::for_single_bit_prefix(&an, 39);
+    println!(
+        "{:<14} {:>6} {:>14} {:>16}",
+        "residues", "bits", "theory escape", "measured escapes"
+    );
+    let mut rows = Vec::new();
+    for bs in [vec![3u64], vec![3, 5], vec![3, 5, 7]] {
+        let code = MultiResidueCode::new(79, &bs, table.clone(), 24).unwrap();
+        let clean = code.encode(U256::from(500_000u64)).unwrap();
+        let trials = 20_000u64;
+        let mut silent = 0u64;
+        for e in 1..=trials {
+            let out = code.decode(
+                I256::from(clean) + I256::from_i128(e as i128 * 7 + 1),
+                CorrectionPolicy::Revert,
+            );
+            if out.status.is_trusted() && out.value.to_i128() != Some(500_000) {
+                silent += 1;
+            }
+        }
+        println!(
+            "{:<14} {:>6} {:>14.4} {:>12}/{}",
+            format!("{bs:?}"),
+            code.check_bits(),
+            code.escape_probability(),
+            silent,
+            trials
+        );
+        rows.push(ResidueRow {
+            bs,
+            check_bits: code.check_bits(),
+            theoretical_escape: code.escape_probability(),
+            measured_silent_escapes: silent,
+            trials,
+        });
+    }
+    bench::write_json("ablation_multiresidue", &rows);
+}

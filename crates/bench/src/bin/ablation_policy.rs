@@ -1,0 +1,49 @@
+//! Ablation: uncorrectable-error handling (§VI-A).
+//!
+//! Compares the three handling options on MLP1 at an aggressive design
+//! point (4-bit cells, where uncorrectable events actually occur):
+//! keep the flagged correction, revert to the detected value, or retry
+//! the read.
+//!
+//! Usage: `cargo run --release -p bench --bin ablation_policy`
+
+use accel::{AccelConfig, ProtectionScheme};
+use ancode::CorrectionPolicy;
+use bench::{evaluate_config, workload, write_json};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct PolicyRow {
+    policy: String,
+    retries: u32,
+    misclassification: f64,
+}
+
+fn main() {
+    let wl = workload("mlp1");
+    let mut rows = Vec::new();
+    println!("=== Ablation: uncorrectable-error policy (ABN-8, 4-bit cells) ===");
+    for (label, policy, retries) in [
+        ("keep-corrected", CorrectionPolicy::KeepCorrected, 0u32),
+        ("revert", CorrectionPolicy::Revert, 0),
+        ("retry×2", CorrectionPolicy::Revert, 2),
+    ] {
+        let mut config = AccelConfig::new(ProtectionScheme::data_aware(8))
+            .with_cell_bits(4)
+            .with_fault_rate(0.0);
+        config.policy = policy;
+        config.max_retries = retries;
+        let row = evaluate_config(&wl, &config, 600);
+        println!(
+            "{label:<16} misclass {:.2}%  (ECU error rate {:.3}%)",
+            row.misclassification * 100.0,
+            row.decode_error_rate * 100.0
+        );
+        rows.push(PolicyRow {
+            policy: label.into(),
+            retries,
+            misclassification: row.misclassification,
+        });
+    }
+    write_json("ablation_policy", &rows);
+}

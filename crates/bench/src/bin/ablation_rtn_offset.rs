@@ -1,0 +1,44 @@
+//! Ablation: the RTN offset calibration of §IV.
+//!
+//! The paper programs resistances offset by `p·ΔR` so the time-averaged
+//! current matches the target (replacing Hu et al.'s calibration-vector
+//! scheme). This ablation disables the offset and measures the damage.
+//!
+//! Usage: `cargo run --release -p bench --bin ablation_rtn_offset`
+
+use accel::{AccelConfig, ProtectionScheme};
+use bench::{evaluate_config, workload, write_json};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct OffsetRow {
+    rtn_offset: bool,
+    scheme: String,
+    misclassification: f64,
+}
+
+fn main() {
+    let wl = workload("mlp1");
+    let mut rows = Vec::new();
+    println!("=== Ablation: RTN offset calibration (2-bit cells) ===");
+    for offset in [true, false] {
+        for scheme in [ProtectionScheme::None, ProtectionScheme::data_aware(9)] {
+            let mut config = AccelConfig::new(scheme.clone())
+                .with_cell_bits(2)
+                .with_fault_rate(0.0);
+            config.device.rtn_offset = offset;
+            let row = evaluate_config(&wl, &config, 700);
+            println!(
+                "offset={offset:<5} {:<8} misclass {:.2}%",
+                scheme.label(),
+                row.misclassification * 100.0
+            );
+            rows.push(OffsetRow {
+                rtn_offset: offset,
+                scheme: scheme.label(),
+                misclassification: row.misclassification,
+            });
+        }
+    }
+    write_json("ablation_rtn_offset", &rows);
+}

@@ -1,0 +1,39 @@
+//! Ablation: error-event depth in data-aware allocation (§V-B1).
+//!
+//! The allocator ranks combinations of up to `k` physical rows. This
+//! sweep varies `k` from 1 (single-row events only) to 4 (the paper's
+//! sparse-syndrome limit) and reports covered probability and accuracy.
+//!
+//! Usage: `cargo run --release -p bench --bin ablation_table_depth`
+
+use accel::{AccelConfig, ProtectionScheme};
+use bench::{evaluate_config, workload, write_json};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct DepthRow {
+    max_rows_per_event: usize,
+    misclassification: f64,
+}
+
+fn main() {
+    let wl = workload("mlp1");
+    let mut rows = Vec::new();
+    println!("=== Ablation: syndrome event depth (ABN-10, 3-bit cells) ===");
+    for depth in 1..=4usize {
+        let mut config = AccelConfig::new(ProtectionScheme::data_aware(10))
+            .with_cell_bits(3)
+            .with_fault_rate(0.0);
+        config.error_list.max_rows_per_event = depth;
+        let row = evaluate_config(&wl, &config, 800);
+        println!(
+            "events of ≤{depth} rows: misclass {:.2}%",
+            row.misclassification * 100.0
+        );
+        rows.push(DepthRow {
+            max_rows_per_event: depth,
+            misclassification: row.misclassification,
+        });
+    }
+    write_json("ablation_table_depth", &rows);
+}

@@ -1,0 +1,45 @@
+//! Regenerates Figure 10: misclassification rate of MLP1, MLP2 and CNN1
+//! for 1–5 bits per cell under Software / NoECC / Static16 / Static128 /
+//! ABN-7..10, without stuck-at faults.
+//!
+//! Usage: `cargo run --release -p bench --bin fig10_misclassification`
+//! (set `REPRO_SAMPLES=1000` to match the paper's test-set size; the
+//! default is sized for a single-CPU smoke run).
+
+use accel::AccelConfig;
+use bench::{evaluate_config, figure_schemes, print_table, workload, write_json, ResultRow};
+
+fn main() {
+    let networks = ["mlp1", "mlp2", "cnn1"];
+    let mut rows: Vec<ResultRow> = Vec::new();
+
+    for name in networks {
+        let wl = workload(name);
+        println!(
+            "[{}] software misclassification: {:.2}%",
+            name,
+            wl.software_error * 100.0
+        );
+        rows.push(ResultRow {
+            network: name.into(),
+            cell_bits: 0,
+            scheme: "Software".into(),
+            misclassification: wl.software_error,
+            top5: 0.0,
+            flip_rate: 0.0,
+            samples: wl.test.len(),
+            decode_error_rate: 0.0,
+        });
+        for bits in 1..=5u32 {
+            for scheme in figure_schemes() {
+                let config = AccelConfig::new(scheme)
+                    .with_cell_bits(bits)
+                    .with_fault_rate(0.0);
+                rows.push(evaluate_config(&wl, &config, 1000 + bits as u64));
+            }
+        }
+    }
+
+    print_table("Figure 10: misclassification (no cell faults)", &rows);
+    write_json("fig10_misclassification", &rows);
+}

@@ -1,0 +1,38 @@
+//! Regenerates Figure 11: the Figure 10 grid with 0.1 % stuck-at cell
+//! faults (Table I's failure rate), exercising the split correction
+//! tables.
+//!
+//! Usage: `cargo run --release -p bench --bin fig11_cell_faults`
+
+use accel::AccelConfig;
+use bench::{evaluate_config, figure_schemes, print_table, workload, write_json, ResultRow};
+
+fn main() {
+    let networks = ["mlp1", "mlp2", "cnn1"];
+    let mut rows: Vec<ResultRow> = Vec::new();
+
+    for name in networks {
+        let wl = workload(name);
+        rows.push(ResultRow {
+            network: name.into(),
+            cell_bits: 0,
+            scheme: "Software".into(),
+            misclassification: wl.software_error,
+            top5: 0.0,
+            flip_rate: 0.0,
+            samples: wl.test.len(),
+            decode_error_rate: 0.0,
+        });
+        for bits in 1..=5u32 {
+            for scheme in figure_schemes() {
+                let config = AccelConfig::new(scheme)
+                    .with_cell_bits(bits)
+                    .with_fault_rate(1e-3);
+                rows.push(evaluate_config(&wl, &config, 2000 + bits as u64));
+            }
+        }
+    }
+
+    print_table("Figure 11: misclassification (0.1% stuck-at faults)", &rows);
+    write_json("fig11_cell_faults", &rows);
+}

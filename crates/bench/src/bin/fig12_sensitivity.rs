@@ -1,0 +1,82 @@
+//! Regenerates Figure 12: MLP1 misclassification sensitivity to the
+//! low-resistance-state RTN amplitude (`R_LO ΔR/R` ∈ 1.4–4.2 %) and to
+//! the RTN error-state probability (17–37 %), at 2 bits per cell.
+//!
+//! Usage: `cargo run --release -p bench --bin fig12_sensitivity`
+
+use accel::AccelConfig;
+use bench::{evaluate_config, figure_schemes, workload, write_json};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SweepPoint {
+    axis: &'static str,
+    value: f64,
+    scheme: String,
+    misclassification: f64,
+}
+
+fn main() {
+    // The paper sweeps at 2 bits/cell; in this repository's device model
+    // that design point is flip-free, so REPRO_CELL_BITS lets the sweep
+    // be regenerated where the sensitivity is visible (e.g. 4).
+    let cell_bits: u32 = std::env::var("REPRO_CELL_BITS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let wl = workload("mlp1");
+    println!(
+        "software misclassification: {:.2}%",
+        wl.software_error * 100.0
+    );
+    let mut points = Vec::new();
+
+    // Left panel: R_LO ΔR/R sweep (R_HI ΔR/R stays pinned near its 50 %
+    // saturation value by construction of the Ielmini model).
+    for &drr in &[0.014, 0.021, 0.028, 0.035, 0.042] {
+        for scheme in figure_schemes() {
+            let mut config = AccelConfig::new(scheme.clone())
+                .with_cell_bits(cell_bits)
+                .with_fault_rate(0.0);
+            config.device = config.device.with_rlo_delta_r(drr);
+            let row = evaluate_config(&wl, &config, 31_000 + (drr * 1e4) as u64);
+            println!(
+                "ΔR/R(R_LO)={:.1}%  {:<10} -> {:.2}%",
+                drr * 100.0,
+                scheme.label(),
+                row.misclassification * 100.0
+            );
+            points.push(SweepPoint {
+                axis: "rlo_drr",
+                value: drr,
+                scheme: scheme.label(),
+                misclassification: row.misclassification,
+            });
+        }
+    }
+
+    // Right panel: RTN error-state probability sweep.
+    for &p in &[0.17, 0.22, 0.27, 0.32, 0.37] {
+        for scheme in figure_schemes() {
+            let mut config = AccelConfig::new(scheme.clone())
+                .with_cell_bits(cell_bits)
+                .with_fault_rate(0.0);
+            config.device.rtn_state_probability = p;
+            let row = evaluate_config(&wl, &config, 32_000 + (p * 1e3) as u64);
+            println!(
+                "p_RTN={:.0}%  {:<10} -> {:.2}%",
+                p * 100.0,
+                scheme.label(),
+                row.misclassification * 100.0
+            );
+            points.push(SweepPoint {
+                axis: "rtn_probability",
+                value: p,
+                scheme: scheme.label(),
+                misclassification: row.misclassification,
+            });
+        }
+    }
+
+    write_json("fig12_sensitivity", &points);
+}

@@ -1,0 +1,36 @@
+//! Calibration diagnostic (not a paper figure): software error and
+//! flip rates vs the exact fixed-point engine under NoECC and ABN-9 at
+//! 2- and 4-bit cells. Useful when retuning the dataset or device
+//! parameters.
+use accel::{AccelConfig, CrossbarProvider, ProtectionScheme};
+use bench::workload;
+
+fn main() {
+    let wl = workload("mlp1");
+    println!("software err {:.2}% over {} samples", wl.software_error*100.0, wl.test.len());
+    let n = wl.test.len();
+    let per = wl.test.images.len() / n;
+    let mut exact = wl.quantized.build_engines(&neural::ExactProvider);
+    let clean_preds: Vec<usize> = (0..n).map(|i| {
+        wl.quantized.predict(&wl.test.images.data()[i*per..(i+1)*per], &mut exact)
+    }).collect();
+
+    for bits in [2u32, 4] {
+        for scheme in [ProtectionScheme::None, ProtectionScheme::data_aware(9)] {
+            let config = AccelConfig::new(scheme.clone()).with_cell_bits(bits).with_fault_rate(0.0);
+            let provider = CrossbarProvider::new(config, 9);
+            let mut engines = wl.quantized.build_engines(&provider);
+            let mut flips = 0; let mut errs = 0;
+            for i in 0..n {
+                let img = &wl.test.images.data()[i*per..(i+1)*per];
+                let p = wl.quantized.predict(img, &mut engines);
+                if p != clean_preds[i] { flips += 1; }
+                if p != wl.test.labels[i] { errs += 1; }
+            }
+            let st = provider.stats();
+            println!("{}b {}: misclass {:.2}% flips {}/{} ecu_err {:.1}% (corr {} unc {} misc {})",
+                bits, scheme.label(), 100.0*errs as f64/n as f64, flips, n,
+                st.error_rate()*100.0, st.corrected, st.uncorrectable, st.miscorrected);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Regenerates Table III: AlexNet(-proxy) top-1 and top-5
+//! misclassification for Software, Uncorrected (NoECC) and ABN-9 at the
+//! paper's single design point (2-bit cells, 9 ECC bits).
+//!
+//! Paper: software 42.96 / 19.74 %, uncorrected 48.3 / 21.3 %,
+//! ABN-9 43.9 / 20.1 %.
+//!
+//! Usage: `cargo run --release -p bench --bin table3_alexnet`
+
+use accel::{AccelConfig, ProtectionScheme};
+use bench::{evaluate_config, workload, write_json};
+use neural::Tensor;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table3Row {
+    config: String,
+    top1: f64,
+    top5: f64,
+}
+
+fn main() {
+    let wl = workload("alexnet");
+
+    // Software top-1/top-5 on the float network.
+    let mut net = wl.network;
+    let n = wl.test.len();
+    let per = wl.test.images.len() / n;
+    let mut top1_err = 0usize;
+    let mut top5_err = 0usize;
+    for i in 0..n {
+        let image = Tensor::from_vec(
+            vec![1, 3, 16, 16],
+            wl.test.images.data()[i * per..(i + 1) * per].to_vec(),
+        );
+        let logits = net.forward(&image);
+        let k = 5.min(logits.shape()[1]);
+        let row = Tensor::from_vec(
+            vec![logits.shape()[1]],
+            logits.data().to_vec(),
+        );
+        let top = row.top_k(k);
+        if top[0] != wl.test.labels[i] {
+            top1_err += 1;
+        }
+        if !top.contains(&wl.test.labels[i]) {
+            top5_err += 1;
+        }
+    }
+    let software = Table3Row {
+        config: "Software".into(),
+        top1: top1_err as f64 / n as f64,
+        top5: top5_err as f64 / n as f64,
+    };
+
+    let wl = bench::workload("alexnet"); // reload (network moved above)
+    let uncorrected = {
+        let config = AccelConfig::new(ProtectionScheme::None)
+            .with_cell_bits(2)
+            .with_fault_rate(0.0);
+        let r = evaluate_config(&wl, &config, 41);
+        Table3Row {
+            config: "Uncorrected".into(),
+            top1: r.misclassification,
+            top5: r.top5,
+        }
+    };
+    let abn9 = {
+        let config = AccelConfig::new(ProtectionScheme::data_aware(9))
+            .with_cell_bits(2)
+            .with_fault_rate(0.0);
+        let r = evaluate_config(&wl, &config, 41);
+        Table3Row {
+            config: "ABN-9".into(),
+            top1: r.misclassification,
+            top5: r.top5,
+        }
+    };
+
+    println!("\n=== Table III: AlexNet-proxy accuracy ===");
+    println!("{:<14} {:>8} {:>8}   (paper top1/top5)", "config", "top1", "top5");
+    for (row, paper) in [
+        (&software, "42.96% / 19.74%"),
+        (&uncorrected, "48.3% / 21.3%"),
+        (&abn9, "43.9% / 20.1%"),
+    ] {
+        println!(
+            "{:<14} {:>7.2}% {:>7.2}%   ({paper})",
+            row.config,
+            row.top1 * 100.0,
+            row.top5 * 100.0
+        );
+    }
+    write_json("table3_alexnet", &vec![software, uncorrected, abn9]);
+}

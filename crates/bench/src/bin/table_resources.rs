@@ -1,0 +1,69 @@
+//! Extension: hierarchy resource and energy accounting per network and
+//! scheme — the storage-overhead numbers behind §VIII-A's "35 bit
+//! slices at 4 bits per cell vs 64 unprotected 2-bit slices" argument.
+//!
+//! Usage: `cargo run --release -p bench --bin table_resources`
+
+use accel::hierarchy::{plan_network, HierarchyConfig};
+use accel::{AccelConfig, ProtectionScheme};
+use bench::workload;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ResourceRow {
+    network: String,
+    scheme: String,
+    cell_bits: u32,
+    total_rows: usize,
+    storage_overhead_pct: f64,
+    arrays: usize,
+    imas: usize,
+    tiles: usize,
+    energy_nj: f64,
+}
+
+fn main() {
+    let hierarchy = HierarchyConfig::default();
+    let mut rows = Vec::new();
+    println!(
+        "{:<8} {:<10} {:>4} {:>10} {:>9} {:>7} {:>6} {:>6} {:>10}",
+        "network", "scheme", "bits", "phys rows", "ovh%", "arrays", "IMAs", "tiles", "energy nJ"
+    );
+    for name in ["mlp1", "mlp2", "cnn1"] {
+        let wl = workload(name);
+        for scheme in [
+            ProtectionScheme::None,
+            ProtectionScheme::Static16,
+            ProtectionScheme::data_aware(9),
+        ] {
+            for bits in [2u32, 4] {
+                let config = AccelConfig::new(scheme.clone()).with_cell_bits(bits);
+                let plan = plan_network(&wl.quantized, &config, &hierarchy);
+                println!(
+                    "{:<8} {:<10} {:>4} {:>10} {:>8.2}% {:>7} {:>6} {:>6} {:>10.1}",
+                    name,
+                    scheme.label(),
+                    bits,
+                    plan.data_rows + plan.check_rows,
+                    plan.storage_overhead * 100.0,
+                    plan.arrays,
+                    plan.imas,
+                    plan.tiles,
+                    plan.energy_nj
+                );
+                rows.push(ResourceRow {
+                    network: name.into(),
+                    scheme: scheme.label(),
+                    cell_bits: bits,
+                    total_rows: plan.data_rows + plan.check_rows,
+                    storage_overhead_pct: plan.storage_overhead * 100.0,
+                    arrays: plan.arrays,
+                    imas: plan.imas,
+                    tiles: plan.tiles,
+                    energy_nj: plan.energy_nj,
+                });
+            }
+        }
+    }
+    bench::write_json("table_resources", &rows);
+}

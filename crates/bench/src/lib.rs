@@ -1,0 +1,272 @@
+//! Shared experiment harness for the table/figure regenerators.
+//!
+//! Every binary in `src/bin/` reproduces one table or figure of the
+//! paper (see DESIGN.md §2 for the index). This library holds what they
+//! share: workload training with on-disk weight caching, scheme grids,
+//! result tables, and JSON emission into `results/`.
+//!
+//! # Environment knobs
+//!
+//! - `REPRO_SAMPLES` — Monte-Carlo test examples per configuration
+//!   (default 24; the paper uses 1000 — set `REPRO_SAMPLES=1000` for a
+//!   full run).
+//! - `REPRO_THREADS` — worker threads (default: available parallelism).
+//! - `REPRO_TRAIN` — training examples per workload (default 4000).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use accel::{AccelConfig, ProtectionScheme};
+use neural::data::Dataset;
+use neural::{data, models, Network, QuantizedNetwork, SavedWeights};
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+/// Monte-Carlo samples per configuration.
+pub fn samples() -> usize {
+    std::env::var("REPRO_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24)
+}
+
+/// Worker thread count.
+pub fn threads() -> usize {
+    std::env::var("REPRO_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Training-set size per workload.
+pub fn train_size() -> usize {
+    std::env::var("REPRO_TRAIN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4000)
+}
+
+/// Directory where regenerators drop JSON results.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes a JSON result artifact.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize result");
+    std::fs::write(&path, json).expect("write result file");
+    println!("[results] wrote {}", path.display());
+}
+
+/// A trained workload: float network, quantized lowering, and its
+/// held-out test set.
+pub struct Workload {
+    /// Workload name (`mlp1`, `mlp2`, `cnn1`, `alexnet`).
+    pub name: &'static str,
+    /// The trained float network.
+    pub network: Network,
+    /// The 16-bit fixed-point lowering.
+    pub quantized: QuantizedNetwork,
+    /// Held-out test examples.
+    pub test: Dataset,
+    /// Float software misclassification on the test set.
+    pub software_error: f64,
+}
+
+/// Difficulty of the ILSVRC stand-in, calibrated so the AlexNet proxy's
+/// software top-1 misclassification lands in the paper's ~43 % regime.
+pub const ALEXNET_DIFFICULTY: f32 = 0.85;
+
+/// Trains (or loads from cache) one of the evaluated workloads.
+///
+/// Weight caches live in `results/weights/` keyed by workload name and
+/// training size, so repeated regenerator runs skip training.
+pub fn workload(name: &'static str) -> Workload {
+    let n_train = train_size();
+    let n_test = samples();
+    let mut rng = ChaCha8Rng::seed_from_u64(0xC0FFEE);
+
+    let (mut network, mut train, test, epochs, lr) = match name {
+        "mlp1" => {
+            let net = models::mlp1(&mut rng);
+            (net, data::digits(n_train, 42), data::digits(n_test, 904_223), 8, 0.1)
+        }
+        "mlp2" => {
+            let net = models::mlp2(&mut rng);
+            (net, data::digits(n_train, 42), data::digits(n_test, 904_223), 8, 0.1)
+        }
+        "cnn1" => {
+            let net = models::cnn1(&mut rng);
+            // Convolutions train slower per example; a smaller set
+            // converges on the digits task.
+            let n = n_train.min(2500);
+            (net, data::digits(n, 42), data::digits(n_test, 904_223), 6, 0.05)
+        }
+        "alexnet" => {
+            let net = models::alexnet_proxy(&mut rng);
+            let n = n_train.min(4000);
+            (
+                net,
+                data::shapes(n, 42, ALEXNET_DIFFICULTY),
+                data::shapes(n_test, 904_223, ALEXNET_DIFFICULTY),
+                10,
+                0.05,
+            )
+        }
+        other => panic!("unknown workload {other}"),
+    };
+
+    let cache = results_dir()
+        .join("weights")
+        .join(format!("{name}-{}.json", train.len()));
+    if let Ok(saved) = SavedWeights::load(&cache) {
+        network.import_weights(&saved);
+        eprintln!("[{name}] loaded cached weights from {}", cache.display());
+    } else {
+        eprintln!(
+            "[{name}] training on {} examples ({} epochs)…",
+            train.len(),
+            epochs
+        );
+        let started = Instant::now();
+        data::shuffle(&mut train, 7);
+        for epoch in 0..epochs {
+            let eta = if epoch * 3 >= epochs * 2 { lr / 3.0 } else { lr };
+            let stats = network.train_epoch(&train.images, &train.labels, 32, eta);
+            eprintln!(
+                "[{name}] epoch {epoch}: loss {:.4} acc {:.3}",
+                stats.loss, stats.accuracy
+            );
+        }
+        eprintln!("[{name}] trained in {:.1?}", started.elapsed());
+        network.export_weights().save(&cache).expect("cache weights");
+    }
+
+    let software_error = 1.0 - network.evaluate(&test.images, &test.labels);
+    let quantized = QuantizedNetwork::from_network(&network);
+    Workload {
+        name,
+        network,
+        quantized,
+        test,
+        software_error,
+    }
+}
+
+/// The scheme grid of Figures 10 and 11, in legend order.
+pub fn figure_schemes() -> Vec<ProtectionScheme> {
+    vec![
+        ProtectionScheme::None,
+        ProtectionScheme::Static16,
+        ProtectionScheme::Static128,
+        ProtectionScheme::data_aware(7),
+        ProtectionScheme::data_aware(8),
+        ProtectionScheme::data_aware(9),
+        ProtectionScheme::data_aware(10),
+    ]
+}
+
+/// One evaluated configuration's result row.
+#[derive(Debug, Clone, Serialize)]
+pub struct ResultRow {
+    /// Workload name.
+    pub network: String,
+    /// Bits per cell.
+    pub cell_bits: u32,
+    /// Scheme legend label.
+    pub scheme: String,
+    /// Top-1 misclassification rate.
+    pub misclassification: f64,
+    /// Top-5 misclassification rate.
+    pub top5: f64,
+    /// Fraction of predictions flipped relative to exact fixed point.
+    pub flip_rate: f64,
+    /// Samples evaluated.
+    pub samples: usize,
+    /// ECU decode error rate (fraction of non-clean group-cycles).
+    pub decode_error_rate: f64,
+}
+
+/// Evaluates one scheme × cell-bits configuration of a workload.
+pub fn evaluate_config(workload: &Workload, config: &AccelConfig, seed: u64) -> ResultRow {
+    let started = Instant::now();
+    let result = accel::sim::evaluate(
+        &workload.quantized,
+        &workload.test.images,
+        &workload.test.labels,
+        config,
+        seed,
+        threads(),
+    );
+    eprintln!(
+        "[{}] {} {}b: misclass {:.3} flips {:.3} ({} samples, {:.1?})",
+        workload.name,
+        config.scheme.label(),
+        config.device.bits_per_cell,
+        result.misclassification,
+        result.flip_rate,
+        result.samples,
+        started.elapsed()
+    );
+    ResultRow {
+        network: workload.name.to_string(),
+        cell_bits: config.device.bits_per_cell,
+        scheme: config.scheme.label(),
+        misclassification: result.misclassification,
+        top5: result.top5_misclassification,
+        flip_rate: result.flip_rate,
+        samples: result.samples,
+        decode_error_rate: result.stats.error_rate(),
+    }
+}
+
+/// Renders rows as a fixed-width text table grouped like the paper's
+/// figures.
+pub fn print_table(title: &str, rows: &[ResultRow]) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<8} {:>5}  {:<10} {:>14} {:>10} {:>10}",
+        "network", "bits", "scheme", "misclass", "top5", "flips"
+    );
+    for r in rows {
+        println!(
+            "{:<8} {:>5}  {:<10} {:>13.2}% {:>9.2}% {:>9.2}%",
+            r.network,
+            r.cell_bits,
+            r.scheme,
+            r.misclassification * 100.0,
+            r.top5 * 100.0,
+            r.flip_rate * 100.0
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults() {
+        assert!(samples() >= 1);
+        assert!(threads() >= 1);
+        assert!(train_size() >= 1);
+    }
+
+    #[test]
+    fn scheme_grid_matches_figures() {
+        let schemes = figure_schemes();
+        assert_eq!(schemes.len(), 7);
+        assert_eq!(schemes[0].label(), "NoECC");
+        assert_eq!(schemes[6].label(), "ABN-10");
+    }
+}

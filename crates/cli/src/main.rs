@@ -1,0 +1,246 @@
+//! `reram-ecc` — command-line front end for the arithmetic-code and
+//! crossbar-reliability library.
+//!
+//! Subcommands:
+//!
+//! - `encode <A> <B> <value>` — encode a value with an A·B code.
+//! - `decode <A> <B> <data_bits> <observed>` — residue, correction and
+//!   detection for an observed computation result.
+//! - `min-a <width>` — minimal single-error A for a coded width.
+//! - `search <check_bits> [rows] [p]` — run the data-aware A search for
+//!   a synthetic row-error model and print the winning table.
+//! - `predict <cells_l0> <cells_l1> ...` — row error rate for a cell
+//!   composition under the Table I device model.
+//! - `overheads <check_bits>` — ECU area/power and tile/chip overheads.
+//! - `lifetime <rewrites_per_day> <fault_rate>` — endurance lifetime.
+
+use std::process::ExitCode;
+
+use ancode::data_aware::DataAwareConfig;
+use ancode::{AbnCode, CorrectionPolicy, RowError, RowErrorModel};
+use wideint::{I256, U256};
+use xbar::endurance::EnduranceParams;
+use xbar::DeviceParams;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("encode") => cmd_encode(&args[1..]),
+        Some("decode") => cmd_decode(&args[1..]),
+        Some("min-a") => cmd_min_a(&args[1..]),
+        Some("search") => cmd_search(&args[1..]),
+        Some("predict") => cmd_predict(&args[1..]),
+        Some("overheads") => cmd_overheads(&args[1..]),
+        Some("lifetime") => cmd_lifetime(&args[1..]),
+        _ => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+reram-ecc — AN/ABN arithmetic codes for in-situ analog computation
+
+usage:
+  reram-ecc encode <A> <B> <value>
+  reram-ecc decode <A> <B> <data_bits> <observed>
+  reram-ecc min-a <coded_width>
+  reram-ecc search <check_bits> [rows=9] [p_err=0.05]
+  reram-ecc predict <count_level0> <count_level1> ...
+  reram-ecc overheads <check_bits>
+  reram-ecc lifetime <rewrites_per_day> <target_fault_rate>
+";
+
+fn parse<T: std::str::FromStr>(args: &[String], i: usize, name: &str) -> Result<T, String> {
+    args.get(i)
+        .ok_or_else(|| format!("missing argument <{name}>"))?
+        .parse()
+        .map_err(|_| format!("invalid <{name}>: {}", args[i]))
+}
+
+fn cmd_encode(args: &[String]) -> Result<(), String> {
+    let a: u64 = parse(args, 0, "A")?;
+    let b: u64 = parse(args, 1, "B")?;
+    let value: u64 = parse(args, 2, "value")?;
+    let bits = 64 - value.leading_zeros().min(63);
+    let code = AbnCode::classic(a, b, bits.max(1)).map_err(|e| e.to_string())?;
+    let encoded = code.encode(U256::from(value)).map_err(|e| e.to_string())?;
+    println!("A·B = {}", code.multiplier());
+    println!("encoded = {encoded}");
+    println!("check bits = {}", code.check_bits());
+    Ok(())
+}
+
+fn cmd_decode(args: &[String]) -> Result<(), String> {
+    let a: u64 = parse(args, 0, "A")?;
+    let b: u64 = parse(args, 1, "B")?;
+    let data_bits: u32 = parse(args, 2, "data_bits")?;
+    let observed: i128 = parse(args, 3, "observed")?;
+    let code = AbnCode::classic(a, b, data_bits).map_err(|e| e.to_string())?;
+    let out = code.decode(I256::from_i128(observed), CorrectionPolicy::Revert);
+    println!("residue mod {a} = {}", observed.rem_euclid(a as i128));
+    println!("status  = {}", out.status);
+    println!("decoded = {}", out.value);
+    Ok(())
+}
+
+fn cmd_min_a(args: &[String]) -> Result<(), String> {
+    let width: u32 = parse(args, 0, "coded_width")?;
+    if !(1..=200).contains(&width) {
+        return Err("width must be in 1..=200".into());
+    }
+    println!("{}", ancode::min_single_error_a(width));
+    Ok(())
+}
+
+fn cmd_search(args: &[String]) -> Result<(), String> {
+    let check_bits: u32 = parse(args, 0, "check_bits")?;
+    let rows: u32 = if args.len() > 1 { parse(args, 1, "rows")? } else { 9 };
+    let p: f64 = if args.len() > 2 { parse(args, 2, "p_err")? } else { 0.05 };
+    if !(0.0..=1.0).contains(&p) {
+        return Err("p_err must be in [0, 1]".into());
+    }
+    let model = RowErrorModel::new(
+        (0..rows)
+            .map(|r| RowError::symmetric(r * 2, p * (r + 1) as f64 / rows as f64))
+            .collect(),
+        16,
+    );
+    let result = ancode::search::select_a_full(
+        check_bits,
+        3,
+        16,
+        &DataAwareConfig::default(),
+        |_| model.clone(),
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "best A = {} ({} candidates, coverage {:.5})",
+        result.code.a(),
+        result.evaluated,
+        result.coverage
+    );
+    print!("{}", result.code.table());
+    Ok(())
+}
+
+fn cmd_predict(args: &[String]) -> Result<(), String> {
+    if args.is_empty() {
+        return Err("need at least one level count".into());
+    }
+    let composition: Vec<u32> = args
+        .iter()
+        .map(|a| a.parse().map_err(|_| format!("invalid count: {a}")))
+        .collect::<Result<_, _>>()?;
+    let bits = (composition.len() as u32).next_power_of_two().trailing_zeros();
+    let params = DeviceParams {
+        bits_per_cell: bits.max(1),
+        ..DeviceParams::default()
+    };
+    if composition.len() != params.levels() as usize {
+        return Err(format!(
+            "composition must have a power-of-two number of levels, got {}",
+            composition.len()
+        ));
+    }
+    let rate = xbar::rowerr::predict_composition(&composition, &params);
+    println!("p_high = {:.6}", rate.p_high);
+    println!("p_low  = {:.6}", rate.p_low);
+    println!("p_any  = {:.6}", rate.p_any());
+    Ok(())
+}
+
+fn cmd_overheads(args: &[String]) -> Result<(), String> {
+    let bits: u32 = parse(args, 0, "check_bits")?;
+    if !(1..=12).contains(&bits) {
+        return Err("check_bits must be in 1..=12".into());
+    }
+    let r = accel::cost::overheads(bits);
+    println!("ECU:   {:.4} mm²  {:.2} mW", r.ecu.area_mm2, r.ecu.power_mw);
+    println!("table: {:.4} mm²  {:.2} mW", r.table.area_mm2, r.table.power_mw);
+    println!("tile area overhead:  {:.2}%", r.tile_area_fraction * 100.0);
+    println!("chip area overhead:  {:.2}%", r.chip_area_fraction * 100.0);
+    println!("chip power overhead: {:.2}%", r.chip_power_fraction * 100.0);
+    Ok(())
+}
+
+fn cmd_lifetime(args: &[String]) -> Result<(), String> {
+    let rewrites: f64 = parse(args, 0, "rewrites_per_day")?;
+    let rate: f64 = parse(args, 1, "target_fault_rate")?;
+    if rewrites <= 0.0 {
+        return Err("rewrites_per_day must be positive".into());
+    }
+    if !(0.0..1.0).contains(&rate) || rate == 0.0 {
+        return Err("target_fault_rate must be in (0, 1)".into());
+    }
+    let params = EnduranceParams::default();
+    println!(
+        "writes to reach {:.3}% stuck cells: {:.3e}",
+        rate * 100.0,
+        params.writes_for_failure_rate(rate)
+    );
+    println!(
+        "lifetime at {rewrites} rewrites/day: {:.1} years",
+        params.lifetime_years(rewrites, rate)
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn encode_and_decode_roundtrip() {
+        assert!(cmd_encode(&s(&["19", "3", "26"])).is_ok());
+        assert!(cmd_decode(&s(&["19", "3", "5", "1484"])).is_ok());
+    }
+
+    #[test]
+    fn min_a_validates() {
+        assert!(cmd_min_a(&s(&["9"])).is_ok());
+        assert!(cmd_min_a(&s(&["0"])).is_err());
+        assert!(cmd_min_a(&s(&["999"])).is_err());
+    }
+
+    #[test]
+    fn search_runs() {
+        assert!(cmd_search(&s(&["8"])).is_ok());
+        assert!(cmd_search(&s(&["8", "6", "0.02"])).is_ok());
+        assert!(cmd_search(&s(&["8", "6", "2.0"])).is_err());
+    }
+
+    #[test]
+    fn predict_validates_levels() {
+        assert!(cmd_predict(&s(&["32", "32", "32", "32"])).is_ok());
+        assert!(cmd_predict(&s(&["32", "32", "32"])).is_err());
+        assert!(cmd_predict(&s(&[])).is_err());
+    }
+
+    #[test]
+    fn overheads_and_lifetime() {
+        assert!(cmd_overheads(&s(&["9"])).is_ok());
+        assert!(cmd_overheads(&s(&["20"])).is_err());
+        assert!(cmd_lifetime(&s(&["1.0", "0.001"])).is_ok());
+        assert!(cmd_lifetime(&s(&["0", "0.001"])).is_err());
+        assert!(cmd_lifetime(&s(&["1.0", "1.5"])).is_err());
+    }
+
+    #[test]
+    fn missing_args_reported() {
+        assert!(cmd_encode(&s(&["19"])).is_err());
+        assert!(cmd_decode(&s(&["19", "3"])).is_err());
+    }
+}

@@ -1,0 +1,482 @@
+//! The full ABN encode / correct / detect pipeline.
+
+use std::fmt;
+
+use wideint::{I256, U256};
+
+use crate::{AnCode, CodeError, CorrectionTable, Syndrome};
+
+/// What to do when a decoded result fails the `B` detection check
+/// (§VI-A of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum CorrectionPolicy {
+    /// Keep the attempted correction even though `B` flags it. This
+    /// preserves throughput; the paper notes the corrected value can be
+    /// *further* from the truth than the uncorrected one.
+    KeepCorrected,
+    /// Revert to the uncorrected value (the hardware stores a
+    /// post-division-by-`B` syndrome to add back). This is the paper's
+    /// default for the evaluated dynamic codes.
+    #[default]
+    Revert,
+}
+
+/// How a decode concluded.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DecodeStatus {
+    /// The residue was zero and the `B` check passed: no error detected.
+    Clean,
+    /// A syndrome was found in the table and the corrected value passed
+    /// the `B` check.
+    Corrected(Syndrome),
+    /// The residue was not in the correction table: a detected,
+    /// uncorrectable error. The returned value is the rounded
+    /// uncorrected estimate.
+    Uncorrectable,
+    /// A correction was applied but the `B` check failed, flagging a
+    /// miscorrection; the returned value follows the
+    /// [`CorrectionPolicy`].
+    MiscorrectionDetected {
+        /// The syndrome that was (wrongly) applied.
+        attempted: Syndrome,
+    },
+    /// The residue was zero but the `B` check failed: the error was an
+    /// exact multiple of `A`, caught only by `B`.
+    SilentAError,
+}
+
+impl DecodeStatus {
+    /// Whether a correction was applied and believed good.
+    pub fn was_corrected(&self) -> bool {
+        matches!(self, DecodeStatus::Corrected(_))
+    }
+
+    /// Whether the decoder believes the returned value is exact.
+    pub fn is_trusted(&self) -> bool {
+        matches!(self, DecodeStatus::Clean | DecodeStatus::Corrected(_))
+    }
+}
+
+impl fmt::Display for DecodeStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeStatus::Clean => write!(f, "clean"),
+            DecodeStatus::Corrected(s) => write!(f, "corrected ({s})"),
+            DecodeStatus::Uncorrectable => write!(f, "uncorrectable"),
+            DecodeStatus::MiscorrectionDetected { attempted } => {
+                write!(f, "miscorrection detected (attempted {attempted})")
+            }
+            DecodeStatus::SilentAError => write!(f, "error multiple of A, caught by B"),
+        }
+    }
+}
+
+/// The result of decoding one computation output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeOutcome {
+    /// The recovered data value (best effort when untrusted). Signed
+    /// because an applied correction can push the estimate negative.
+    pub value: I256,
+    /// How the decode concluded.
+    pub status: DecodeStatus,
+}
+
+/// An ABN arithmetic code: correction with `A`, detection with `B`.
+///
+/// Data is encoded by multiplication with `A·B`. Decoding computes the
+/// residue modulo `A`, looks it up in the [`CorrectionTable`], applies
+/// the stored syndrome, and then uses divisibility by `B` to validate the
+/// result — `B` plays the role of SECDED's extra parity bit.
+///
+/// # Examples
+///
+/// Correcting the Figure 4 scenario with detection:
+///
+/// ```
+/// use ancode::{AbnCode, CorrectionPolicy, DecodeStatus};
+/// use wideint::U256;
+///
+/// let code = AbnCode::classic(19, 3, 5)?;
+/// let clean = code.encode(U256::from(26u64))?;
+///
+/// // No error.
+/// let ok = code.decode(clean.into(), CorrectionPolicy::Revert);
+/// assert_eq!(ok.status, DecodeStatus::Clean);
+/// assert_eq!(ok.value.to_i128(), Some(26));
+///
+/// // Single-bit error: corrected.
+/// let bad = clean + U256::from(4u64);
+/// let fixed = code.decode(bad.into(), CorrectionPolicy::Revert);
+/// assert!(fixed.status.was_corrected());
+/// assert_eq!(fixed.value.to_i128(), Some(26));
+/// # Ok::<(), ancode::CodeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbnCode {
+    an: AnCode,
+    b: u64,
+    table: CorrectionTable,
+    data_bits: u32,
+}
+
+/// Returns whether `n` is prime (trial division; `n` is always small).
+fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    let mut d = 2;
+    while d * d <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+impl AbnCode {
+    /// Creates an ABN code from an explicit correction table.
+    ///
+    /// # Errors
+    ///
+    /// - [`CodeError::InvalidA`] if `a` is invalid or differs from the
+    ///   table's modulus.
+    /// - [`CodeError::InvalidB`] if `b` is not a prime coprime with `a`.
+    pub fn from_table(
+        a: u64,
+        b: u64,
+        table: CorrectionTable,
+        data_bits: u32,
+    ) -> Result<AbnCode, CodeError> {
+        let an = AnCode::new(a)?;
+        if table.a() != a {
+            return Err(CodeError::InvalidA(table.a()));
+        }
+        if !is_prime(b) || gcd(a, b) != 1 {
+            return Err(CodeError::InvalidB { a, b });
+        }
+        Ok(AbnCode {
+            an,
+            b,
+            table,
+            data_bits,
+        })
+    }
+
+    /// Creates a classic (data-oblivious) ABN code correcting single-bit
+    /// errors from bit 0 upward, as many as `a` can distinguish.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AbnCode::from_table`].
+    pub fn classic(a: u64, b: u64, data_bits: u32) -> Result<AbnCode, CodeError> {
+        let an = AnCode::new(a)?;
+        let width = data_bits + check_bits(a, b);
+        let table = CorrectionTable::for_single_bit_prefix(&an, width);
+        AbnCode::from_table(a, b, table, data_bits)
+    }
+
+    /// The correction multiplier `A`.
+    pub fn a(&self) -> u64 {
+        self.an.a()
+    }
+
+    /// The detection multiplier `B`.
+    pub fn b(&self) -> u64 {
+        self.b
+    }
+
+    /// The combined multiplier `A·B` applied at encode time.
+    pub fn multiplier(&self) -> u64 {
+        self.an.a() * self.b
+    }
+
+    /// The data width the code protects.
+    pub fn data_bits(&self) -> u32 {
+        self.data_bits
+    }
+
+    /// Total check bits added by encoding: `ceil(log2(A·B))`.
+    pub fn check_bits(&self) -> u32 {
+        check_bits(self.an.a(), self.b)
+    }
+
+    /// Width of the encoded word in bits.
+    pub fn coded_bits(&self) -> u32 {
+        self.data_bits + self.check_bits()
+    }
+
+    /// The correction table.
+    pub fn table(&self) -> &CorrectionTable {
+        &self.table
+    }
+
+    /// Encodes `x` as `A·B·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::OperandTooWide`] if `x` exceeds the data
+    /// width, or [`CodeError::Overflow`] if the encoded value would not
+    /// fit in 256 bits.
+    pub fn encode(&self, x: U256) -> Result<U256, CodeError> {
+        if x.bits() > self.data_bits {
+            return Err(CodeError::OperandTooWide {
+                required: x.bits(),
+                available: self.data_bits,
+            });
+        }
+        x.checked_mul_u64(self.multiplier())
+            .ok_or(CodeError::Overflow)
+    }
+
+    /// Decodes a computation result, correcting with `A` and validating
+    /// with `B`.
+    ///
+    /// The input is signed: analog outputs are non-negative, but callers
+    /// may feed back partially corrected values.
+    pub fn decode(&self, observed: I256, policy: CorrectionPolicy) -> DecodeOutcome {
+        let a = self.an.a();
+        let residue = observed.rem_euclid_u64(a).expect("A is nonzero");
+
+        if residue == 0 {
+            // Divisible by A. B validates that the error was not a
+            // multiple of A.
+            let q = observed.div_exact_u64(a).expect("residue checked zero");
+            return match q.div_exact_u64(self.b) {
+                Some(value) => DecodeOutcome {
+                    value,
+                    status: DecodeStatus::Clean,
+                },
+                None => DecodeOutcome {
+                    value: self.best_effort(observed),
+                    status: DecodeStatus::SilentAError,
+                },
+            };
+        }
+
+        match self.table.lookup(residue) {
+            Some(entry) => {
+                let corrected = observed - entry.syndrome.value();
+                let q = corrected
+                    .div_exact_u64(a)
+                    .expect("syndrome residue matches by construction");
+                match q.div_exact_u64(self.b) {
+                    Some(value) => DecodeOutcome {
+                        value,
+                        status: DecodeStatus::Corrected(entry.syndrome.clone()),
+                    },
+                    None => {
+                        let value = match policy {
+                            CorrectionPolicy::KeepCorrected => self.best_effort(corrected),
+                            CorrectionPolicy::Revert => self.best_effort(observed),
+                        };
+                        DecodeOutcome {
+                            value,
+                            status: DecodeStatus::MiscorrectionDetected {
+                                attempted: entry.syndrome.clone(),
+                            },
+                        }
+                    }
+                }
+            }
+            None => DecodeOutcome {
+                value: self.best_effort(observed),
+                status: DecodeStatus::Uncorrectable,
+            },
+        }
+    }
+
+    /// Rounded division by `A·B`: the best unprotected estimate of the
+    /// data value.
+    fn best_effort(&self, n: I256) -> I256 {
+        n.div_round_u64(self.multiplier())
+            .expect("multiplier is nonzero")
+    }
+}
+
+/// Check bits consumed by multiplying with `a·b`: the bit-width growth
+/// `ceil(log2(a·b))` of the encoded operand.
+pub(crate) fn check_bits(a: u64, b: u64) -> u32 {
+    let m = a * b;
+    64 - (m - 1).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyndromeTerm;
+
+    fn code19() -> AbnCode {
+        AbnCode::classic(19, 3, 5).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_b() {
+        assert!(matches!(
+            AbnCode::classic(19, 4, 5),
+            Err(CodeError::InvalidB { .. })
+        ));
+        // B sharing a factor with A is rejected.
+        assert!(matches!(
+            AbnCode::classic(9, 3, 5),
+            Err(CodeError::InvalidB { .. })
+        ));
+        assert!(AbnCode::classic(19, 3, 5).is_ok());
+    }
+
+    #[test]
+    fn multiplier_and_widths() {
+        let code = code19();
+        assert_eq!(code.multiplier(), 57);
+        assert_eq!(code.check_bits(), 6); // 57 ≤ 64 = 2^6
+        assert_eq!(code.data_bits(), 5);
+        assert_eq!(code.coded_bits(), 11);
+    }
+
+    #[test]
+    fn encode_rejects_wide_operands() {
+        let code = code19();
+        assert!(matches!(
+            code.encode(U256::from(32u64)),
+            Err(CodeError::OperandTooWide { .. })
+        ));
+        assert!(code.encode(U256::from(31u64)).is_ok());
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let code = code19();
+        for x in 0u64..32 {
+            let e = code.encode(U256::from(x)).unwrap();
+            let out = code.decode(e.into(), CorrectionPolicy::Revert);
+            assert_eq!(out.status, DecodeStatus::Clean);
+            assert_eq!(out.value.to_i128(), Some(x as i128));
+            assert!(out.status.is_trusted());
+        }
+    }
+
+    #[test]
+    fn corrects_all_single_bit_errors_in_prefix() {
+        let code = code19();
+        let clean = code.encode(U256::from(26u64)).unwrap();
+        for bit in 0..9 {
+            for delta in [1i8, -1] {
+                let error = Syndrome::single(bit, delta).value();
+                let observed = I256::from(clean) + error;
+                let out = code.decode(observed, CorrectionPolicy::Revert);
+                assert!(
+                    out.status.was_corrected(),
+                    "bit {bit} delta {delta}: {:?}",
+                    out.status
+                );
+                assert_eq!(out.value.to_i128(), Some(26));
+            }
+        }
+    }
+
+    #[test]
+    fn detects_error_multiple_of_a() {
+        // An additive error of exactly A·k (not A·B·k) slips past the
+        // residue check but is caught by B.
+        let code = code19();
+        let clean = code.encode(U256::from(10u64)).unwrap();
+        let observed = I256::from(clean) + I256::from_i128(19);
+        let out = code.decode(observed, CorrectionPolicy::Revert);
+        assert_eq!(out.status, DecodeStatus::SilentAError);
+        assert!(!out.status.is_trusted());
+        // Best effort still lands on the right value: 19/57 rounds to 0.
+        assert_eq!(out.value.to_i128(), Some(10));
+    }
+
+    #[test]
+    fn uncorrectable_residue_reported() {
+        // Build a code whose table covers only bit 0, then inject an
+        // error at a residue outside the table.
+        let an = AnCode::new(19).unwrap();
+        let table = CorrectionTable::for_single_bit_prefix(&an, 1);
+        let code = AbnCode::from_table(19, 3, table, 5).unwrap();
+        let clean = code.encode(U256::from(7u64)).unwrap();
+        let observed = I256::from(clean) + I256::from_i128(8); // residue 8 absent
+        let out = code.decode(observed, CorrectionPolicy::Revert);
+        assert_eq!(out.status, DecodeStatus::Uncorrectable);
+        assert_eq!(out.value.to_i128(), Some(7)); // 8/57 rounds to 0
+    }
+
+    #[test]
+    fn miscorrection_policies_differ() {
+        // A 2-term error whose residue aliases a single-bit table entry,
+        // with the alias failing the B check.
+        let code = code19();
+        let clean = code.encode(U256::from(26u64)).unwrap();
+        // Find an error that produces MiscorrectionDetected.
+        let mut found = false;
+        'outer: for hi in 9..11 {
+            for lo in 0..3 {
+                let e = Syndrome::new(vec![
+                    SyndromeTerm::new(lo, 1),
+                    SyndromeTerm::new(hi, 1),
+                ]);
+                let observed = I256::from(clean) + e.value();
+                let keep = code.decode(observed, CorrectionPolicy::KeepCorrected);
+                if let DecodeStatus::MiscorrectionDetected { .. } = keep.status {
+                    let revert = code.decode(observed, CorrectionPolicy::Revert);
+                    assert!(matches!(
+                        revert.status,
+                        DecodeStatus::MiscorrectionDetected { .. }
+                    ));
+                    // Revert estimates from the raw observed value.
+                    let expected = observed.div_round_u64(57).unwrap();
+                    assert_eq!(revert.value, expected);
+                    found = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(found, "no miscorrection scenario found");
+    }
+
+    #[test]
+    fn paper_miscorrection_example_a79() {
+        // §V-A: A = 79 (no B), value 1024 → 80896; syndrome 9 = 2^0 + 2^3
+        // decodes to −12249, further from the truth than the raw value.
+        let an = AnCode::new(79).unwrap();
+        let width = 32 + 7;
+        let table = CorrectionTable::for_single_bit_prefix(&an, width);
+        let observed = I256::from_i128(80896 + 9);
+        let residue = observed.rem_euclid_u64(79).unwrap();
+        let entry = table.lookup(residue).expect("aliased entry exists");
+        let corrected = observed - entry.syndrome.value();
+        let decoded = corrected.div_exact_u64(79).unwrap();
+        assert_eq!(decoded.to_i128(), Some(-12249));
+    }
+
+    #[test]
+    fn negative_observed_values_decode() {
+        let code = code19();
+        let out = code.decode(I256::from_i128(-57), CorrectionPolicy::Revert);
+        assert_eq!(out.status, DecodeStatus::Clean);
+        assert_eq!(out.value.to_i128(), Some(-1));
+    }
+
+    #[test]
+    fn status_display() {
+        assert_eq!(DecodeStatus::Clean.to_string(), "clean");
+        assert!(DecodeStatus::Uncorrectable.to_string().contains("uncorrectable"));
+    }
+
+    #[test]
+    fn check_bits_examples() {
+        assert_eq!(check_bits(19, 3), 6); // 57
+        assert_eq!(check_bits(79, 1), 7); // 79 — plain AN
+        assert_eq!(check_bits(3, 1), 2);
+    }
+}

@@ -1,0 +1,291 @@
+//! Plain AN codes: multiplication encoding and residue checks.
+
+use wideint::{I256, U256};
+
+use crate::{CodeError, Syndrome, SyndromeFamily};
+
+/// A plain AN code: data is encoded by multiplication with the constant
+/// `A`, and a computation result is a valid code word iff it is divisible
+/// by `A`.
+///
+/// `AnCode` provides encoding, residue computation, and code-word checks;
+/// the full correct-and-detect pipeline (including the `B` term and
+/// correction tables) lives in [`AbnCode`](crate::AbnCode).
+///
+/// # Examples
+///
+/// ```
+/// use ancode::AnCode;
+/// use wideint::U256;
+///
+/// let code = AnCode::new(19)?;
+/// let x = code.encode(U256::from(11u64))?;
+/// let y = code.encode(U256::from(15u64))?;
+///
+/// // Addition is conserved: A·11 + A·15 = A·26 (Figure 4 of the paper).
+/// let sum = x + y;
+/// assert!(code.is_codeword(sum));
+/// assert_eq!(sum / U256::from(19u64), U256::from(26u64));
+///
+/// // An additive error of +2 leaves residue 2.
+/// assert_eq!(code.residue(sum + U256::from(2u64)), 2);
+/// # Ok::<(), ancode::CodeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AnCode {
+    a: u64,
+}
+
+impl AnCode {
+    /// Creates an AN code with multiplier `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidA`] unless `a` is odd and at least 3:
+    /// an even `a` shares a factor with every syndrome `±2^i`, collapsing
+    /// their residues, and `a < 3` has no nonzero residue to signal an
+    /// error.
+    pub fn new(a: u64) -> Result<AnCode, CodeError> {
+        if a < 3 || a % 2 == 0 {
+            return Err(CodeError::InvalidA(a));
+        }
+        Ok(AnCode { a })
+    }
+
+    /// The multiplier `A`.
+    #[inline]
+    pub fn a(&self) -> u64 {
+        self.a
+    }
+
+    /// The number of check bits the code adds: `ceil(log2(A))`.
+    ///
+    /// Encoding multiplies by `A`, growing the operand by at most this
+    /// many bits.
+    #[inline]
+    pub fn check_bits(&self) -> u32 {
+        64 - (self.a - 1).leading_zeros()
+    }
+
+    /// Encodes `x` as `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::Overflow`] if `A·x` exceeds 256 bits.
+    pub fn encode(&self, x: U256) -> Result<U256, CodeError> {
+        x.checked_mul_u64(self.a).ok_or(CodeError::Overflow)
+    }
+
+    /// The residue `n mod A`; zero for valid code words.
+    ///
+    /// Accepts signed inputs because a corrected value can transiently go
+    /// negative during decoding; the residue is always the Euclidean
+    /// (non-negative) remainder.
+    pub fn residue<N: Into<I256>>(&self, n: N) -> u64 {
+        n.into()
+            .rem_euclid_u64(self.a)
+            .expect("A is validated nonzero")
+    }
+
+    /// Whether `n` is divisible by `A` (no detectable error).
+    pub fn is_codeword(&self, n: U256) -> bool {
+        self.residue(n) == 0
+    }
+
+    /// Decodes a *valid* code word back to its data value.
+    ///
+    /// Returns `None` if `n` is not divisible by `A`; use
+    /// [`AbnCode::decode`](crate::AbnCode::decode) for erroneous inputs.
+    pub fn decode_exact(&self, n: U256) -> Option<U256> {
+        let (q, r) = n.div_rem_u64(self.a).expect("A is validated nonzero");
+        if r == 0 {
+            Some(q)
+        } else {
+            None
+        }
+    }
+
+    /// Checks that every syndrome in `family` has a distinct nonzero
+    /// residue under `A`, i.e. that this code can correct the family.
+    ///
+    /// Returns the residue → syndrome assignment on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::ResidueCollision`] naming the first residue
+    /// class that is zero or shared by two syndromes.
+    pub fn assign_residues(
+        &self,
+        family: SyndromeFamily,
+    ) -> Result<Vec<(u64, Syndrome)>, CodeError> {
+        let mut seen: Vec<Option<Syndrome>> = vec![None; self.a as usize];
+        let mut out = Vec::new();
+        for syndrome in family.enumerate() {
+            let r = self.residue(syndrome.value());
+            if r == 0 || seen[r as usize].is_some() {
+                return Err(CodeError::ResidueCollision { a: self.a, residue: r });
+            }
+            seen[r as usize] = Some(syndrome.clone());
+            out.push((r, syndrome));
+        }
+        Ok(out)
+    }
+
+    /// Whether this code can correct every syndrome in `family`.
+    pub fn corrects(&self, family: SyndromeFamily) -> bool {
+        self.assign_residues(family).is_ok()
+    }
+}
+
+/// Finds the smallest valid `A` that corrects all single-bit errors
+/// `±2^i` over a coded word of exactly `width` bits.
+///
+/// This is the classic single-error-correcting AN-code table (Brown
+/// 1960), reproducing the constants cited in the paper:
+///
+/// ```
+/// use ancode::min_single_error_a;
+///
+/// assert_eq!(min_single_error_a(9), 19);  // Figure 4: "A = 19 … 9 bits wide"
+/// assert_eq!(min_single_error_a(39), 79); // "A = 79 … final 39 bit encoded value"
+/// ```
+///
+/// For a given *data* width, callers typically iterate: the coded width
+/// is `data_bits + check_bits(A)`, and `check_bits` itself depends on
+/// `A`. [`search::min_a_for_data_bits`](crate::search::min_a_for_data_bits)
+/// performs that fixed-point search.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or larger than 200 (the coded word must fit
+/// comfortably in 256 bits).
+pub fn min_single_error_a(width: u32) -> u64 {
+    assert!(
+        (1..=200).contains(&width),
+        "width {width} out of supported range"
+    );
+    let mut a = 2 * width as u64 + 1; // need ≥ 2·width nonzero residues
+    loop {
+        let code = AnCode::new(a).expect("odd candidates are valid");
+        if code.corrects(SyndromeFamily::SingleBit { width }) {
+            return a;
+        }
+        a += 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_even_and_tiny_a() {
+        assert_eq!(AnCode::new(4), Err(CodeError::InvalidA(4)));
+        assert_eq!(AnCode::new(1), Err(CodeError::InvalidA(1)));
+        assert_eq!(AnCode::new(0), Err(CodeError::InvalidA(0)));
+        assert!(AnCode::new(3).is_ok());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let code = AnCode::new(79).unwrap();
+        for x in [0u64, 1, 1024, u32::MAX as u64] {
+            let e = code.encode(U256::from(x)).unwrap();
+            assert!(code.is_codeword(e));
+            assert_eq!(code.decode_exact(e), Some(U256::from(x)));
+        }
+    }
+
+    #[test]
+    fn encode_overflow_detected() {
+        let code = AnCode::new(79).unwrap();
+        assert_eq!(code.encode(U256::MAX), Err(CodeError::Overflow));
+    }
+
+    #[test]
+    fn addition_is_conserved() {
+        // The defining property: f(x) + f(y) == f(x + y).
+        let code = AnCode::new(19).unwrap();
+        let fx = code.encode(U256::from(11u64)).unwrap();
+        let fy = code.encode(U256::from(15u64)).unwrap();
+        assert_eq!(fx + fy, code.encode(U256::from(26u64)).unwrap());
+    }
+
+    #[test]
+    fn figure_4_example() {
+        // Paper Figure 4: A = 19, encoded sum 494, +2 error → 496,
+        // residue 2, corrected back to 494, decoded 26.
+        let code = AnCode::new(19).unwrap();
+        let observed = U256::from(496u64);
+        assert_eq!(code.residue(observed), 2);
+        let corrected = observed - U256::from(2u64);
+        assert_eq!(code.decode_exact(corrected), Some(U256::from(26u64)));
+    }
+
+    #[test]
+    fn residue_of_negative_values() {
+        let code = AnCode::new(19).unwrap();
+        assert_eq!(code.residue(I256::from_i128(-2)), 17);
+        assert_eq!(code.residue(I256::from_i128(-19)), 0);
+    }
+
+    #[test]
+    fn a3_detects_but_cannot_correct() {
+        // A = 3 is the arithmetic analogue of a parity bit: all ±1/±2
+        // syndromes are detected (nonzero residue) but residues collide
+        // across bit positions, so correction is impossible.
+        let code = AnCode::new(3).unwrap();
+        for bit in 0..8 {
+            let s = Syndrome::single(bit, 1);
+            assert_ne!(code.residue(s.value()), 0);
+        }
+        assert!(!code.corrects(SyndromeFamily::SingleBit { width: 8 }));
+    }
+
+    #[test]
+    fn minimal_a_values_match_paper() {
+        assert_eq!(min_single_error_a(9), 19);
+        assert_eq!(min_single_error_a(39), 79);
+    }
+
+    #[test]
+    fn minimal_a_is_minimal() {
+        // Every smaller odd A must fail for the same width.
+        for width in [4u32, 9, 16] {
+            let a = min_single_error_a(width);
+            let family = SyndromeFamily::SingleBit { width };
+            let mut candidate = 3;
+            while candidate < a {
+                assert!(!AnCode::new(candidate).unwrap().corrects(family));
+                candidate += 2;
+            }
+        }
+    }
+
+    #[test]
+    fn check_bits_matches_log2() {
+        assert_eq!(AnCode::new(19).unwrap().check_bits(), 5);
+        assert_eq!(AnCode::new(79).unwrap().check_bits(), 7);
+        assert_eq!(AnCode::new(3).unwrap().check_bits(), 2);
+    }
+
+    #[test]
+    fn a19_assigns_all_residues_for_9_bit_words() {
+        // A = 19 over 9-bit words uses 18 of 18 nonzero residues: the
+        // "every residual used" efficiency property from §II-D.
+        let code = AnCode::new(19).unwrap();
+        let assignment = code
+            .assign_residues(SyndromeFamily::SingleBit { width: 9 })
+            .unwrap();
+        assert_eq!(assignment.len(), 18);
+        let mut residues: Vec<u64> = assignment.iter().map(|(r, _)| *r).collect();
+        residues.sort_unstable();
+        assert_eq!(residues, (1..=18).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn a19_fails_beyond_9_bits() {
+        let code = AnCode::new(19).unwrap();
+        assert!(!code.corrects(SyndromeFamily::SingleBit { width: 10 }));
+    }
+}

@@ -1,0 +1,302 @@
+//! Multi-operand coded groups (§V-B2, Equation 2 of the paper).
+//!
+//! The number of check bits a correcting AN code needs grows only
+//! logarithmically with the operand size, so wide operands amortize the
+//! overhead: the paper concatenates eight 16-bit operands into one
+//! 128-bit block and protects the whole block with a single 7–10 bit
+//! code. This module implements the packing
+//! (`AN' = A · Σ 2^{i·b} · N_i`), the inverse split, and a signed
+//! balanced-digit split used to attribute a *residual* error to the lanes
+//! it lands in.
+
+use wideint::{I256, U256};
+
+use crate::CodeError;
+
+/// The geometry of a coded operand group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GroupLayout {
+    operand_bits: u32,
+    operands: usize,
+}
+
+impl GroupLayout {
+    /// The paper's default: eight 16-bit operands per 128-bit group.
+    pub const PAPER_128: GroupLayout = GroupLayout {
+        operand_bits: 16,
+        operands: 8,
+    };
+
+    /// Creates a layout of `operands` lanes of `operand_bits` bits each.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidLayout`] if either parameter is zero
+    /// or the packed group exceeds 200 bits (leaving headroom for the
+    /// code multiplier within 256 bits).
+    pub fn new(operand_bits: u32, operands: usize) -> Result<GroupLayout, CodeError> {
+        if operand_bits == 0 || operands == 0 {
+            return Err(CodeError::InvalidLayout(
+                "operand_bits and operands must be nonzero".into(),
+            ));
+        }
+        let total = operand_bits as u64 * operands as u64;
+        if total > 200 {
+            return Err(CodeError::InvalidLayout(format!(
+                "group of {total} bits exceeds the 200-bit limit"
+            )));
+        }
+        Ok(GroupLayout {
+            operand_bits,
+            operands,
+        })
+    }
+
+    /// Bits per lane (one underlying operand).
+    pub fn operand_bits(&self) -> u32 {
+        self.operand_bits
+    }
+
+    /// Number of lanes.
+    pub fn operands(&self) -> usize {
+        self.operands
+    }
+
+    /// Total packed width in bits.
+    pub fn data_bits(&self) -> u32 {
+        self.operand_bits * self.operands as u32
+    }
+}
+
+/// Packs and unpacks operand groups for a fixed [`GroupLayout`].
+///
+/// # Examples
+///
+/// ```
+/// use ancode::{GroupLayout, OperandGroup};
+///
+/// let group = OperandGroup::new(GroupLayout::new(16, 4)?);
+/// let packed = group.pack(&[10, 20, 30, 40])?;
+/// assert_eq!(group.unpack(packed), vec![10, 20, 30, 40]);
+/// # Ok::<(), ancode::CodeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OperandGroup {
+    layout: GroupLayout,
+}
+
+impl OperandGroup {
+    /// Creates a group packer for `layout`.
+    pub fn new(layout: GroupLayout) -> OperandGroup {
+        OperandGroup { layout }
+    }
+
+    /// The layout.
+    pub fn layout(&self) -> GroupLayout {
+        self.layout
+    }
+
+    /// Packs operands into a single block: `Σ 2^{i·b} · ops[i]`.
+    ///
+    /// Operand `i` occupies bits `[i·b, (i+1)·b)`; lane 0 is least
+    /// significant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::OperandTooWide`] if any operand needs more
+    /// than `operand_bits` bits, or [`CodeError::InvalidLayout`] if the
+    /// slice length differs from the layout's operand count.
+    pub fn pack(&self, ops: &[u64]) -> Result<U256, CodeError> {
+        if ops.len() != self.layout.operands {
+            return Err(CodeError::InvalidLayout(format!(
+                "expected {} operands, got {}",
+                self.layout.operands,
+                ops.len()
+            )));
+        }
+        let b = self.layout.operand_bits;
+        let mut block = U256::ZERO;
+        for (i, &op) in ops.iter().enumerate() {
+            let required = 64 - op.leading_zeros();
+            if required > b {
+                return Err(CodeError::OperandTooWide {
+                    required,
+                    available: b,
+                });
+            }
+            block = block | (U256::from(op) << (i as u32 * b));
+        }
+        Ok(block)
+    }
+
+    /// Splits a packed block back into its lanes.
+    ///
+    /// This is exact when each lane value fits its width — true for
+    /// stored weights by construction. For *accumulated* outputs whose
+    /// lane sums may have produced carries, see
+    /// [`split_signed`](OperandGroup::split_signed).
+    pub fn unpack(&self, block: U256) -> Vec<u64> {
+        let b = self.layout.operand_bits;
+        (0..self.layout.operands)
+            .map(|i| block.extract_bits(i as u32 * b, b.min(64)))
+            .collect()
+    }
+
+    /// Decomposes a signed residual error into balanced per-lane digits.
+    ///
+    /// After decoding, any *uncorrected* residual error
+    /// `E = observed − corrected_truth` is an integer whose bits fall
+    /// into specific lanes. This method expresses `E` as
+    /// `Σ 2^{i·b} · e_i` with each digit `e_i ∈ [−2^{b−1}, 2^{b−1})`
+    /// (balanced base-`2^b` representation), attributing the error
+    /// locally to the lanes it perturbs. Any residue beyond the top lane
+    /// is folded into the last digit.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ancode::{GroupLayout, OperandGroup};
+    /// use wideint::I256;
+    ///
+    /// let group = OperandGroup::new(GroupLayout::new(8, 4)?);
+    /// // An error of −3·2^8 lands entirely in lane 1.
+    /// let digits = group.split_signed(I256::from_i128(-768));
+    /// assert_eq!(digits, vec![0, -3, 0, 0]);
+    /// # Ok::<(), ancode::CodeError>(())
+    /// ```
+    pub fn split_signed(&self, error: I256) -> Vec<i64> {
+        let b = self.layout.operand_bits.min(62);
+        let base = 1i128 << b;
+        let half = base / 2;
+        let mut digits = vec![0i64; self.layout.operands];
+        let negative = error.is_negative();
+        let mut mag = error.magnitude();
+        let mut carry = 0i128;
+        for (i, digit) in digits.iter_mut().enumerate() {
+            let (q, r) = mag.div_rem_u64(base as u64).expect("base is nonzero");
+            mag = q;
+            let mut d = r as i128 * if negative { -1 } else { 1 } + carry;
+            carry = 0;
+            if i + 1 < self.layout.operands {
+                if d >= half {
+                    d -= base;
+                    carry = 1;
+                } else if d < -half {
+                    d += base;
+                    carry = -1;
+                }
+            }
+            *digit = d as i64;
+        }
+        // Fold anything left over into the top lane (saturating, since a
+        // residual this large means the computation is unusable anyway).
+        if !mag.is_zero() || carry != 0 {
+            let extra = mag
+                .to_u128()
+                .map(|m| m as i128 * if negative { -1 } else { 1 } * base + carry * base)
+                .unwrap_or(if negative { i128::MIN / 2 } else { i128::MAX / 2 });
+            let top = digits.last_mut().expect("layout has at least one lane");
+            *top = top.saturating_add(extra.clamp(i64::MIN as i128, i64::MAX as i128) as i64);
+        }
+        digits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_layout_is_128_bits() {
+        assert_eq!(GroupLayout::PAPER_128.data_bits(), 128);
+        assert_eq!(GroupLayout::PAPER_128.operands(), 8);
+        assert_eq!(GroupLayout::PAPER_128.operand_bits(), 16);
+    }
+
+    #[test]
+    fn layout_validation() {
+        assert!(GroupLayout::new(0, 4).is_err());
+        assert!(GroupLayout::new(16, 0).is_err());
+        assert!(GroupLayout::new(32, 8).is_err()); // 256 > 200
+        assert!(GroupLayout::new(16, 8).is_ok());
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let group = OperandGroup::new(GroupLayout::PAPER_128);
+        let ops = [1u64, 65535, 0, 42, 9999, 12345, 7, 32768];
+        let packed = group.pack(&ops).unwrap();
+        assert_eq!(group.unpack(packed), ops);
+    }
+
+    #[test]
+    fn pack_rejects_wide_operand() {
+        let group = OperandGroup::new(GroupLayout::new(8, 2).unwrap());
+        assert_eq!(
+            group.pack(&[256, 0]),
+            Err(CodeError::OperandTooWide {
+                required: 9,
+                available: 8
+            })
+        );
+    }
+
+    #[test]
+    fn pack_rejects_wrong_count() {
+        let group = OperandGroup::new(GroupLayout::new(8, 2).unwrap());
+        assert!(matches!(
+            group.pack(&[1, 2, 3]),
+            Err(CodeError::InvalidLayout(_))
+        ));
+    }
+
+    #[test]
+    fn pack_matches_equation_2() {
+        // AN' (before ×A) = Σ 2^{i·b} N_i.
+        let group = OperandGroup::new(GroupLayout::new(4, 3).unwrap());
+        let packed = group.pack(&[5, 9, 6]).unwrap();
+        assert_eq!(packed.to_u64(), Some(5 + (9 << 4) + (6 << 8)));
+    }
+
+    #[test]
+    fn split_signed_positive_single_lane() {
+        let group = OperandGroup::new(GroupLayout::new(8, 4).unwrap());
+        let digits = group.split_signed(wideint::I256::from_i128(5 << 16));
+        assert_eq!(digits, vec![0, 0, 5, 0]);
+    }
+
+    #[test]
+    fn split_signed_balances_large_digit() {
+        let group = OperandGroup::new(GroupLayout::new(8, 4).unwrap());
+        // 200 ≥ 128 = 2^8/2, so it becomes 200 − 256 = −56 with a carry.
+        let digits = group.split_signed(wideint::I256::from_i128(200));
+        assert_eq!(digits, vec![-56, 1, 0, 0]);
+        // Reconstruction: −56 + 1·256 = 200.
+        let recon: i128 = digits
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| d as i128 * (1i128 << (8 * i)))
+            .sum();
+        assert_eq!(recon, 200);
+    }
+
+    #[test]
+    fn split_signed_reconstructs_mixed_errors() {
+        let group = OperandGroup::new(GroupLayout::new(16, 8).unwrap());
+        for e in [-3i128 << 40, 7 << 100, (1 << 90) - (1 << 20), -1, 1] {
+            let digits = group.split_signed(wideint::I256::from_i128(e));
+            let recon: i128 = digits
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| d as i128 * (1i128 << (16 * i)))
+                .sum();
+            assert_eq!(recon, e, "error {e}");
+        }
+    }
+
+    #[test]
+    fn split_signed_zero() {
+        let group = OperandGroup::new(GroupLayout::PAPER_128);
+        assert_eq!(group.split_signed(wideint::I256::ZERO), vec![0; 8]);
+    }
+}

@@ -1,0 +1,166 @@
+//! AN and data-aware ABN arithmetic error-correcting codes for in-situ
+//! analog matrix-vector multiplication.
+//!
+//! This crate implements the primary contribution of *Making Memristive
+//! Neural Network Accelerators Reliable* (Feinberg, Wang, Ipek — HPCA
+//! 2018): arithmetic error-correcting codes that protect dot-product
+//! computations performed *inside* a memristive crossbar, where
+//! conventional SECDED ECC cannot be applied because Hamming codes do not
+//! conserve addition.
+//!
+//! # How the codes work
+//!
+//! An **AN code** encodes an operand `x` by multiplying it with a constant
+//! `A`. Because multiplication distributes over addition
+//! (`A·x + A·y = A·(x + y)`), any number of encoded operands can be summed
+//! — in the analog domain, by Kirchhoff's current law — and the result is
+//! still a code word. Errors that occur during the computation manifest as
+//! *additive syndromes* `±m·2^i`; the receiver detects them with a modulus
+//! operation (`result mod A ≠ 0`) and corrects them by looking the residue
+//! up in a correction table.
+//!
+//! An **ABN code** multiplies by `A·B` where `B` is a small prime (3 in
+//! the paper). After correction with `A`, the residue modulo `B` provides
+//! *detection* of miscorrections, playing the same role as the extra
+//! parity bit that turns a Hamming SEC code into SECDED.
+//!
+//! **Data-aware ABN codes** exploit two observations about memristive
+//! crossbars:
+//!
+//! 1. errors are *state dependent* — a physical row that stores fewer 1s
+//!    (fewer low-resistance cells driven by the input vector) is less
+//!    likely to produce a mis-quantized ADC output; and
+//! 2. errors are *not equally important* — an error in the physical row
+//!    that holds the most-significant bits perturbs the dot product far
+//!    more than one in the least-significant row.
+//!
+//! Instead of spending the correction table on all single-bit syndromes,
+//! the data-aware allocator ranks candidate error events (combinations of
+//! up to four physical rows) by `probability × bit weight` and fills the
+//! table greedily, correcting the errors that actually matter for the data
+//! that is actually stored.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ancode::{AbnCode, CorrectionPolicy};
+//! use wideint::U256;
+//!
+//! // A classic A=19, B=3 code protecting 5-bit operands against any
+//! // single-bit additive error.
+//! let code = AbnCode::classic(19, 3, 5)?;
+//!
+//! // Encode; in a real accelerator this happens before the operand is
+//! // bit-sliced and written to the crossbar.
+//! let encoded = code.encode(U256::from(26u64))?;
+//!
+//! // A quantization error at bit 1 perturbs the analog sum by +2.
+//! let observed = encoded + U256::from(2u64);
+//!
+//! let outcome = code.decode(observed.into(), CorrectionPolicy::KeepCorrected);
+//! assert_eq!(outcome.value.to_i128(), Some(26));
+//! assert!(outcome.status.was_corrected());
+//! # Ok::<(), ancode::CodeError>(())
+//! ```
+//!
+//! # Crate layout
+//!
+//! - [`AnCode`]: plain AN codes, residues, minimal single-error `A` search.
+//! - [`Syndrome`], [`SyndromeFamily`]: additive error descriptions.
+//! - [`CorrectionTable`]: residue → syndrome mapping.
+//! - [`OperandGroup`]: multi-operand (e.g. 128-bit) coded groups.
+//! - [`AbnCode`]: the full encode/correct/detect pipeline.
+//! - [`RowErrorModel`], [`ErrorList`]: data-aware error enumeration.
+//! - [`data_aware`]: greedy probability-ranked syndrome allocation.
+//! - [`search`]: selection of `A` by correction capability.
+//! - [`multiresidue`]: the `A·B₁·B₂…` generalization (Rao's bi- and
+//!   multiresidue codes) for stronger miscorrection detection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod abn;
+mod an;
+pub mod data_aware;
+mod error_list;
+mod group;
+pub mod multiresidue;
+mod rowmodel;
+pub mod search;
+mod syndrome;
+mod table;
+
+pub use abn::{AbnCode, CorrectionPolicy, DecodeOutcome, DecodeStatus};
+pub use an::{min_single_error_a, AnCode};
+pub use error_list::{ErrorCandidate, ErrorList, ErrorListConfig};
+pub use group::{GroupLayout, OperandGroup};
+pub use rowmodel::{RowError, RowErrorModel};
+pub use syndrome::{Syndrome, SyndromeFamily, SyndromeTerm};
+pub use table::{CorrectionTable, TableEntry, TableHalf};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or using an arithmetic code.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CodeError {
+    /// `A` must be an odd integer ≥ 3 (even `A` cannot distinguish the
+    /// syndromes `±2^i`, and `A < 3` has no nonzero residues).
+    InvalidA(u64),
+    /// `B` must be a small prime coprime with `A`.
+    InvalidB {
+        /// The correction multiplier.
+        a: u64,
+        /// The rejected detection multiplier.
+        b: u64,
+    },
+    /// The operand does not fit in the code's data width.
+    OperandTooWide {
+        /// Bits required by the operand.
+        required: u32,
+        /// Bits provided by the code.
+        available: u32,
+    },
+    /// The encoded value would exceed 256 bits.
+    Overflow,
+    /// The requested syndrome family has residue collisions under `A`, so
+    /// `A` cannot correct it.
+    ResidueCollision {
+        /// The multiplier that failed.
+        a: u64,
+        /// The colliding residue class.
+        residue: u64,
+    },
+    /// A group layout parameter is out of range.
+    InvalidLayout(String),
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::InvalidA(a) => write!(f, "invalid AN multiplier {a}: must be odd and >= 3"),
+            CodeError::InvalidB { a, b } => {
+                write!(
+                    f,
+                    "invalid detection multiplier {b} for A={a}: must be a prime coprime with A"
+                )
+            }
+            CodeError::OperandTooWide {
+                required,
+                available,
+            } => write!(
+                f,
+                "operand requires {required} bits but the code provides {available}"
+            ),
+            CodeError::Overflow => write!(f, "encoded value exceeds 256 bits"),
+            CodeError::ResidueCollision { a, residue } => write!(
+                f,
+                "A={a} cannot correct the requested syndromes: residue {residue} is not unique"
+            ),
+            CodeError::InvalidLayout(msg) => write!(f, "invalid group layout: {msg}"),
+        }
+    }
+}
+
+impl Error for CodeError {}

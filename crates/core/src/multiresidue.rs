@@ -1,0 +1,310 @@
+//! Multiresidue detection: `A·B₁·B₂…` codes.
+//!
+//! §V-B3 of the paper introduces ABN codes as "a new family of codes
+//! similar to the bi- and multiresidue codes proposed by Rao", and §VI
+//! notes that single `B` values beyond 3 stop paying for themselves.
+//! This module implements the natural generalization the references
+//! point to: detection with *several* small pairwise-coprime primes.
+//! Each extra residue multiplies the miscorrection-escape probability by
+//! roughly `1/Bᵢ` (an alias slips through only if the residual error is
+//! divisible by every `Bᵢ`), at the cost of `log2(Bᵢ)` extra bits per
+//! operand — letting reliability be dialed against storage overhead.
+
+use wideint::{I256, U256};
+
+use crate::{CodeError, CorrectionPolicy, CorrectionTable, DecodeOutcome, DecodeStatus};
+
+/// An `A·B₁·…·Bₖ` multiresidue arithmetic code.
+///
+/// Correction works exactly as in [`AbnCode`](crate::AbnCode); detection
+/// checks divisibility by every `Bᵢ` after the correction, catching
+/// aliased syndromes that any single residue would miss.
+///
+/// # Examples
+///
+/// ```
+/// use ancode::multiresidue::MultiResidueCode;
+/// use ancode::{AnCode, CorrectionPolicy, CorrectionTable};
+/// use wideint::U256;
+///
+/// let an = AnCode::new(19)?;
+/// let table = CorrectionTable::for_single_bit_prefix(&an, 9);
+/// let code = MultiResidueCode::new(19, &[3, 5], table, 5)?;
+/// let clean = code.encode(U256::from(26u64))?;
+/// let out = code.decode(clean.into(), CorrectionPolicy::Revert);
+/// assert_eq!(out.value.to_i128(), Some(26));
+/// # Ok::<(), ancode::CodeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiResidueCode {
+    a: u64,
+    bs: Vec<u64>,
+    table: CorrectionTable,
+    data_bits: u32,
+}
+
+fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    let mut d = 2;
+    while d * d <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+impl MultiResidueCode {
+    /// Creates a multiresidue code with correction modulus `a` and
+    /// detection primes `bs`.
+    ///
+    /// # Errors
+    ///
+    /// - [`CodeError::InvalidA`] if `a` is invalid or differs from the
+    ///   table's modulus.
+    /// - [`CodeError::InvalidB`] if `bs` is empty, any `Bᵢ` is not
+    ///   prime, or the moduli are not pairwise coprime (including with
+    ///   `a`).
+    pub fn new(
+        a: u64,
+        bs: &[u64],
+        table: CorrectionTable,
+        data_bits: u32,
+    ) -> Result<MultiResidueCode, CodeError> {
+        crate::AnCode::new(a)?;
+        if table.a() != a {
+            return Err(CodeError::InvalidA(table.a()));
+        }
+        if bs.is_empty() {
+            return Err(CodeError::InvalidB { a, b: 0 });
+        }
+        for (i, &b) in bs.iter().enumerate() {
+            if !is_prime(b) || gcd(a, b) != 1 {
+                return Err(CodeError::InvalidB { a, b });
+            }
+            for &other in &bs[..i] {
+                if gcd(b, other) != 1 {
+                    return Err(CodeError::InvalidB { a, b });
+                }
+            }
+        }
+        Ok(MultiResidueCode {
+            a,
+            bs: bs.to_vec(),
+            table,
+            data_bits,
+        })
+    }
+
+    /// The correction modulus `A`.
+    pub fn a(&self) -> u64 {
+        self.a
+    }
+
+    /// The detection primes.
+    pub fn bs(&self) -> &[u64] {
+        &self.bs
+    }
+
+    /// The combined multiplier `A·ΠBᵢ`.
+    pub fn multiplier(&self) -> u64 {
+        self.bs.iter().product::<u64>() * self.a
+    }
+
+    /// Total check bits: `ceil(log2(A·ΠBᵢ))`.
+    pub fn check_bits(&self) -> u32 {
+        64 - (self.multiplier() - 1).leading_zeros()
+    }
+
+    /// The probability that a *random* residual error escapes all
+    /// detection residues: `Π 1/Bᵢ` — the figure of merit extra `B`s
+    /// buy.
+    pub fn escape_probability(&self) -> f64 {
+        self.bs.iter().map(|&b| 1.0 / b as f64).product()
+    }
+
+    /// Encodes `x` as `A·ΠBᵢ·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::OperandTooWide`] or [`CodeError::Overflow`]
+    /// under the same conditions as [`AbnCode::encode`](crate::AbnCode::encode).
+    pub fn encode(&self, x: U256) -> Result<U256, CodeError> {
+        if x.bits() > self.data_bits {
+            return Err(CodeError::OperandTooWide {
+                required: x.bits(),
+                available: self.data_bits,
+            });
+        }
+        x.checked_mul_u64(self.multiplier())
+            .ok_or(CodeError::Overflow)
+    }
+
+    /// Decodes with correction by `A` and detection by every `Bᵢ`.
+    pub fn decode(&self, observed: I256, policy: CorrectionPolicy) -> DecodeOutcome {
+        let residue = observed.rem_euclid_u64(self.a).expect("A is nonzero");
+
+        let validate = |q: I256| -> Option<I256> {
+            let mut v = q;
+            for &b in &self.bs {
+                v = v.div_exact_u64(b)?;
+            }
+            Some(v)
+        };
+
+        if residue == 0 {
+            let q = observed.div_exact_u64(self.a).expect("residue checked");
+            return match validate(q) {
+                Some(value) => DecodeOutcome {
+                    value,
+                    status: DecodeStatus::Clean,
+                },
+                None => DecodeOutcome {
+                    value: self.best_effort(observed),
+                    status: DecodeStatus::SilentAError,
+                },
+            };
+        }
+
+        match self.table.lookup(residue) {
+            Some(entry) => {
+                let corrected = observed - entry.syndrome.value();
+                let q = corrected
+                    .div_exact_u64(self.a)
+                    .expect("syndrome residue matches");
+                match validate(q) {
+                    Some(value) => DecodeOutcome {
+                        value,
+                        status: DecodeStatus::Corrected(entry.syndrome.clone()),
+                    },
+                    None => {
+                        let value = match policy {
+                            CorrectionPolicy::KeepCorrected => self.best_effort(corrected),
+                            CorrectionPolicy::Revert => self.best_effort(observed),
+                        };
+                        DecodeOutcome {
+                            value,
+                            status: DecodeStatus::MiscorrectionDetected {
+                                attempted: entry.syndrome.clone(),
+                            },
+                        }
+                    }
+                }
+            }
+            None => DecodeOutcome {
+                value: self.best_effort(observed),
+                status: DecodeStatus::Uncorrectable,
+            },
+        }
+    }
+
+    fn best_effort(&self, n: I256) -> I256 {
+        n.div_round_u64(self.multiplier())
+            .expect("multiplier is nonzero")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AnCode, Syndrome};
+
+    fn code(bs: &[u64]) -> MultiResidueCode {
+        let an = AnCode::new(19).unwrap();
+        let table = CorrectionTable::for_single_bit_prefix(&an, 9);
+        MultiResidueCode::new(19, bs, table, 5).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_moduli() {
+        let an = AnCode::new(19).unwrap();
+        let table = || CorrectionTable::for_single_bit_prefix(&an, 9);
+        assert!(MultiResidueCode::new(19, &[], table(), 5).is_err());
+        assert!(MultiResidueCode::new(19, &[4], table(), 5).is_err()); // not prime
+        assert!(MultiResidueCode::new(19, &[3, 3], table(), 5).is_err()); // not coprime
+        assert!(MultiResidueCode::new(19, &[19], table(), 5).is_err()); // shares A
+        assert!(MultiResidueCode::new(19, &[3, 5, 7], table(), 5).is_ok());
+    }
+
+    #[test]
+    fn clean_roundtrip_biresidue() {
+        let code = code(&[3, 5]);
+        assert_eq!(code.multiplier(), 19 * 15);
+        for x in 0u64..32 {
+            let e = code.encode(U256::from(x)).unwrap();
+            let out = code.decode(e.into(), CorrectionPolicy::Revert);
+            assert_eq!(out.status, DecodeStatus::Clean);
+            assert_eq!(out.value.to_i128(), Some(x as i128));
+        }
+    }
+
+    #[test]
+    fn corrects_single_bit_errors() {
+        let code = code(&[3, 5]);
+        let clean = code.encode(U256::from(20u64)).unwrap();
+        for bit in 0..9 {
+            let observed = I256::from(clean) + Syndrome::single(bit, 1).value();
+            let out = code.decode(observed, CorrectionPolicy::Revert);
+            assert!(out.status.was_corrected(), "bit {bit}");
+            assert_eq!(out.value.to_i128(), Some(20));
+        }
+    }
+
+    #[test]
+    fn more_residues_catch_more_aliases() {
+        // Count syndromes (over a grid of injected errors) that a
+        // single-residue code silently miscorrects but the biresidue
+        // code flags.
+        let b1 = code(&[3]);
+        let b2 = code(&[3, 5]);
+        let clean1 = b1.encode(U256::from(20u64)).unwrap();
+        let clean2 = b2.encode(U256::from(20u64)).unwrap();
+
+        let mut silent1 = 0;
+        let mut silent2 = 0;
+        for e in 1..4000i128 {
+            let o1 = b1.decode(I256::from(clean1) + I256::from_i128(e), CorrectionPolicy::Revert);
+            let o2 = b2.decode(I256::from(clean2) + I256::from_i128(e), CorrectionPolicy::Revert);
+            if o1.status.is_trusted() && o1.value.to_i128() != Some(20) {
+                silent1 += 1;
+            }
+            if o2.status.is_trusted() && o2.value.to_i128() != Some(20) {
+                silent2 += 1;
+            }
+        }
+        assert!(
+            silent2 * 2 < silent1,
+            "biresidue should at least halve silent escapes: {silent1} vs {silent2}"
+        );
+    }
+
+    #[test]
+    fn escape_probability_is_product() {
+        assert!((code(&[3, 5]).escape_probability() - 1.0 / 15.0).abs() < 1e-12);
+        assert!((code(&[3]).escape_probability() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn check_bits_grow_with_residues() {
+        assert!(code(&[3, 5]).check_bits() > code(&[3]).check_bits());
+        assert_eq!(code(&[3, 5]).check_bits(), 9); // 285 ≤ 512
+    }
+
+    #[test]
+    fn negative_values_decode() {
+        let code = code(&[3, 5]);
+        let out = code.decode(I256::from_i128(-285), CorrectionPolicy::Revert);
+        assert_eq!(out.status, DecodeStatus::Clean);
+        assert_eq!(out.value.to_i128(), Some(-1));
+    }
+}

@@ -1,0 +1,236 @@
+//! Per-physical-row error models.
+//!
+//! Data-aware ABN codes allocate correction capability by *how likely*
+//! each physical row is to mis-quantize and *how much* an error there
+//! matters. This module defines the interface between the code
+//! constructor and whatever produces those probabilities — an analytical
+//! crossbar model (the `xbar` crate's binomial-CDF predictor), transient
+//! simulation, or characterization data from a fabricated part (§V-B5).
+
+/// Error characteristics of one physical row of a coded operand group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowError {
+    /// Bit position (within the coded word) of this row's least
+    /// significant bit. With `c` bits per cell, row `r` has
+    /// `lsb_bit = r·c`.
+    pub lsb_bit: u32,
+    /// Probability that the row's ADC output quantizes one step *high*
+    /// (the dominant direction for RTN, which transiently lowers cell
+    /// resistance and raises current).
+    pub p_high: f64,
+    /// Probability that the row's ADC output quantizes one step *low*.
+    pub p_low: f64,
+    /// Whether the row contains a stuck-at faulty cell, which produces a
+    /// deterministic error whenever the input vector drives that cell.
+    pub stuck: bool,
+}
+
+impl RowError {
+    /// A row with symmetric error probability and no stuck cells.
+    pub fn symmetric(lsb_bit: u32, p: f64) -> RowError {
+        RowError {
+            lsb_bit,
+            p_high: p / 2.0,
+            p_low: p / 2.0,
+            stuck: false,
+        }
+    }
+
+    /// Total probability of any single-step quantization error.
+    pub fn p_any(&self) -> f64 {
+        self.p_high + self.p_low
+    }
+}
+
+/// The error model of every physical row backing one coded operand
+/// group, plus the layout information needed to weight errors by
+/// significance.
+///
+/// # Examples
+///
+/// ```
+/// use ancode::{RowError, RowErrorModel};
+///
+/// // Four 2-bit-cell rows of an 8-bit word; the MSB row is noisier.
+/// let model = RowErrorModel::new(
+///     vec![
+///         RowError::symmetric(0, 0.01),
+///         RowError::symmetric(2, 0.01),
+///         RowError::symmetric(4, 0.02),
+///         RowError::symmetric(6, 0.10),
+///     ],
+///     8,
+/// );
+/// assert_eq!(model.rows().len(), 4);
+/// // Bit weight of the row at bit 6 within an 8-bit operand is 2^6.
+/// assert_eq!(model.bit_weight(6), 64.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowErrorModel {
+    rows: Vec<RowError>,
+    operand_bits: u32,
+}
+
+impl RowErrorModel {
+    /// Creates a model from per-row probabilities.
+    ///
+    /// `operand_bits` is the width of one *underlying* operand: in a
+    /// multi-operand group the error weight of a row is computed from its
+    /// bit position *within its operand* (§V-B2), i.e. `lsb_bit mod
+    /// operand_bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two rows share a bit position, if any probability is
+    /// outside `[0, 1]`, or if `operand_bits == 0`.
+    pub fn new(mut rows: Vec<RowError>, operand_bits: u32) -> RowErrorModel {
+        assert!(operand_bits > 0, "operand width must be nonzero");
+        rows.sort_by_key(|r| r.lsb_bit);
+        for pair in rows.windows(2) {
+            assert!(
+                pair[0].lsb_bit != pair[1].lsb_bit,
+                "duplicate row at bit {}",
+                pair[0].lsb_bit
+            );
+        }
+        for r in &rows {
+            assert!(
+                (0.0..=1.0).contains(&r.p_high) && (0.0..=1.0).contains(&r.p_low),
+                "probabilities must be in [0, 1]"
+            );
+        }
+        RowErrorModel { rows, operand_bits }
+    }
+
+    /// The rows, sorted by bit position.
+    pub fn rows(&self) -> &[RowError] {
+        &self.rows
+    }
+
+    /// The underlying operand width used for bit weighting.
+    pub fn operand_bits(&self) -> u32 {
+        self.operand_bits
+    }
+
+    /// The significance weight `2^(bit mod operand_bits)` of an error at
+    /// `bit`.
+    pub fn bit_weight(&self, bit: u32) -> f64 {
+        ((bit % self.operand_bits) as f64).exp2()
+    }
+
+    /// Rows that contain stuck-at faults.
+    pub fn stuck_rows(&self) -> impl Iterator<Item = &RowError> {
+        self.rows.iter().filter(|r| r.stuck)
+    }
+
+    /// Probability that *no* row errs — the baseline success probability
+    /// of an unprotected computation under this model.
+    pub fn p_error_free(&self) -> f64 {
+        self.rows.iter().map(|r| 1.0 - r.p_any()).product()
+    }
+
+    /// Merges another model row-wise, keeping the worst (most
+    /// error-prone) probability at each bit position.
+    ///
+    /// One `A`/table pair serves a whole array holding many groups; the
+    /// allocator considers the worst-case row at each position (§V-B1).
+    #[must_use]
+    pub fn worst_case_merge(&self, other: &RowErrorModel) -> RowErrorModel {
+        assert_eq!(
+            self.operand_bits, other.operand_bits,
+            "models must share operand width"
+        );
+        let mut rows = self.rows.clone();
+        for o in &other.rows {
+            match rows.iter_mut().find(|r| r.lsb_bit == o.lsb_bit) {
+                Some(r) => {
+                    r.p_high = r.p_high.max(o.p_high);
+                    r.p_low = r.p_low.max(o.p_low);
+                    r.stuck |= o.stuck;
+                }
+                None => rows.push(*o),
+            }
+        }
+        RowErrorModel::new(rows, self.operand_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_splits_probability() {
+        let r = RowError::symmetric(4, 0.2);
+        assert!((r.p_high - 0.1).abs() < 1e-12);
+        assert!((r.p_any() - 0.2).abs() < 1e-12);
+        assert!(!r.stuck);
+    }
+
+    #[test]
+    fn rows_sorted_by_bit() {
+        let m = RowErrorModel::new(
+            vec![RowError::symmetric(8, 0.1), RowError::symmetric(0, 0.1)],
+            16,
+        );
+        assert_eq!(m.rows()[0].lsb_bit, 0);
+        assert_eq!(m.rows()[1].lsb_bit, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_rows_rejected() {
+        RowErrorModel::new(
+            vec![RowError::symmetric(0, 0.1), RowError::symmetric(0, 0.2)],
+            16,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities")]
+    fn bad_probability_rejected() {
+        RowErrorModel::new(
+            vec![RowError {
+                lsb_bit: 0,
+                p_high: 1.5,
+                p_low: 0.0,
+                stuck: false,
+            }],
+            16,
+        );
+    }
+
+    #[test]
+    fn bit_weight_wraps_at_operand_boundary() {
+        let m = RowErrorModel::new(vec![RowError::symmetric(0, 0.1)], 16);
+        assert_eq!(m.bit_weight(15), 32768.0);
+        // Bit 16 is the LSB of the second operand in a group.
+        assert_eq!(m.bit_weight(16), 1.0);
+        assert_eq!(m.bit_weight(35), 8.0);
+    }
+
+    #[test]
+    fn error_free_probability() {
+        let m = RowErrorModel::new(
+            vec![RowError::symmetric(0, 0.5), RowError::symmetric(2, 0.5)],
+            8,
+        );
+        assert!((m.p_error_free() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_case_merge_takes_max() {
+        let a = RowErrorModel::new(
+            vec![RowError::symmetric(0, 0.2), RowError::symmetric(2, 0.1)],
+            8,
+        );
+        let mut stuck_row = RowError::symmetric(2, 0.4);
+        stuck_row.stuck = true;
+        let b = RowErrorModel::new(vec![stuck_row, RowError::symmetric(4, 0.3)], 8);
+        let merged = a.worst_case_merge(&b);
+        assert_eq!(merged.rows().len(), 3);
+        let r2 = merged.rows().iter().find(|r| r.lsb_bit == 2).unwrap();
+        assert!((r2.p_any() - 0.4).abs() < 1e-12);
+        assert!(r2.stuck);
+    }
+}

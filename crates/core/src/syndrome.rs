@@ -1,0 +1,342 @@
+//! Additive error syndromes.
+//!
+//! In an arithmetic code an error is not a flipped bit but an *additive*
+//! perturbation of the computed integer: an ADC that mis-quantizes the
+//! current of one physical row by `±m` perturbs the reduced output by
+//! `±m·2^p`, where `p` is the bit position that physical row feeds into
+//! the shift-and-add tree (Figure 3 of the paper contrasts this with the
+//! Hamming-distance view).
+
+use std::fmt;
+
+use wideint::I256;
+
+/// One term of an additive syndrome: a signed error magnitude at a bit
+/// position.
+///
+/// A quantization error of `delta` ADC steps in the physical row whose
+/// least-significant bit position is `bit` contributes `delta · 2^bit` to
+/// the reduced output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SyndromeTerm {
+    /// Bit position within the coded word (0 = least significant).
+    pub bit: u32,
+    /// Signed quantization error in ADC steps (typically `±1`, up to
+    /// `±(2^c − 1)` for `c`-bit cells).
+    pub delta: i8,
+}
+
+impl SyndromeTerm {
+    /// Creates a term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 256` or `delta == 0` (a zero term is not an
+    /// error).
+    pub fn new(bit: u32, delta: i8) -> SyndromeTerm {
+        assert!(bit < 256, "syndrome bit {bit} out of range");
+        assert!(delta != 0, "a syndrome term must be nonzero");
+        SyndromeTerm { bit, delta }
+    }
+
+    /// The integer value `delta · 2^bit`.
+    pub fn value(self) -> I256 {
+        let mag = wideint::U256::pow2(self.bit)
+            .checked_mul_u64(self.delta.unsigned_abs() as u64)
+            .expect("term magnitude fits in 256 bits");
+        I256::new(self.delta < 0, mag)
+    }
+}
+
+impl fmt::Display for SyndromeTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+}·2^{}", self.delta, self.bit)
+    }
+}
+
+/// An additive error syndrome: a small set of [`SyndromeTerm`]s.
+///
+/// The hardware correction table stores syndromes sparsely as up to four
+/// (bit index, delta) pairs (§VI of the paper); this type mirrors that
+/// representation and caches the expanded integer value.
+///
+/// # Examples
+///
+/// ```
+/// use ancode::{Syndrome, SyndromeTerm};
+///
+/// // A +1 quantization error in the row feeding bit 4 and a -1 error in
+/// // the row feeding bit 0: total perturbation +15.
+/// let s = Syndrome::new(vec![SyndromeTerm::new(4, 1), SyndromeTerm::new(0, -1)]);
+/// assert_eq!(s.value().to_i128(), Some(15));
+/// assert_eq!(s.terms().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Syndrome {
+    terms: Vec<SyndromeTerm>,
+    value: I256,
+}
+
+impl Syndrome {
+    /// Creates a syndrome from its terms.
+    ///
+    /// Terms are sorted by bit position; the integer value is the sum of
+    /// the term values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terms` is empty (use `Option<Syndrome>` for "no error")
+    /// or if two terms share a bit position.
+    pub fn new(mut terms: Vec<SyndromeTerm>) -> Syndrome {
+        assert!(!terms.is_empty(), "a syndrome must have at least one term");
+        terms.sort();
+        for pair in terms.windows(2) {
+            assert!(
+                pair[0].bit != pair[1].bit,
+                "duplicate syndrome term at bit {}",
+                pair[0].bit
+            );
+        }
+        let value = terms.iter().map(|t| t.value()).sum();
+        Syndrome { terms, value }
+    }
+
+    /// A single-term syndrome `delta · 2^bit`.
+    pub fn single(bit: u32, delta: i8) -> Syndrome {
+        Syndrome::new(vec![SyndromeTerm::new(bit, delta)])
+    }
+
+    /// The terms, sorted by bit position.
+    pub fn terms(&self) -> &[SyndromeTerm] {
+        &self.terms
+    }
+
+    /// The integer perturbation this syndrome applies to the output.
+    pub fn value(&self) -> I256 {
+        self.value
+    }
+
+    /// The highest bit position among the terms.
+    pub fn msb(&self) -> u32 {
+        self.terms.last().expect("syndromes are nonempty").bit
+    }
+
+    /// The negation of this syndrome (every delta sign flipped).
+    #[must_use]
+    pub fn negated(&self) -> Syndrome {
+        Syndrome::new(
+            self.terms
+                .iter()
+                .map(|t| SyndromeTerm::new(t.bit, -t.delta))
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for Syndrome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A family of syndromes a static (data-oblivious) code is designed to
+/// correct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum SyndromeFamily {
+    /// All single-bit errors `±2^i` for `i` in `0..width` — the classic
+    /// single-error-correcting AN code family (A = 19 for 5-bit data,
+    /// A = 79 for 32-bit data).
+    SingleBit {
+        /// Coded word width in bits.
+        width: u32,
+    },
+    /// Single-bit errors plus adjacent two-bit bursts
+    /// `±(2^i + 2^{i+1})` and `±2·2^i`: any quantization error of
+    /// magnitude up to 3 in one physical row of a 2-bit cell.
+    Burst2 {
+        /// Coded word width in bits.
+        width: u32,
+    },
+    /// Any quantization error of magnitude `1..=max_magnitude` at a cell
+    /// boundary position `i·cell_bits`: the per-physical-row error family
+    /// for multi-bit cells.
+    CellRow {
+        /// Coded word width in bits.
+        width: u32,
+        /// Bits per memristor cell (1–5 in the paper).
+        cell_bits: u32,
+        /// Largest single-row quantization error to cover.
+        max_magnitude: u8,
+    },
+}
+
+impl SyndromeFamily {
+    /// Enumerates every syndrome in the family.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ancode::SyndromeFamily;
+    ///
+    /// // 9-bit words: 18 single-bit syndromes, matching the A = 19 code
+    /// // of Figure 4 in the paper.
+    /// let family = SyndromeFamily::SingleBit { width: 9 };
+    /// assert_eq!(family.enumerate().len(), 18);
+    /// ```
+    pub fn enumerate(self) -> Vec<Syndrome> {
+        let mut out = Vec::new();
+        match self {
+            SyndromeFamily::SingleBit { width } => {
+                for bit in 0..width {
+                    out.push(Syndrome::single(bit, 1));
+                    out.push(Syndrome::single(bit, -1));
+                }
+            }
+            SyndromeFamily::Burst2 { width } => {
+                for bit in 0..width {
+                    for delta in [1i8, -1] {
+                        out.push(Syndrome::single(bit, delta));
+                        out.push(Syndrome::single(bit, 2 * delta));
+                        if bit + 1 < width {
+                            out.push(Syndrome::new(vec![
+                                SyndromeTerm::new(bit, delta),
+                                SyndromeTerm::new(bit + 1, delta),
+                            ]));
+                        }
+                    }
+                }
+                // ±2·2^i and ±2^{i+1} are the same additive error;
+                // deduplicate by value so residue assignment sees each
+                // syndrome once.
+                out.sort_by(|a, b| {
+                    a.value()
+                        .cmp(&b.value())
+                        .then_with(|| a.msb().cmp(&b.msb()))
+                });
+                out.dedup_by(|a, b| a.value() == b.value());
+            }
+            SyndromeFamily::CellRow {
+                width,
+                cell_bits,
+                max_magnitude,
+            } => {
+                assert!(cell_bits >= 1, "cells hold at least one bit");
+                let mut bit = 0;
+                while bit < width {
+                    for mag in 1..=max_magnitude as i8 {
+                        out.push(Syndrome::single(bit, mag));
+                        out.push(Syndrome::single(bit, -mag));
+                    }
+                    bit += cell_bits;
+                }
+            }
+        }
+        out
+    }
+
+    /// The number of syndromes in the family.
+    pub fn len(self) -> usize {
+        self.enumerate().len()
+    }
+
+    /// Whether the family is empty (zero-width words).
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_value_signed() {
+        assert_eq!(SyndromeTerm::new(3, 1).value().to_i128(), Some(8));
+        assert_eq!(SyndromeTerm::new(3, -2).value().to_i128(), Some(-16));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_term_rejected() {
+        SyndromeTerm::new(0, 0);
+    }
+
+    #[test]
+    fn syndrome_value_sums_terms() {
+        let s = Syndrome::new(vec![SyndromeTerm::new(0, 1), SyndromeTerm::new(3, 1)]);
+        assert_eq!(s.value().to_i128(), Some(9));
+        assert_eq!(s.msb(), 3);
+    }
+
+    #[test]
+    fn syndrome_sorts_terms() {
+        let s = Syndrome::new(vec![SyndromeTerm::new(5, 1), SyndromeTerm::new(2, -1)]);
+        assert_eq!(s.terms()[0].bit, 2);
+        assert_eq!(s.terms()[1].bit, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_bits_rejected() {
+        Syndrome::new(vec![SyndromeTerm::new(2, 1), SyndromeTerm::new(2, -1)]);
+    }
+
+    #[test]
+    fn negation_flips_value() {
+        let s = Syndrome::new(vec![SyndromeTerm::new(0, 1), SyndromeTerm::new(4, -1)]);
+        let n = s.negated();
+        assert_eq!(n.value(), -s.value());
+        assert_eq!(n.terms().len(), 2);
+    }
+
+    #[test]
+    fn single_bit_family_counts() {
+        // Matches the paper: 9-bit word → 18 syndromes (A=19 code);
+        // 39-bit word → 78 syndromes (A=79 code).
+        assert_eq!(SyndromeFamily::SingleBit { width: 9 }.len(), 18);
+        assert_eq!(SyndromeFamily::SingleBit { width: 39 }.len(), 78);
+        assert!(!SyndromeFamily::SingleBit { width: 9 }.is_empty());
+        assert!(SyndromeFamily::SingleBit { width: 0 }.is_empty());
+    }
+
+    #[test]
+    fn burst2_family_contains_magnitude_three() {
+        let fam = SyndromeFamily::Burst2 { width: 4 };
+        let values: Vec<i128> = fam
+            .enumerate()
+            .iter()
+            .map(|s| s.value().to_i128().unwrap())
+            .collect();
+        // ±3·2^i = ±(2^i + 2^{i+1}).
+        assert!(values.contains(&3));
+        assert!(values.contains(&-3));
+        assert!(values.contains(&6));
+        assert!(values.contains(&2));
+    }
+
+    #[test]
+    fn cell_row_family_hits_cell_boundaries_only() {
+        let fam = SyndromeFamily::CellRow {
+            width: 8,
+            cell_bits: 2,
+            max_magnitude: 3,
+        };
+        let syndromes = fam.enumerate();
+        // 4 rows × 3 magnitudes × 2 signs.
+        assert_eq!(syndromes.len(), 24);
+        assert!(syndromes.iter().all(|s| s.terms()[0].bit % 2 == 0));
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Syndrome::new(vec![SyndromeTerm::new(1, -1), SyndromeTerm::new(4, 2)]);
+        assert_eq!(s.to_string(), "-1·2^1 +2·2^4");
+    }
+}

@@ -1,0 +1,360 @@
+//! Residue → syndrome correction tables.
+
+use std::fmt;
+
+use crate::{AnCode, CodeError, Syndrome};
+
+/// Which half of a split correction table an entry belongs to (§V-B1 of
+/// the paper).
+///
+/// When an array contains stuck-at faults, the table is split: one half
+/// corrects combinations that include the (deterministic) stuck-cell
+/// error, the other corrects ordinary transient combinations that occur
+/// when the stuck cell is not being driven by the input vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum TableHalf {
+    /// Transient (RTN/noise) errors only.
+    #[default]
+    Transient,
+    /// Combinations that include a stuck-at fault contribution.
+    StuckAware,
+}
+
+/// One correction-table entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableEntry {
+    /// The syndrome to subtract from an erroneous result.
+    pub syndrome: Syndrome,
+    /// Estimated probability of this error event (used for capability
+    /// accounting; 0 for statically allocated entries).
+    pub probability: f64,
+    /// Which half of a split table the entry occupies.
+    pub half: TableHalf,
+}
+
+/// A direct-indexed table mapping residues modulo `A` to correction
+/// syndromes.
+///
+/// The hardware realization is an SRAM with `A` entries indexed by the
+/// output of the divide-by-`A` residue unit (Figure 9 of the paper); this
+/// type mirrors that: index 0 is reserved for "no error" and every other
+/// index optionally holds a syndrome.
+///
+/// # Examples
+///
+/// ```
+/// use ancode::{AnCode, CorrectionTable, Syndrome, SyndromeFamily};
+///
+/// let code = AnCode::new(19)?;
+/// let table = CorrectionTable::for_family(&code, SyndromeFamily::SingleBit { width: 9 })?;
+/// // +2^1 has residue 2 under A = 19 — Figure 4's example error.
+/// let entry = table.lookup(2).unwrap();
+/// assert_eq!(entry.syndrome.value().to_i128(), Some(2));
+/// # Ok::<(), ancode::CodeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrectionTable {
+    a: u64,
+    entries: Vec<Option<TableEntry>>,
+}
+
+impl CorrectionTable {
+    /// Creates an empty table for residues modulo `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidA`] if `a` is not a valid AN
+    /// multiplier.
+    pub fn new(a: u64) -> Result<CorrectionTable, CodeError> {
+        let code = AnCode::new(a)?;
+        Ok(CorrectionTable {
+            a: code.a(),
+            entries: vec![None; a as usize],
+        })
+    }
+
+    /// Builds a table covering an entire static syndrome family.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::ResidueCollision`] if the family does not
+    /// have unique nonzero residues under `code.a()`.
+    pub fn for_family(
+        code: &AnCode,
+        family: crate::SyndromeFamily,
+    ) -> Result<CorrectionTable, CodeError> {
+        let mut table = CorrectionTable::new(code.a())?;
+        for (residue, syndrome) in code.assign_residues(family)? {
+            table.entries[residue as usize] = Some(TableEntry {
+                syndrome,
+                probability: 0.0,
+                half: TableHalf::Transient,
+            });
+        }
+        Ok(table)
+    }
+
+    /// Builds a table covering as many single-bit positions as fit,
+    /// starting from bit 0, stopping at the first residue collision.
+    ///
+    /// Static codes sized for an operand narrower than the full coded
+    /// width (e.g. `A = 19` protecting 9 of 11 coded bits) use this
+    /// greedy prefix construction.
+    pub fn for_single_bit_prefix(code: &AnCode, width: u32) -> CorrectionTable {
+        let mut table = CorrectionTable::new(code.a()).expect("A comes from a valid AnCode");
+        'bits: for bit in 0..width {
+            for delta in [1i8, -1] {
+                let syndrome = Syndrome::single(bit, delta);
+                if table.try_insert(code, syndrome, 0.0, TableHalf::Transient).is_err() {
+                    break 'bits;
+                }
+            }
+        }
+        table
+    }
+
+    /// Builds a static table over per-physical-row quantization errors
+    /// for `cell_bits`-bit cells, greedily from the least significant
+    /// row upward.
+    ///
+    /// For each row (bit positions `0, c, 2c, …` below `width`), the
+    /// syndromes `±1·2^{rc}` are inserted first for every row, then
+    /// larger magnitudes up to `±(2^c − 1)`, stopping silently when a
+    /// residue collides or capacity runs out. This is the
+    /// "correct an error at exactly one bit position" construction the
+    /// paper's static codes use, generalized to multi-bit cells.
+    pub fn for_cell_rows(code: &AnCode, width: u32, cell_bits: u32) -> CorrectionTable {
+        assert!(cell_bits >= 1, "cells hold at least one bit");
+        let mut table = CorrectionTable::new(code.a()).expect("A comes from a valid AnCode");
+        let max_mag = ((1u32 << cell_bits.min(7)) - 1) as i8;
+        'mags: for mag in 1..=max_mag {
+            let mut bit = 0;
+            while bit < width {
+                for delta in [mag, -mag] {
+                    let syndrome = Syndrome::single(bit, delta);
+                    if table.capacity_remaining() == 0 {
+                        break 'mags;
+                    }
+                    // Collisions at higher magnitudes are expected; keep
+                    // whatever fits.
+                    let _ = table.try_insert(code, syndrome, 0.0, TableHalf::Transient);
+                }
+                bit += cell_bits;
+            }
+        }
+        table
+    }
+
+    /// The modulus `A`.
+    pub fn a(&self) -> u64 {
+        self.a
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of free (correctable-assignable) residue slots remaining.
+    ///
+    /// Residue 0 is never assignable — it means "no error".
+    pub fn capacity_remaining(&self) -> usize {
+        self.a as usize - 1 - self.len()
+    }
+
+    /// Attempts to insert a syndrome; fails if its residue is zero or
+    /// already taken.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::ResidueCollision`] on conflict, leaving the
+    /// table unchanged.
+    pub fn try_insert(
+        &mut self,
+        code: &AnCode,
+        syndrome: Syndrome,
+        probability: f64,
+        half: TableHalf,
+    ) -> Result<u64, CodeError> {
+        debug_assert_eq!(code.a(), self.a, "table and code must share A");
+        let residue = code.residue(syndrome.value());
+        if residue == 0 || self.entries[residue as usize].is_some() {
+            return Err(CodeError::ResidueCollision { a: self.a, residue });
+        }
+        self.entries[residue as usize] = Some(TableEntry {
+            syndrome,
+            probability,
+            half,
+        });
+        Ok(residue)
+    }
+
+    /// Looks up the entry for a nonzero residue.
+    ///
+    /// Returns `None` for unoccupied residues (a detected but
+    /// uncorrectable error) and for residue 0.
+    pub fn lookup(&self, residue: u64) -> Option<&TableEntry> {
+        if residue == 0 || residue >= self.a {
+            return None;
+        }
+        self.entries[residue as usize].as_ref()
+    }
+
+    /// Iterates over `(residue, entry)` pairs in residue order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &TableEntry)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(r, e)| e.as_ref().map(|e| (r as u64, e)))
+    }
+
+    /// Sum of the probabilities of all stored entries: the "correction
+    /// capability" score used to rank candidate `A` values (§V-B4).
+    pub fn covered_probability(&self) -> f64 {
+        self.iter().map(|(_, e)| e.probability).sum()
+    }
+
+    /// The number of entries in each half of a split table.
+    pub fn half_sizes(&self) -> (usize, usize) {
+        let mut transient = 0;
+        let mut stuck = 0;
+        for (_, e) in self.iter() {
+            match e.half {
+                TableHalf::Transient => transient += 1,
+                TableHalf::StuckAware => stuck += 1,
+            }
+        }
+        (transient, stuck)
+    }
+}
+
+impl fmt::Display for CorrectionTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "correction table, A = {} ({} entries)", self.a, self.len())?;
+        for (r, e) in self.iter() {
+            writeln!(f, "  {:>6} -> {}", r, e.syndrome)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyndromeFamily;
+
+    #[test]
+    fn full_family_table_a19() {
+        let code = AnCode::new(19).unwrap();
+        let table =
+            CorrectionTable::for_family(&code, SyndromeFamily::SingleBit { width: 9 }).unwrap();
+        assert_eq!(table.len(), 18);
+        assert_eq!(table.capacity_remaining(), 0);
+        assert!(!table.is_empty());
+        // Every nonzero residue is occupied (A = 19 wastes nothing).
+        for r in 1..19 {
+            assert!(table.lookup(r).is_some(), "residue {r}");
+        }
+        assert!(table.lookup(0).is_none());
+        assert!(table.lookup(19).is_none());
+    }
+
+    #[test]
+    fn family_collision_reported() {
+        let code = AnCode::new(19).unwrap();
+        let err = CorrectionTable::for_family(&code, SyndromeFamily::SingleBit { width: 10 });
+        assert!(matches!(err, Err(CodeError::ResidueCollision { a: 19, .. })));
+    }
+
+    #[test]
+    fn prefix_table_stops_at_collision() {
+        let code = AnCode::new(19).unwrap();
+        let table = CorrectionTable::for_single_bit_prefix(&code, 16);
+        // Exactly the 9 correctable positions survive.
+        assert_eq!(table.len(), 18);
+    }
+
+    #[test]
+    fn insert_rejects_duplicate_residue() {
+        let code = AnCode::new(19).unwrap();
+        let mut table = CorrectionTable::new(19).unwrap();
+        table
+            .try_insert(&code, Syndrome::single(1, 1), 0.1, TableHalf::Transient)
+            .unwrap();
+        // +2^1 and -(2^9 - ... ) pick something with residue 2: 21 ≡ 2.
+        let dup = Syndrome::new(vec![
+            crate::SyndromeTerm::new(0, 1),
+            crate::SyndromeTerm::new(2, 1),
+            crate::SyndromeTerm::new(4, 1),
+        ]); // 1 + 4 + 16 = 21 ≡ 2 (mod 19)
+        assert!(table
+            .try_insert(&code, dup, 0.05, TableHalf::Transient)
+            .is_err());
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn insert_rejects_zero_residue() {
+        let code = AnCode::new(19).unwrap();
+        let mut table = CorrectionTable::new(19).unwrap();
+        // 19 = 16 + 2 + 1 ≡ 0 (mod 19).
+        let s = Syndrome::new(vec![
+            crate::SyndromeTerm::new(0, 1),
+            crate::SyndromeTerm::new(1, 1),
+            crate::SyndromeTerm::new(4, 1),
+        ]);
+        assert!(table.try_insert(&code, s, 0.5, TableHalf::Transient).is_err());
+    }
+
+    #[test]
+    fn covered_probability_sums() {
+        let code = AnCode::new(19).unwrap();
+        let mut table = CorrectionTable::new(19).unwrap();
+        table
+            .try_insert(&code, Syndrome::single(0, 1), 0.25, TableHalf::Transient)
+            .unwrap();
+        table
+            .try_insert(&code, Syndrome::single(1, 1), 0.5, TableHalf::StuckAware)
+            .unwrap();
+        assert!((table.covered_probability() - 0.75).abs() < 1e-12);
+        assert_eq!(table.half_sizes(), (1, 1));
+    }
+
+    #[test]
+    fn cell_row_table_covers_rows_first() {
+        // A = 47 over 24-bit words with 2-bit cells: 12 rows, 24 ±1
+        // syndromes, all fit with room for some ±2/±3.
+        let code = AnCode::new(47).unwrap();
+        let table = CorrectionTable::for_cell_rows(&code, 24, 2);
+        for row in 0..12u32 {
+            let r_pos = code.residue(Syndrome::single(row * 2, 1).value());
+            assert!(table.lookup(r_pos).is_some(), "row {row} +1 missing");
+        }
+        assert!(table.len() >= 24);
+        assert!(table.len() <= 46);
+    }
+
+    #[test]
+    fn cell_row_table_single_bit_matches_prefix() {
+        // With 1-bit cells and ample A, cell-row reduces to single-bit.
+        let code = AnCode::new(19).unwrap();
+        let a = CorrectionTable::for_cell_rows(&code, 9, 1);
+        let b = CorrectionTable::for_single_bit_prefix(&code, 9);
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn display_lists_entries() {
+        let code = AnCode::new(19).unwrap();
+        let table = CorrectionTable::for_single_bit_prefix(&code, 2);
+        let text = table.to_string();
+        assert!(text.contains("A = 19"));
+        assert!(text.contains("+1·2^0"));
+    }
+}

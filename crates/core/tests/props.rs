@@ -1,0 +1,151 @@
+//! Property-based tests for the arithmetic-code invariants.
+
+use ancode::{
+    data_aware::{build_table, DataAwareConfig},
+    AbnCode, AnCode, CorrectionPolicy, DecodeStatus, GroupLayout, OperandGroup, RowError,
+    RowErrorModel, Syndrome, SyndromeFamily,
+};
+use proptest::prelude::*;
+use wideint::{I256, U256};
+
+/// Odd A values ≥ 3 that keep tables small enough to test quickly.
+fn small_a() -> impl Strategy<Value = u64> {
+    (1u64..200).prop_map(|k| 2 * k + 1)
+}
+
+proptest! {
+    #[test]
+    fn an_addition_conserved(a in small_a(), x in any::<u32>(), y in any::<u32>()) {
+        // f(x) ⊕ f(y) = f(x ⊕ y): the defining arithmetic-code property.
+        let code = AnCode::new(a).unwrap();
+        let fx = code.encode(U256::from(x)).unwrap();
+        let fy = code.encode(U256::from(y)).unwrap();
+        let fxy = code.encode(U256::from(x as u64 + y as u64)).unwrap();
+        prop_assert_eq!(fx + fy, fxy);
+        prop_assert!(code.is_codeword(fx + fy));
+    }
+
+    #[test]
+    fn an_nonzero_syndrome_detected(a in small_a(), x in any::<u32>(), e in 1u64..1000) {
+        // Any additive error not a multiple of A leaves a nonzero residue.
+        let code = AnCode::new(a).unwrap();
+        prop_assume!(e % a != 0);
+        let observed = code.encode(U256::from(x)).unwrap() + U256::from(e);
+        prop_assert!(!code.is_codeword(observed));
+    }
+
+    #[test]
+    fn classic_corrects_its_family(x in 0u64..(1 << 16), bit in 0u32..16, sign in any::<bool>()) {
+        // A = 47·3 protects 16-bit operands; all low single-bit errors in
+        // the table's prefix are corrected exactly.
+        let code = AbnCode::classic(47, 3, 16).unwrap();
+        let clean = code.encode(U256::from(x)).unwrap();
+        let delta = if sign { 1i8 } else { -1 };
+        let observed = I256::from(clean) + Syndrome::single(bit, delta).value();
+        let out = code.decode(observed, CorrectionPolicy::Revert);
+        prop_assert!(out.status.was_corrected(), "status {:?}", out.status);
+        prop_assert_eq!(out.value.to_i128(), Some(x as i128));
+    }
+
+    #[test]
+    fn decode_clean_is_identity(a in small_a(), x in any::<u32>()) {
+        let code = AbnCode::classic(a, 3, 32);
+        prop_assume!(code.is_ok());
+        let code = code.unwrap();
+        let clean = code.encode(U256::from(x)).unwrap();
+        let out = code.decode(clean.into(), CorrectionPolicy::Revert);
+        prop_assert_eq!(out.status, DecodeStatus::Clean);
+        prop_assert_eq!(out.value.to_i128(), Some(x as i128));
+    }
+
+    #[test]
+    fn residues_unique_in_any_valid_assignment(width in 1u32..12) {
+        let a = ancode::min_single_error_a(width);
+        let code = AnCode::new(a).unwrap();
+        let assignment = code
+            .assign_residues(SyndromeFamily::SingleBit { width })
+            .unwrap();
+        let mut residues: Vec<u64> = assignment.iter().map(|(r, _)| *r).collect();
+        let n = residues.len();
+        residues.sort_unstable();
+        residues.dedup();
+        prop_assert_eq!(residues.len(), n);
+        prop_assert!(residues.iter().all(|&r| r != 0 && r < a));
+    }
+
+    #[test]
+    fn group_roundtrip(ops in proptest::collection::vec(0u64..(1 << 16), 8)) {
+        let group = OperandGroup::new(GroupLayout::PAPER_128);
+        let packed = group.pack(&ops).unwrap();
+        prop_assert_eq!(group.unpack(packed), ops);
+    }
+
+    #[test]
+    fn group_split_signed_reconstructs(e in any::<i64>()) {
+        let group = OperandGroup::new(GroupLayout::new(16, 8).unwrap());
+        let digits = group.split_signed(I256::from(e));
+        let recon: i128 = digits
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| d as i128 * (1i128 << (16 * i)))
+            .sum();
+        prop_assert_eq!(recon, e as i128);
+    }
+
+    #[test]
+    fn group_encode_decode_through_code(ops in proptest::collection::vec(0u64..(1 << 16), 8)) {
+        // Full pipeline: pack → encode → (no error) → decode → unpack.
+        let group = OperandGroup::new(GroupLayout::PAPER_128);
+        let code = AbnCode::classic(79, 3, 128).unwrap();
+        let packed = group.pack(&ops).unwrap();
+        let coded = code.encode(packed).unwrap();
+        let out = code.decode(coded.into(), CorrectionPolicy::Revert);
+        prop_assert_eq!(out.status, DecodeStatus::Clean);
+        prop_assert!(!out.value.is_negative());
+        prop_assert_eq!(group.unpack(out.value.magnitude()), ops);
+    }
+
+    #[test]
+    fn data_aware_table_prefers_high_probability(
+        p_lo in 0.0001f64..0.01,
+        p_hi in 0.05f64..0.3,
+    ) {
+        // With a tiny A (few slots), the high-probability high-weight row
+        // always wins a slot over the low-probability low row.
+        let model = RowErrorModel::new(
+            vec![
+                RowError::symmetric(0, p_lo),
+                RowError::symmetric(6, p_hi),
+            ],
+            8,
+        );
+        let table = build_table(5, &model, &DataAwareConfig::default()).unwrap();
+        prop_assert!(table
+            .iter()
+            .any(|(_, e)| e.syndrome.msb() == 6));
+    }
+
+    #[test]
+    fn data_aware_decode_fixes_covered_errors(x in 0u64..(1 << 12)) {
+        let model = RowErrorModel::new(
+            (0..8).map(|i| RowError::symmetric(i * 2, 0.02)).collect(),
+            16,
+        );
+        let code = ancode::data_aware::build_code(
+            337,
+            3,
+            &model,
+            16,
+            &DataAwareConfig::default(),
+        )
+        .unwrap();
+        let clean = code.encode(U256::from(x)).unwrap();
+        // Every single-row event is covered by A = 337's ample table.
+        for row in model.rows() {
+            let observed = I256::from(clean) + Syndrome::single(row.lsb_bit, 1).value();
+            let out = code.decode(observed, CorrectionPolicy::Revert);
+            prop_assert!(out.status.was_corrected());
+            prop_assert_eq!(out.value.to_i128(), Some(x as i128));
+        }
+    }
+}

@@ -1,0 +1,571 @@
+//! 16-bit fixed-point quantization and the MVM-engine abstraction.
+//!
+//! The paper's accelerators store 16-bit fixed-point weights using
+//! ISAAC's negative-value normalization: a signed weight `w` is written
+//! as the biased non-negative integer `w_q = round(w / scale) + 2^15`,
+//! and the bias term is removed digitally after the analog dot product
+//! (`Σ w·x = Σ w_q·x − 2^15·Σ x`). Activations are quantized to unsigned
+//! 16-bit with a per-layer dynamic scale.
+//!
+//! The [`MvmEngine`] trait is the seam between the network and whatever
+//! executes the dot products: [`ExactEngine`] computes them exactly (the
+//! fixed-point software baseline), while the `accel` crate provides the
+//! noisy, AN-coded crossbar implementations.
+
+use crate::conv::{im2col, ConvGeometry};
+use crate::layer::softmax_row;
+use crate::{Conv2d, Dense, Flatten, MaxPool2, Network, Relu, Sigmoid, Tensor};
+
+/// The additive bias applied to weights so they are non-negative
+/// (ISAAC's negative-value normalization): `2^15`.
+pub const WEIGHT_BIAS: i64 = 1 << 15;
+
+/// Number of bits of a quantized weight or activation.
+pub const QUANT_BITS: u32 = 16;
+
+/// A weight matrix quantized to biased unsigned 16-bit fixed point.
+///
+/// # Examples
+///
+/// ```
+/// use neural::{QuantizedMatrix, Tensor};
+///
+/// let w = Tensor::from_vec(vec![1, 2], vec![0.5, -0.5]);
+/// let q = QuantizedMatrix::from_tensor(&w);
+/// // +0.5 quantizes above the bias point, −0.5 below.
+/// assert!(q.rows()[0][0] > 32768 && q.rows()[0][1] < 32768);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMatrix {
+    rows: Vec<Vec<u16>>,
+    scale: f32,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes a `[out, in]` float matrix with a symmetric per-matrix
+    /// scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn from_tensor(weights: &Tensor) -> QuantizedMatrix {
+        assert_eq!(weights.shape().len(), 2, "weights must be 2-D");
+        let (out, inp) = (weights.shape()[0], weights.shape()[1]);
+        let max = weights.max_abs();
+        let scale = if max == 0.0 {
+            1.0
+        } else {
+            max / (WEIGHT_BIAS - 1) as f32
+        };
+        let rows = (0..out)
+            .map(|o| {
+                (0..inp)
+                    .map(|i| {
+                        let q = (weights.at2(o, i) / scale).round() as i64 + WEIGHT_BIAS;
+                        q.clamp(0, u16::MAX as i64) as u16
+                    })
+                    .collect()
+            })
+            .collect();
+        QuantizedMatrix { rows, scale }
+    }
+
+    /// The biased rows (`[out][in]`), each entry in `0..2^16`.
+    pub fn rows(&self) -> &[Vec<u16>] {
+        &self.rows
+    }
+
+    /// The quantization scale: `w ≈ (w_q − 2^15) · scale`.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Output dimension (rows).
+    pub fn out_dim(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Input dimension (columns).
+    pub fn in_dim(&self) -> usize {
+        self.rows.first().map_or(0, |r| r.len())
+    }
+
+    /// Dequantizes entry `(o, i)` back to float.
+    pub fn dequantize(&self, o: usize, i: usize) -> f32 {
+        (self.rows[o][i] as i64 - WEIGHT_BIAS) as f32 * self.scale
+    }
+}
+
+/// Quantizes an activation vector to unsigned 16-bit, returning the
+/// values and the scale (`a ≈ a_q · scale`).
+///
+/// Activations are non-negative by construction (images in `[0, 1]`,
+/// ReLU/sigmoid outputs); negative values are clamped to zero.
+pub fn quantize_activations(activations: &[f32]) -> (Vec<u16>, f32) {
+    let max = activations.iter().fold(0.0f32, |m, &a| m.max(a));
+    if max == 0.0 {
+        return (vec![0; activations.len()], 1.0);
+    }
+    let scale = max / u16::MAX as f32;
+    let q = activations
+        .iter()
+        .map(|&a| ((a.max(0.0) / scale).round() as u32).min(u16::MAX as u32) as u16)
+        .collect();
+    (q, scale)
+}
+
+/// Executes biased unsigned matrix-vector products.
+///
+/// Implementations return, for each output row `o`, the exact or noisy
+/// value of `Σ_j w_q[o][j] · input[j]` — the quantity a crossbar's
+/// shift-and-add tree produces. De-biasing and rescaling happen in the
+/// digital domain ([`QuantizedNetwork::run`]).
+pub trait MvmEngine {
+    /// Computes one matrix-vector product over quantized inputs.
+    fn mvm(&mut self, input: &[u16]) -> Vec<i64>;
+}
+
+/// Builds engines for quantized matrices.
+pub trait MvmEngineProvider {
+    /// Instantiates an engine for `matrix` (e.g. programs crossbars).
+    fn build(&self, matrix: &QuantizedMatrix) -> Box<dyn MvmEngine>;
+}
+
+/// The exact (noise-free) reference engine: fixed-point software.
+#[derive(Debug, Clone)]
+pub struct ExactEngine {
+    rows: Vec<Vec<u16>>,
+}
+
+impl ExactEngine {
+    /// Creates an exact engine over a matrix's rows.
+    pub fn new(matrix: &QuantizedMatrix) -> ExactEngine {
+        ExactEngine {
+            rows: matrix.rows().to_vec(),
+        }
+    }
+}
+
+impl MvmEngine for ExactEngine {
+    fn mvm(&mut self, input: &[u16]) -> Vec<i64> {
+        self.rows
+            .iter()
+            .map(|row| {
+                assert_eq!(row.len(), input.len(), "input length mismatch");
+                row.iter()
+                    .zip(input)
+                    .map(|(&w, &x)| w as i64 * x as i64)
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+/// Provider for [`ExactEngine`]s.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactProvider;
+
+impl MvmEngineProvider for ExactProvider {
+    fn build(&self, matrix: &QuantizedMatrix) -> Box<dyn MvmEngine> {
+        Box::new(ExactEngine::new(matrix))
+    }
+}
+
+/// Activation applied after an MVM op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Raw logits.
+    None,
+    /// Rectified linear.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Activation {
+    fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::None => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+}
+
+/// How an MVM op consumes its input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MvmGeometry {
+    /// A fully connected layer over the flat input.
+    Dense,
+    /// A convolution lowered to per-patch MVMs via im2col.
+    Conv(ConvGeometry),
+}
+
+/// One op of a quantized network.
+#[derive(Debug, Clone)]
+pub enum QuantOp {
+    /// A matrix-vector multiplication (dense or lowered convolution).
+    Mvm {
+        /// The quantized weight matrix.
+        matrix: QuantizedMatrix,
+        /// Float bias added after de-biasing and rescaling.
+        bias: Vec<f32>,
+        /// Activation applied to the float output.
+        activation: Activation,
+        /// Dense or convolutional input interpretation.
+        geometry: MvmGeometry,
+    },
+    /// 2×2 max pooling over `[channels, h, w]`.
+    MaxPool {
+        /// Input channels.
+        channels: usize,
+        /// Input height.
+        h: usize,
+        /// Input width.
+        w: usize,
+    },
+}
+
+/// A network lowered to quantized ops, executable on any [`MvmEngine`].
+#[derive(Debug, Clone)]
+pub struct QuantizedNetwork {
+    ops: Vec<QuantOp>,
+}
+
+impl QuantizedNetwork {
+    /// Lowers a trained float [`Network`] to quantized ops.
+    ///
+    /// Dense and convolution layers become [`QuantOp::Mvm`]; a following
+    /// ReLU or sigmoid is folded into the op's activation; max-pool
+    /// layers are copied; flatten layers vanish (the quantized runtime is
+    /// shape-agnostic between ops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network contains a layer type this lowering does
+    /// not understand.
+    pub fn from_network(network: &Network) -> QuantizedNetwork {
+        let mut ops: Vec<QuantOp> = Vec::new();
+        for layer in network.layers() {
+            let any = layer.as_any();
+            if let Some(dense) = any.downcast_ref::<Dense>() {
+                ops.push(QuantOp::Mvm {
+                    matrix: QuantizedMatrix::from_tensor(dense.weights()),
+                    bias: dense.bias().data().to_vec(),
+                    activation: Activation::None,
+                    geometry: MvmGeometry::Dense,
+                });
+            } else if let Some(conv) = any.downcast_ref::<Conv2d>() {
+                ops.push(QuantOp::Mvm {
+                    matrix: QuantizedMatrix::from_tensor(conv.weights()),
+                    bias: conv.bias().data().to_vec(),
+                    activation: Activation::None,
+                    geometry: MvmGeometry::Conv(conv.geometry()),
+                });
+            } else if any.downcast_ref::<Relu>().is_some() {
+                fold_activation(&mut ops, Activation::Relu);
+            } else if any.downcast_ref::<Sigmoid>().is_some() {
+                fold_activation(&mut ops, Activation::Sigmoid);
+            } else if let Some(pool) = any.downcast_ref::<MaxPool2>() {
+                let (c, h, w) = pool_in_shape(pool);
+                ops.push(QuantOp::MaxPool { channels: c, h, w });
+            } else if any.downcast_ref::<Flatten>().is_some() {
+                // Shape bookkeeping only; the quantized runtime is flat.
+            } else {
+                panic!("cannot lower layer {:?} to quantized ops", layer.name());
+            }
+        }
+        QuantizedNetwork { ops }
+    }
+
+    /// The ops.
+    pub fn ops(&self) -> &[QuantOp] {
+        &self.ops
+    }
+
+    /// The quantized matrices, in op order — one engine must be built
+    /// per entry (via an [`MvmEngineProvider`]) before calling
+    /// [`run`](QuantizedNetwork::run).
+    pub fn mvm_matrices(&self) -> Vec<&QuantizedMatrix> {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                QuantOp::Mvm { matrix, .. } => Some(matrix),
+                QuantOp::MaxPool { .. } => None,
+            })
+            .collect()
+    }
+
+    /// Builds one engine per MVM op.
+    pub fn build_engines(&self, provider: &dyn MvmEngineProvider) -> Vec<Box<dyn MvmEngine>> {
+        self.mvm_matrices()
+            .into_iter()
+            .map(|m| provider.build(m))
+            .collect()
+    }
+
+    /// Runs one input (flat image) through the quantized network,
+    /// returning float logits.
+    ///
+    /// `engines` must have been produced by
+    /// [`build_engines`](QuantizedNetwork::build_engines) (one per MVM
+    /// op, in order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engines` does not match the MVM op count.
+    pub fn run(&self, input: &[f32], engines: &mut [Box<dyn MvmEngine>]) -> Vec<f32> {
+        let mut x: Vec<f32> = input.to_vec();
+        let mut engine_idx = 0;
+        for op in &self.ops {
+            match op {
+                QuantOp::Mvm {
+                    matrix,
+                    bias,
+                    activation,
+                    geometry,
+                } => {
+                    let engine = engines
+                        .get_mut(engine_idx)
+                        .expect("one engine per MVM op");
+                    engine_idx += 1;
+                    x = match geometry {
+                        MvmGeometry::Dense => run_dense(matrix, bias, *activation, &x, engine),
+                        MvmGeometry::Conv(geo) => {
+                            run_conv(matrix, bias, *activation, geo, &x, engine)
+                        }
+                    };
+                }
+                QuantOp::MaxPool { channels, h, w } => {
+                    x = run_maxpool(&x, *channels, *h, *w);
+                }
+            }
+        }
+        assert_eq!(engine_idx, engines.len(), "unused engines supplied");
+        x
+    }
+
+    /// Convenience: class prediction for one input.
+    pub fn predict(&self, input: &[f32], engines: &mut [Box<dyn MvmEngine>]) -> usize {
+        let logits = self.run(input, engines);
+        Tensor::from_vec(vec![logits.len()], logits).argmax()
+    }
+
+    /// Convenience: softmax probabilities for one input.
+    pub fn probabilities(&self, input: &[f32], engines: &mut [Box<dyn MvmEngine>]) -> Vec<f32> {
+        softmax_row(&self.run(input, engines))
+    }
+}
+
+fn fold_activation(ops: &mut [QuantOp], act: Activation) {
+    match ops.last_mut() {
+        Some(QuantOp::Mvm { activation, .. }) => *activation = act,
+        _ => panic!("activation layer with no preceding MVM op"),
+    }
+}
+
+fn pool_in_shape(pool: &MaxPool2) -> (usize, usize, usize) {
+    let (c, oh, ow) = pool.out_shape();
+    (c, oh * 2, ow * 2)
+}
+
+fn run_dense(
+    matrix: &QuantizedMatrix,
+    bias: &[f32],
+    activation: Activation,
+    input: &[f32],
+    engine: &mut Box<dyn MvmEngine>,
+) -> Vec<f32> {
+    assert_eq!(input.len(), matrix.in_dim(), "dense input size mismatch");
+    let (q, a_scale) = quantize_activations(input);
+    let sum_q: i64 = q.iter().map(|&v| v as i64).sum();
+    let raw = engine.mvm(&q);
+    raw.iter()
+        .enumerate()
+        .map(|(o, &r)| {
+            let signed = r - WEIGHT_BIAS * sum_q;
+            activation.apply(signed as f32 * matrix.scale() * a_scale + bias[o])
+        })
+        .collect()
+}
+
+fn run_conv(
+    matrix: &QuantizedMatrix,
+    bias: &[f32],
+    activation: Activation,
+    geo: &ConvGeometry,
+    input: &[f32],
+    engine: &mut Box<dyn MvmEngine>,
+) -> Vec<f32> {
+    let patches = im2col(input, geo);
+    let (oh, ow) = geo.out_hw();
+    let out_c = geo.out_channels;
+    let mut out = vec![0.0f32; out_c * oh * ow];
+    for p in 0..oh * ow {
+        let patch: Vec<f32> = (0..geo.patch_len()).map(|j| patches.at2(p, j)).collect();
+        let (q, a_scale) = quantize_activations(&patch);
+        let sum_q: i64 = q.iter().map(|&v| v as i64).sum();
+        let raw = engine.mvm(&q);
+        for (c, &r) in raw.iter().enumerate() {
+            let signed = r - WEIGHT_BIAS * sum_q;
+            out[c * oh * ow + p] =
+                activation.apply(signed as f32 * matrix.scale() * a_scale + bias[c]);
+        }
+    }
+    out
+}
+
+fn run_maxpool(input: &[f32], c: usize, h: usize, w: usize) -> Vec<f32> {
+    assert_eq!(input.len(), c * h * w, "pool input size mismatch");
+    let (oh, ow) = (h / 2, w / 2);
+    let mut out = vec![0.0f32; c * oh * ow];
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        let v = input[ch * h * w + (oy * 2 + dy) * w + (ox * 2 + dx)];
+                        best = best.max(v);
+                    }
+                }
+                out[ch * oh * ow + oy * ow + ox] = best;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Layer;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn quantized_matrix_roundtrip_accuracy() {
+        let w = Tensor::from_vec(vec![2, 3], vec![0.5, -0.25, 0.0, 1.0, -1.0, 0.75]);
+        let q = QuantizedMatrix::from_tensor(&w);
+        for o in 0..2 {
+            for i in 0..3 {
+                let err = (q.dequantize(o, i) - w.at2(o, i)).abs();
+                assert!(err < 1e-4, "({o},{i}) err {err}");
+            }
+        }
+        assert_eq!(q.out_dim(), 2);
+        assert_eq!(q.in_dim(), 3);
+    }
+
+    #[test]
+    fn zero_matrix_quantizes_to_bias() {
+        let q = QuantizedMatrix::from_tensor(&Tensor::zeros(vec![2, 2]));
+        assert!(q.rows().iter().flatten().all(|&v| v as i64 == WEIGHT_BIAS));
+    }
+
+    #[test]
+    fn activation_quantization_roundtrip() {
+        let acts = vec![0.0, 0.5, 1.0, 0.25];
+        let (q, scale) = quantize_activations(&acts);
+        for (&a, &qa) in acts.iter().zip(&q) {
+            assert!((qa as f32 * scale - a).abs() < 1e-4);
+        }
+        let (qz, s) = quantize_activations(&[0.0, 0.0]);
+        assert_eq!(qz, vec![0, 0]);
+        assert_eq!(s, 1.0);
+    }
+
+    #[test]
+    fn exact_engine_matches_float_dense() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut dense = Dense::new(16, 8, &mut rng);
+        let input: Vec<f32> = (0..16).map(|i| (i as f32 * 0.37).sin().abs()).collect();
+        let x = Tensor::from_vec(vec![1, 16], input.clone());
+        let float_out = dense.forward(&x, false);
+
+        let matrix = QuantizedMatrix::from_tensor(dense.weights());
+        let mut engine: Box<dyn MvmEngine> = Box::new(ExactEngine::new(&matrix));
+        let q_out = run_dense(
+            &matrix,
+            dense.bias().data(),
+            Activation::None,
+            &input,
+            &mut engine,
+        );
+        for (f, q) in float_out.data().iter().zip(&q_out) {
+            assert!((f - q).abs() < 2e-3, "float {f} vs quant {q}");
+        }
+    }
+
+    #[test]
+    fn quantized_network_matches_float_network() {
+        use crate::{Flatten, Network, Relu};
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut net = Network::new(vec![
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(12, 10, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(10, 4, &mut rng)),
+        ]);
+        let input: Vec<f32> = (0..12).map(|i| ((i * 7 % 5) as f32) * 0.2).collect();
+        let x = Tensor::from_vec(vec![1, 12], input.clone());
+        let float_logits = net.forward(&x);
+
+        let qnet = QuantizedNetwork::from_network(&net);
+        assert_eq!(qnet.mvm_matrices().len(), 2);
+        let mut engines = qnet.build_engines(&ExactProvider);
+        let q_logits = qnet.run(&input, &mut engines);
+        for (f, q) in float_logits.data().iter().zip(&q_logits) {
+            assert!((f - q).abs() < 5e-3, "float {f} vs quant {q}");
+        }
+        // Same argmax.
+        assert_eq!(
+            float_logits
+                .clone()
+                .reshape(vec![4])
+                .argmax(),
+            qnet.predict(&input, &mut engines)
+        );
+    }
+
+    #[test]
+    fn quantized_conv_network_matches_float() {
+        use crate::conv::ConvGeometry;
+        use crate::{Flatten, MaxPool2, Network, Relu};
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let geo = ConvGeometry {
+            in_channels: 1,
+            out_channels: 3,
+            kernel: 3,
+            padding: 1,
+            in_hw: (8, 8),
+        };
+        let mut net = Network::new(vec![
+            Box::new(Conv2d::new(geo, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(MaxPool2::new(3, 8, 8)),
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(3 * 4 * 4, 5, &mut rng)),
+        ]);
+        let input: Vec<f32> = (0..64).map(|i| ((i % 9) as f32) / 9.0).collect();
+        let x = Tensor::from_vec(vec![1, 1, 8, 8], input.clone());
+        let float_logits = net.forward(&x);
+
+        let qnet = QuantizedNetwork::from_network(&net);
+        let mut engines = qnet.build_engines(&ExactProvider);
+        let q_logits = qnet.run(&input, &mut engines);
+        for (f, q) in float_logits.data().iter().zip(&q_logits) {
+            assert!((f - q).abs() < 1e-2, "float {f} vs quant {q}");
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let net = Network::new(vec![Box::new(Dense::new(4, 3, &mut rng))]);
+        let qnet = QuantizedNetwork::from_network(&net);
+        let mut engines = qnet.build_engines(&ExactProvider);
+        let p = qnet.probabilities(&[0.1, 0.2, 0.3, 0.4], &mut engines);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,39 @@
+//! Fixed-width 256-bit integer arithmetic.
+//!
+//! The data-aware ABN codes in the [`ancode`] crate operate on *coded
+//! operand groups*: up to eight 16-bit operands are concatenated into a
+//! 128-bit block and then multiplied by the code constant `A·B` (up to ten
+//! additional bits). The resulting values no longer fit in `u128`, so this
+//! crate provides [`U256`], an unsigned 256-bit integer with the small set
+//! of exact operations the codes require (addition, subtraction,
+//! multiplication, division with remainder, shifts and bit manipulation),
+//! plus [`I256`], a sign-and-magnitude companion used for additive error
+//! syndromes, which may be negative.
+//!
+//! The implementation is self-contained (no external big-integer crates)
+//! and deterministic: all operations are exact, and overflow behaviour is
+//! explicit through the `checked_*`/`wrapping_*`/`overflowing_*` families.
+//!
+//! # Examples
+//!
+//! ```
+//! use wideint::U256;
+//!
+//! let a = U256::from(79u64);
+//! let n = U256::from(1024u64);
+//! let coded = n * a;
+//! let (q, r) = coded.div_rem_u64(79).unwrap();
+//! assert_eq!(q, n);
+//! assert_eq!(r, 0);
+//! ```
+//!
+//! [`ancode`]: https://docs.rs/ancode
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod i256;
+mod u256;
+
+pub use i256::I256;
+pub use u256::{ParseU256Error, U256};

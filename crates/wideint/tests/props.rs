@@ -1,0 +1,112 @@
+//! Property-based tests for `U256`/`I256` against `u128`/`i128` reference
+//! arithmetic, plus algebraic invariants in the full 256-bit range.
+
+use proptest::prelude::*;
+use wideint::{I256, U256};
+
+fn u256_any() -> impl Strategy<Value = U256> {
+    any::<[u64; 4]>().prop_map(U256::from_limbs)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let sum = U256::from(a) + U256::from(b);
+        prop_assert_eq!(sum.to_u128().unwrap(), a as u128 + b as u128);
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let prod = U256::from(a) * U256::from(b);
+        prop_assert_eq!(prod.to_u128().unwrap(), a as u128 * b as u128);
+    }
+
+    #[test]
+    fn div_rem_matches_u128(a in any::<u128>(), b in 1u64..) {
+        let (q, r) = U256::from(a).div_rem_u64(b).unwrap();
+        prop_assert_eq!(q.to_u128().unwrap(), a / b as u128);
+        prop_assert_eq!(r as u128, a % b as u128);
+    }
+
+    #[test]
+    fn add_commutes(a in u256_any(), b in u256_any()) {
+        prop_assert_eq!(a.overflowing_add(b), b.overflowing_add(a));
+    }
+
+    #[test]
+    fn add_sub_roundtrip(a in u256_any(), b in u256_any()) {
+        let (sum, _) = a.overflowing_add(b);
+        prop_assert_eq!(sum.wrapping_sub(b), a);
+    }
+
+    #[test]
+    fn mul_commutes(a in u256_any(), b in u256_any()) {
+        prop_assert_eq!(a.overflowing_mul(b), b.overflowing_mul(a));
+    }
+
+    #[test]
+    fn distributive_law_small(a in any::<u64>(), b in any::<u64>(), k in any::<u32>()) {
+        // The foundation of AN codes: A*(x + y) == A*x + A*y.
+        let (ax, _) = U256::from(a).overflowing_mul(U256::from(k as u64));
+        let (bx, _) = U256::from(b).overflowing_mul(U256::from(k as u64));
+        let lhs = (U256::from(a) + U256::from(b)) * U256::from(k as u64);
+        prop_assert_eq!(lhs, ax + bx);
+    }
+
+    #[test]
+    fn div_rem_reconstructs(n in u256_any(), d in u256_any()) {
+        prop_assume!(!d.is_zero());
+        let (q, r) = n.div_rem(d).unwrap();
+        prop_assert!(r < d);
+        let (qd, overflow) = q.overflowing_mul(d);
+        prop_assert!(!overflow);
+        prop_assert_eq!(qd + r, n);
+    }
+
+    #[test]
+    fn shift_splits_value(v in u256_any(), s in 0u32..256) {
+        let hi = v >> s;
+        let lo = v & ((U256::ONE << s).wrapping_sub(U256::ONE));
+        if s == 0 {
+            prop_assert_eq!(hi, v);
+        } else {
+            let recon = (hi << s) | lo;
+            prop_assert_eq!(recon, v);
+        }
+    }
+
+    #[test]
+    fn display_parse_roundtrip(v in u256_any()) {
+        prop_assert_eq!(v.to_string().parse::<U256>().unwrap(), v);
+    }
+
+    #[test]
+    fn bits_and_leading_zeros_consistent(v in u256_any()) {
+        prop_assert_eq!(v.bits() + v.leading_zeros(), 256);
+        if !v.is_zero() {
+            prop_assert!(v.bit(v.bits() - 1));
+        }
+    }
+
+    #[test]
+    fn i256_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let x = I256::from(a);
+        let y = I256::from(b);
+        prop_assert_eq!((x + y).to_i128().unwrap(), a as i128 + b as i128);
+        prop_assert_eq!((x - y).to_i128().unwrap(), a as i128 - b as i128);
+        prop_assert_eq!((x * y).to_i128().unwrap(), a as i128 * b as i128);
+    }
+
+    #[test]
+    fn i256_rem_euclid_matches_i128(a in any::<i64>(), m in 1u32..) {
+        let r = I256::from(a).rem_euclid_u64(m as u64).unwrap();
+        prop_assert_eq!(r as i128, (a as i128).rem_euclid(m as i128));
+    }
+
+    #[test]
+    fn i256_neg_involutive(a in any::<i64>()) {
+        let x = I256::from(a);
+        prop_assert_eq!(-(-x), x);
+        prop_assert_eq!(x + (-x), I256::ZERO);
+    }
+}

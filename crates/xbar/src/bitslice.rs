@@ -1,0 +1,200 @@
+//! Bit slicing of weight words into physical-row cell levels (§II-B1,
+//! Figure 2 of the paper).
+//!
+//! A logical matrix row of `W`-bit weights is stored across
+//! `ceil(W / c)` physical rows of `c`-bit cells: physical row `r` holds
+//! bits `[r·c, (r+1)·c)` of every weight. The shift-and-add reduction
+//! tree recombines the per-row ADC outputs with weights `2^{r·c}`.
+
+use wideint::U256;
+
+/// Slices words into per-bit-position cell levels and reduces row
+/// outputs back into integers.
+///
+/// # Examples
+///
+/// Figure 2 of the paper — the logical row `[5, 9, 6, 7]` sliced at one
+/// bit per cell:
+///
+/// ```
+/// use xbar::BitSlicer;
+///
+/// let slicer = BitSlicer::new(1, 4);
+/// let rows = slicer.slice_words(&[5, 9, 6, 7]);
+/// assert_eq!(rows[0], vec![1, 1, 0, 1]); // LSBs
+/// assert_eq!(rows[1], vec![0, 0, 1, 1]);
+/// assert_eq!(rows[2], vec![1, 0, 1, 1]);
+/// assert_eq!(rows[3], vec![0, 1, 0, 0]); // MSBs
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitSlicer {
+    cell_bits: u32,
+    word_bits: u32,
+}
+
+impl BitSlicer {
+    /// Creates a slicer for `word_bits`-bit words on `cell_bits`-bit
+    /// cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_bits` is 0 or greater than 8, or if `word_bits`
+    /// is 0 or greater than 256.
+    pub fn new(cell_bits: u32, word_bits: u32) -> BitSlicer {
+        assert!(
+            (1..=8).contains(&cell_bits),
+            "cell_bits {cell_bits} out of range 1..=8"
+        );
+        assert!(
+            (1..=256).contains(&word_bits),
+            "word_bits {word_bits} out of range 1..=256"
+        );
+        BitSlicer {
+            cell_bits,
+            word_bits,
+        }
+    }
+
+    /// Bits per cell.
+    pub fn cell_bits(&self) -> u32 {
+        self.cell_bits
+    }
+
+    /// Bits per word.
+    pub fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    /// Physical rows needed per word: `ceil(word_bits / cell_bits)`.
+    pub fn rows_per_word(&self) -> u32 {
+        self.word_bits.div_ceil(self.cell_bits)
+    }
+
+    /// Bit position of physical row `r`'s least significant bit.
+    pub fn row_lsb(&self, row: u32) -> u32 {
+        row * self.cell_bits
+    }
+
+    /// Slices `u64` words: result `[r][j]` is the level of column `j` in
+    /// physical row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any word exceeds `word_bits` or `word_bits > 64`.
+    pub fn slice_words(&self, words: &[u64]) -> Vec<Vec<u32>> {
+        assert!(self.word_bits <= 64, "use slice_wide for words over 64 bits");
+        self.slice_wide(&words.iter().map(|&w| U256::from(w)).collect::<Vec<_>>())
+    }
+
+    /// Slices arbitrary-width words (e.g. AN-encoded 128-bit groups).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any word exceeds `word_bits`.
+    pub fn slice_wide(&self, words: &[U256]) -> Vec<Vec<u32>> {
+        let mask = (1u64 << self.cell_bits) - 1;
+        (0..self.rows_per_word())
+            .map(|r| {
+                let lo = self.row_lsb(r);
+                let width = self.cell_bits.min(self.word_bits - lo);
+                words
+                    .iter()
+                    .map(|w| {
+                        assert!(
+                            w.bits() <= self.word_bits,
+                            "word of {} bits exceeds {}-bit slicer",
+                            w.bits(),
+                            self.word_bits
+                        );
+                        (w.extract_bits(lo, width) & mask) as u32
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Recombines per-row integer outputs with the shift-and-add tree:
+    /// `Σ outputs[r] · 2^{r·cell_bits}`.
+    pub fn reduce(&self, outputs: &[u64]) -> U256 {
+        outputs
+            .iter()
+            .enumerate()
+            .fold(U256::ZERO, |acc, (r, &o)| {
+                acc + (U256::from(o) << self.row_lsb(r as u32))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_per_word_rounds_up() {
+        assert_eq!(BitSlicer::new(2, 16).rows_per_word(), 8);
+        assert_eq!(BitSlicer::new(3, 16).rows_per_word(), 6);
+        assert_eq!(BitSlicer::new(5, 16).rows_per_word(), 4);
+        // The paper's example: 137-bit coded groups at 4 bits/cell → 35.
+        assert_eq!(BitSlicer::new(4, 137).rows_per_word(), 35);
+    }
+
+    #[test]
+    fn slice_reduce_roundtrip_u64() {
+        for cell_bits in 1..=5 {
+            let slicer = BitSlicer::new(cell_bits, 16);
+            let words = [0u64, 1, 0x1234, 0xFFFF, 0x8001];
+            let rows = slicer.slice_words(&words);
+            assert_eq!(rows.len(), slicer.rows_per_word() as usize);
+            // Reduce each column independently: outputs[r] = level, so
+            // the reduction of column j's levels reconstructs word j.
+            for (j, &w) in words.iter().enumerate() {
+                let col: Vec<u64> = rows.iter().map(|r| r[j] as u64).collect();
+                assert_eq!(slicer.reduce(&col).to_u64(), Some(w));
+            }
+        }
+    }
+
+    #[test]
+    fn slice_wide_roundtrip() {
+        let slicer = BitSlicer::new(2, 130);
+        let w = (U256::ONE << 129u32) | U256::from(0xABCDu64);
+        let rows = slicer.slice_wide(&[w]);
+        assert_eq!(rows.len(), 65);
+        let col: Vec<u64> = rows.iter().map(|r| r[0] as u64).collect();
+        assert_eq!(slicer.reduce(&col), w);
+    }
+
+    #[test]
+    fn levels_bounded_by_cell_bits() {
+        let slicer = BitSlicer::new(3, 16);
+        let rows = slicer.slice_words(&[0xFFFF, 0x1234]);
+        for row in &rows {
+            for &level in row {
+                assert!(level < 8);
+            }
+        }
+    }
+
+    #[test]
+    fn partial_top_row() {
+        // 16-bit words on 3-bit cells: the top row holds only 1 bit.
+        let slicer = BitSlicer::new(3, 16);
+        let rows = slicer.slice_words(&[0xFFFF]);
+        assert_eq!(rows[5][0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn word_too_wide_panics() {
+        BitSlicer::new(2, 8).slice_words(&[0x100]);
+    }
+
+    #[test]
+    fn reduce_with_dot_product_outputs() {
+        // Row outputs are dot products, not single levels: the reduction
+        // must still weight them by 2^{r·c}.
+        let slicer = BitSlicer::new(2, 4);
+        // outputs: row 0 → 7, row 1 → 5 ⇒ 7 + 5·4 = 27.
+        assert_eq!(slicer.reduce(&[7, 5]).to_u64(), Some(27));
+    }
+}

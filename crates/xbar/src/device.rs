@@ -1,0 +1,329 @@
+//! Device parameters (Table I) and the Ielmini RTN model (§II-C3).
+
+/// Boltzmann constant, J/K.
+pub(crate) const K_B: f64 = 1.380_649e-23;
+/// Elementary charge, C.
+pub(crate) const Q_E: f64 = 1.602_176_634e-19;
+/// Vacuum permittivity, F/m.
+pub(crate) const EPS_0: f64 = 8.854_187_8128e-12;
+
+/// Memristor device and operating-point parameters.
+///
+/// Defaults reproduce Table I of the paper: a NiO-like stack with a
+/// 2 kΩ–5 MΩ dynamic range read at 0.3 V and 350 K, iteratively
+/// programmed to within 1 % of the target resistance, with a 0.1 %
+/// stuck-at failure rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceParams {
+    /// Lowest programmable resistance (Ω); the fully-on state.
+    pub r_lo: f64,
+    /// Highest programmable resistance (Ω); the off state.
+    pub r_hi: f64,
+    /// Bits stored per cell (1–5 in the evaluation).
+    pub bits_per_cell: u32,
+    /// Read voltage (V) applied to driven columns.
+    pub v_read: f64,
+    /// Operating temperature (K).
+    pub temperature: f64,
+    /// Effective noise bandwidth of one read (Hz). The paper's transient
+    /// analysis samples at ADC rate; 1 GHz reflects the ~ns read of an
+    /// ISAAC-class design.
+    pub bandwidth: f64,
+    /// Dielectric film thickness `t_h` (m).
+    pub film_thickness: f64,
+    /// Metallic nanowire (filament) resistivity `ρ0` (Ω·m).
+    pub film_resistivity: f64,
+    /// Relative resistivity increase `α` of the trapped region.
+    pub rtn_alpha: f64,
+    /// Relative permittivity `ε_r` of the dielectric (multiples of ε0).
+    pub rel_permittivity: f64,
+    /// Effective trap cross-section (m²), derived from the dopant
+    /// concentration via Debye screening; calibrated so the Ielmini
+    /// model yields `ΔR/R ≈ 2.8 %` at `R_LO` (the paper's derived value).
+    pub trap_area: f64,
+    /// Probability a cell sits in the RTN error (trapped) state at any
+    /// sampling instant: `τ_on / (τ_on + τ_off)` of the asymmetric dwell
+    /// process.
+    pub rtn_state_probability: f64,
+    /// Whether programming applies the RTN offset calibration of §IV
+    /// (lowering the programmed resistance by `p·ΔR` so the
+    /// time-averaged current matches the target). Disabled only for
+    /// ablation studies.
+    pub rtn_offset: bool,
+    /// Mean dwell time in the trapped state (s), for transient analysis.
+    pub rtn_tau_on: f64,
+    /// Probability that a cell is a stuck-at fault (manufacturing defect
+    /// or endurance failure).
+    pub fault_rate: f64,
+    /// Residual relative error of iterative programming (1 % in the
+    /// paper: "short pulse programming ... to within 1 % of the target").
+    pub programming_tolerance: f64,
+}
+
+impl Default for DeviceParams {
+    fn default() -> DeviceParams {
+        DeviceParams {
+            r_lo: 2e3,
+            r_hi: 5e6,
+            bits_per_cell: 2,
+            v_read: 0.3,
+            temperature: 350.0,
+            bandwidth: 1e9,
+            film_thickness: 20e-9,
+            film_resistivity: 1e-6, // 100 µΩ·cm
+            rtn_alpha: 2.0,
+            rel_permittivity: 12.0,
+            // Calibrated: ΔR/R(R_LO = 2 kΩ) = 2.8 %, saturating toward
+            // (1 − 1/α) = 50 % at R_HI — the paper's derived corner values.
+            trap_area: 5.93e-19,
+            rtn_state_probability: 0.25,
+            rtn_offset: true,
+            rtn_tau_on: 1e-4,
+            fault_rate: 1e-3,
+            programming_tolerance: 0.01,
+        }
+    }
+}
+
+impl DeviceParams {
+    /// Number of distinct conductance levels: `2^bits_per_cell`.
+    pub fn levels(&self) -> u32 {
+        1 << self.bits_per_cell
+    }
+
+    /// Maximum storable level value.
+    pub fn max_level(&self) -> u32 {
+        self.levels() - 1
+    }
+
+    /// Conductance (S) of a cell programmed to `level`.
+    ///
+    /// Level 0 maps to the high-resistance state, the maximum level to
+    /// `R_LO`, with conductance spaced linearly in between so that
+    /// bitline current is proportional to the stored integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` exceeds [`DeviceParams::max_level`].
+    pub fn conductance(&self, level: u32) -> f64 {
+        assert!(level <= self.max_level(), "level {level} out of range");
+        let g_min = 1.0 / self.r_hi;
+        let g_max = 1.0 / self.r_lo;
+        g_min + (g_max - g_min) * level as f64 / self.max_level() as f64
+    }
+
+    /// Conductance step between adjacent levels: the current LSB of the
+    /// row ADC is `v_read × g_step`.
+    pub fn g_step(&self) -> f64 {
+        (1.0 / self.r_lo - 1.0 / self.r_hi) / self.max_level() as f64
+    }
+
+    /// Current (A) contributed by one driven cell at `level`, noise-free.
+    pub fn cell_current(&self, level: u32) -> f64 {
+        self.v_read * self.conductance(level)
+    }
+
+    /// Thermal-noise standard deviation (A) for a single resistor `r`:
+    /// `sqrt(4·k_B·T·f / R)` (§II-C1).
+    pub fn thermal_sigma(&self, r: f64) -> f64 {
+        (4.0 * K_B * self.temperature * self.bandwidth / r).sqrt()
+    }
+
+    /// Shot-noise standard deviation (A) for a current `i`:
+    /// `sqrt(2·q·I·f)` (§II-C2).
+    pub fn shot_sigma(&self, i: f64) -> f64 {
+        (2.0 * Q_E * i.abs() * self.bandwidth).sqrt()
+    }
+
+    /// The RTN model evaluated for this device.
+    pub fn rtn(&self) -> RtnModel {
+        RtnModel {
+            alpha: self.rtn_alpha,
+            trap_area: self.trap_area,
+            filament_area_coeff: self.film_resistivity * self.film_thickness,
+            state_probability: self.rtn_state_probability,
+            tau_on: self.rtn_tau_on,
+        }
+    }
+
+    /// Returns a copy with [`trap_area`](DeviceParams::trap_area)
+    /// recalibrated so the Ielmini model yields the given `ΔR/R` at
+    /// `R_LO` — the sensitivity-sweep axis of Figure 12.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < target < 1 − 1/α` (the saturation bound).
+    #[must_use]
+    pub fn with_rlo_delta_r(mut self, target: f64) -> DeviceParams {
+        let sat = 1.0 - 1.0 / self.rtn_alpha;
+        assert!(
+            target > 0.0 && target < sat,
+            "ΔR/R target {target} outside (0, {sat})"
+        );
+        // d = sat·x/(1+x) with x = A_t·R/(ρ0·t_h)  ⇒  x = d/(sat − d).
+        let x = target / (sat - target);
+        self.trap_area = x * self.film_resistivity * self.film_thickness / self.r_lo;
+        self
+    }
+
+    /// Debye screening length (m) implied by a dopant concentration
+    /// `n_d` (m⁻³): `sqrt(ε_r·ε_0·k_B·T / (q²·n_d))`.
+    ///
+    /// [`DeviceParams::trap_area`] ≈ `π·L_D²`; this helper exposes the
+    /// derivation chain from the paper's seven material parameters.
+    pub fn debye_length(&self, n_d: f64) -> f64 {
+        (self.rel_permittivity * EPS_0 * K_B * self.temperature / (Q_E * Q_E * n_d)).sqrt()
+    }
+}
+
+/// The resistance-dependent RTN amplitude model of Ielmini et al.
+///
+/// The conductive filament is a nanowire of resistivity `ρ0` and length
+/// `t_h`, so its cross-section is `A_f = ρ0·t_h / R`. A trapped electron
+/// raises the resistivity of a region of cross-section `A_t` by the
+/// factor `α`. In a low-resistance (wide-filament) state the trap
+/// perturbs a small fraction of the conduction area and `ΔR/R` is small;
+/// as the filament narrows the deviation grows, saturating at
+/// `1 − 1/α` when the trap spans the entire filament:
+///
+/// `ΔR/R = (1 − 1/α) · x / (1 + x)`, with `x = A_t / A_f ∝ R`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RtnModel {
+    /// Relative resistivity increase of the trapped region.
+    pub alpha: f64,
+    /// Trap cross-section (m²).
+    pub trap_area: f64,
+    /// `ρ0 · t_h` (Ω·m²): filament area is this divided by `R`.
+    pub filament_area_coeff: f64,
+    /// Probability of occupying the trapped state at a sampling instant.
+    pub state_probability: f64,
+    /// Mean trapped-state dwell time (s).
+    pub tau_on: f64,
+}
+
+impl RtnModel {
+    /// Relative resistance deviation `ΔR/R` for a cell at resistance `r`.
+    pub fn delta_r_over_r(&self, r: f64) -> f64 {
+        assert!(r > 0.0, "resistance must be positive");
+        let a_f = self.filament_area_coeff / r;
+        let x = self.trap_area / a_f;
+        (1.0 - 1.0 / self.alpha) * x / (1.0 + x)
+    }
+
+    /// Relative *current* drop when the trap is occupied:
+    /// `ΔI/I = ΔR / (R + ΔR)`.
+    pub fn delta_i_over_i(&self, r: f64) -> f64 {
+        let d = self.delta_r_over_r(r);
+        d / (1.0 + d)
+    }
+
+    /// Mean dwell time (s) in the untrapped state, from the asymmetric
+    /// state probability: `τ_off = τ_on·(1 − p)/p`.
+    pub fn tau_off(&self) -> f64 {
+        self.tau_on * (1.0 - self.state_probability) / self.state_probability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_defaults() {
+        let p = DeviceParams::default();
+        assert_eq!(p.r_lo, 2e3);
+        assert_eq!(p.r_hi, 5e6);
+        assert_eq!(p.v_read, 0.3);
+        assert_eq!(p.temperature, 350.0);
+        assert_eq!(p.fault_rate, 1e-3);
+        assert_eq!(p.bits_per_cell, 2);
+    }
+
+    #[test]
+    fn conductance_endpoints_and_monotonic() {
+        let p = DeviceParams {
+            bits_per_cell: 3,
+            ..DeviceParams::default()
+        };
+        assert!((p.conductance(0) - 1.0 / p.r_hi).abs() < 1e-15);
+        assert!((p.conductance(7) - 1.0 / p.r_lo).abs() < 1e-12);
+        for l in 0..7 {
+            assert!(p.conductance(l + 1) > p.conductance(l));
+        }
+    }
+
+    #[test]
+    fn conductance_linear_in_level() {
+        let p = DeviceParams::default(); // 2-bit
+        let step01 = p.conductance(1) - p.conductance(0);
+        let step23 = p.conductance(3) - p.conductance(2);
+        assert!((step01 - step23).abs() / step01 < 1e-12);
+        assert!((step01 - p.g_step()).abs() / step01 < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn conductance_rejects_high_level() {
+        DeviceParams::default().conductance(4);
+    }
+
+    #[test]
+    fn rtn_matches_paper_corner_values() {
+        // §VII-B: "we derive ΔR/R for R_LO and R_HI as 2.8 % and 50 %".
+        let rtn = DeviceParams::default().rtn();
+        let lo = rtn.delta_r_over_r(2e3);
+        let hi = rtn.delta_r_over_r(5e6);
+        assert!((lo - 0.028).abs() < 0.002, "ΔR/R(R_LO) = {lo}");
+        assert!((hi - 0.50).abs() < 0.01, "ΔR/R(R_HI) = {hi}");
+    }
+
+    #[test]
+    fn rtn_monotonic_in_resistance() {
+        let rtn = DeviceParams::default().rtn();
+        let mut prev = 0.0;
+        for r in [1e3, 1e4, 1e5, 1e6, 1e7, 1e9] {
+            let d = rtn.delta_r_over_r(r);
+            assert!(d > prev);
+            prev = d;
+        }
+        // Saturates below 1 − 1/α.
+        assert!(prev < 1.0 - 1.0 / 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn rtn_current_drop_less_than_resistance_rise() {
+        let rtn = DeviceParams::default().rtn();
+        let r = 1e5;
+        assert!(rtn.delta_i_over_i(r) < rtn.delta_r_over_r(r));
+    }
+
+    #[test]
+    fn asymmetric_dwell_times() {
+        // τ_off several times larger than τ_on (§II-C3).
+        let rtn = DeviceParams::default().rtn();
+        assert!(rtn.tau_off() > 2.0 * rtn.tau_on);
+    }
+
+    #[test]
+    fn thermal_noise_scales_inversely_with_r() {
+        let p = DeviceParams::default();
+        assert!(p.thermal_sigma(2e3) > p.thermal_sigma(5e6));
+        // σ = sqrt(4·kB·350·1e9 / 2000) ≈ 9.83e-8 A.
+        let sigma = p.thermal_sigma(2e3);
+        assert!((sigma - 9.83e-8).abs() / sigma < 0.01, "sigma {sigma}");
+    }
+
+    #[test]
+    fn shot_noise_scales_with_sqrt_current() {
+        let p = DeviceParams::default();
+        let s1 = p.shot_sigma(1e-4);
+        let s4 = p.shot_sigma(4e-4);
+        assert!((s4 / s1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn debye_length_decreases_with_doping() {
+        let p = DeviceParams::default();
+        assert!(p.debye_length(1e26) < p.debye_length(1e24));
+    }
+}

@@ -1,0 +1,154 @@
+//! Input masks: which columns are driven during one read cycle.
+
+/// The set of driven columns during one bit-serial input cycle, stored
+/// as a 128-bit mask (one crossbar's worth of columns).
+///
+/// # Examples
+///
+/// ```
+/// use xbar::InputMask;
+///
+/// let mut mask = InputMask::zeros(8);
+/// mask.set(3, true);
+/// mask.set(5, true);
+/// assert_eq!(mask.count_ones(), 2);
+/// assert!(mask.get(3) && !mask.get(4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InputMask {
+    bits: u128,
+    width: u32,
+}
+
+impl InputMask {
+    /// Maximum supported width (columns per array).
+    pub const MAX_WIDTH: u32 = 128;
+
+    /// A mask of `width` columns, all off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 128`.
+    pub fn zeros(width: u32) -> InputMask {
+        assert!(width <= Self::MAX_WIDTH, "width {width} exceeds 128");
+        InputMask { bits: 0, width }
+    }
+
+    /// A mask of `width` columns, all driven — the worst case for row
+    /// error susceptibility (§V-B5).
+    pub fn all_ones(width: u32) -> InputMask {
+        assert!(width <= Self::MAX_WIDTH, "width {width} exceeds 128");
+        let bits = if width == 128 {
+            u128::MAX
+        } else {
+            (1u128 << width) - 1
+        };
+        InputMask { bits, width }
+    }
+
+    /// Builds a mask from bit `bit` of each value in `inputs` — one
+    /// cycle of bit-serial input streaming.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() > 128`.
+    pub fn from_bit_of(inputs: &[u64], bit: u32) -> InputMask {
+        assert!(inputs.len() <= 128, "at most 128 columns per array");
+        let mut bits = 0u128;
+        for (i, &v) in inputs.iter().enumerate() {
+            if (v >> bit) & 1 == 1 {
+                bits |= 1 << i;
+            }
+        }
+        InputMask {
+            bits,
+            width: inputs.len() as u32,
+        }
+    }
+
+    /// Number of columns in the mask.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Whether column `i` is driven.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn get(&self, i: u32) -> bool {
+        assert!(i < self.width, "column {i} out of range");
+        (self.bits >> i) & 1 == 1
+    }
+
+    /// Sets column `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn set(&mut self, i: u32, driven: bool) {
+        assert!(i < self.width, "column {i} out of range");
+        if driven {
+            self.bits |= 1 << i;
+        } else {
+            self.bits &= !(1 << i);
+        }
+    }
+
+    /// Number of driven columns.
+    pub fn count_ones(&self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// The raw bit representation.
+    pub fn bits(&self) -> u128 {
+        self.bits
+    }
+
+    /// Iterates over driven column indices.
+    pub fn iter_ones(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.width).filter(|&i| (self.bits >> i) & 1 == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        assert_eq!(InputMask::zeros(10).count_ones(), 0);
+        assert_eq!(InputMask::all_ones(10).count_ones(), 10);
+        assert_eq!(InputMask::all_ones(128).count_ones(), 128);
+    }
+
+    #[test]
+    fn from_bit_extracts_column_bits() {
+        let inputs = [0b101u64, 0b010, 0b111];
+        let bit0 = InputMask::from_bit_of(&inputs, 0);
+        assert!(bit0.get(0) && !bit0.get(1) && bit0.get(2));
+        let bit1 = InputMask::from_bit_of(&inputs, 1);
+        assert!(!bit1.get(0) && bit1.get(1) && bit1.get(2));
+    }
+
+    #[test]
+    fn set_and_iter() {
+        let mut m = InputMask::zeros(16);
+        m.set(2, true);
+        m.set(9, true);
+        m.set(2, false);
+        assert_eq!(m.iter_ones().collect::<Vec<_>>(), vec![9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        InputMask::zeros(4).get(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 128")]
+    fn width_cap() {
+        InputMask::zeros(129);
+    }
+}

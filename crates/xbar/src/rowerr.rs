@@ -1,0 +1,246 @@
+//! Analytical row-error-rate prediction (§V-B5 of the paper).
+//!
+//! Data-aware code construction needs, for every physical row, the
+//! probability that the row's ADC output mis-quantizes high or low.
+//! Rather than Monte-Carlo-sampling each row, the paper models a row as
+//! parallel resistors under the worst-case all-ones input vector:
+//!
+//! 1. compute the error-free (RTN-offset-calibrated) current of the row
+//!    state;
+//! 2. find how many cells must be in (or out of) the RTN error state for
+//!    the current to cross the upper or lower quantization boundary; and
+//! 3. evaluate a binomial CDF over the driven cells.
+//!
+//! The prediction is a *model*, not ground truth — the paper notes that
+//! characterization of fabricated rows could replace it. What matters is
+//! the mapping from row state to error probability that the allocator
+//! consumes.
+
+use crate::stats::{binomial_cdf, binomial_sf};
+use crate::{CrossbarArray, DeviceParams, InputMask};
+
+/// Predicted quantization-error probabilities for one physical row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowErrorRate {
+    /// Probability the row output quantizes at least one step high.
+    pub p_high: f64,
+    /// Probability the row output quantizes at least one step low.
+    pub p_low: f64,
+}
+
+impl RowErrorRate {
+    /// Total probability of any mis-quantization.
+    pub fn p_any(&self) -> f64 {
+        (self.p_high + self.p_low).min(1.0)
+    }
+}
+
+/// Predicts the error rate of a row with the given per-level driven-cell
+/// counts (`composition[l]` = cells at level `l`), under the worst-case
+/// all-ones input.
+///
+/// The per-cell RTN current drops `delta_i[l]` and the occupancy
+/// probability come from `params`; the quantization LSB is
+/// `v_read · g_step`.
+///
+/// # Examples
+///
+/// ```
+/// use xbar::{rowerr, DeviceParams};
+///
+/// let params = DeviceParams::default();
+/// // 128 driven cells, 2-bit, equal state occupancy — the Figure 7 row.
+/// let rate = rowerr::predict_composition(&[32, 32, 32, 32], &params);
+/// assert!(rate.p_any() > 0.01 && rate.p_any() < 0.5);
+/// ```
+pub fn predict_composition(composition: &[u32], params: &DeviceParams) -> RowErrorRate {
+    assert_eq!(
+        composition.len(),
+        params.levels() as usize,
+        "composition must have one count per level"
+    );
+    let rtn = params.rtn();
+    let p = rtn.state_probability;
+    let lsb = params.v_read * params.g_step();
+
+    // Aggregate the per-level two-state deviations into an exchangeable
+    // per-cell drop δ̄ over the cells that matter (nonzero conductance
+    // swing), as the paper's "simple model of parallel resistors" does.
+    let mut n_eff = 0u32;
+    let mut delta_sum = 0.0;
+    for (level, &count) in composition.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let r_target = 1.0 / params.conductance(level as u32);
+        let d_target = rtn.delta_r_over_r(r_target);
+        let offset = if params.rtn_offset {
+            p * d_target / (1.0 + d_target)
+        } else {
+            0.0
+        };
+        let r_prog = r_target * (1.0 - offset);
+        let d = rtn.delta_r_over_r(r_prog);
+        let delta_i = params.v_read / r_prog * (d / (1.0 + d));
+        // Level-0 cells have a negligible current swing; weighting by
+        // δ keeps them from diluting the effective population.
+        delta_sum += count as f64 * delta_i;
+        if delta_i > lsb * 1e-3 {
+            n_eff += count;
+        }
+    }
+    if n_eff == 0 || delta_sum == 0.0 {
+        return RowErrorRate {
+            p_high: 0.0,
+            p_low: 0.0,
+        };
+    }
+    let delta_bar = delta_sum / n_eff as f64;
+
+    // Calibrated current: trapped-count expectation μ = p·n. Deviation
+    // from ideal when m cells are trapped: ΔI = (μ − m)·δ̄ when the RTN
+    // offset is applied; without it the whole distribution shifts up by
+    // μ·δ̄ (the untrapped current is the target), i.e. ΔI = −m·δ̄ + bias.
+    let mu = p * n_eff as f64;
+    let bias_cells = if params.rtn_offset { 0.0 } else { mu };
+    let threshold_cells = 0.5 * lsb / delta_bar;
+
+    // High error: current exceeds ideal + LSB/2 ⇔ m < μ + bias − threshold.
+    let k_high = (mu + bias_cells - threshold_cells).floor();
+    let p_high = if k_high >= 0.0 {
+        binomial_cdf(n_eff, k_high as u32, p)
+    } else {
+        0.0
+    };
+
+    // Low error: current falls below ideal − LSB/2 ⇔ m > μ + bias + threshold.
+    let k_low = (mu + bias_cells + threshold_cells).ceil() as i64;
+    let p_low = if k_low <= n_eff as i64 {
+        binomial_sf(n_eff, k_low as u32, p)
+    } else {
+        0.0
+    };
+
+    RowErrorRate { p_high, p_low }
+}
+
+/// Predicts the worst-case (all-ones input) error rate of physical row
+/// `row` of a programmed array, using its *actual* stored levels (so
+/// stuck cells are accounted at their stuck level).
+pub fn predict_row(array: &CrossbarArray, row: usize) -> RowErrorRate {
+    let r = &array.rows()[row];
+    let mask = InputMask::all_ones(r.width());
+    let composition = r.active_composition(&mask);
+    predict_composition(&composition, array.params())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn fewer_ones_means_fewer_errors() {
+        // The headline data-aware observation: "a physical row that
+        // contains fewer 1s is less susceptible to an error".
+        let params = DeviceParams::default();
+        let sparse = predict_composition(&[120, 0, 0, 8], &params);
+        let dense = predict_composition(&[0, 0, 0, 128], &params);
+        assert!(sparse.p_any() < dense.p_any());
+    }
+
+    #[test]
+    fn empty_row_never_errs() {
+        let params = DeviceParams::default();
+        let rate = predict_composition(&[128, 0, 0, 0], &params);
+        // All cells at level 0: negligible swing.
+        assert!(rate.p_any() < 0.05);
+        let rate = predict_composition(&[0, 0, 0, 0], &params);
+        assert_eq!(rate.p_any(), 0.0);
+    }
+
+    #[test]
+    fn figure_7_regime() {
+        // 128 cells, equal 2-bit occupancy: the paper reports 14.5 %.
+        let params = DeviceParams::default();
+        let rate = predict_composition(&[32, 32, 32, 32], &params);
+        assert!(
+            (0.02..0.40).contains(&rate.p_any()),
+            "p_any = {}",
+            rate.p_any()
+        );
+    }
+
+    #[test]
+    fn probabilities_are_probabilities() {
+        let params = DeviceParams::default();
+        for comp in [[128, 0, 0, 0], [0, 128, 0, 0], [10, 20, 30, 68]] {
+            let r = predict_composition(&comp, &params);
+            assert!((0.0..=1.0).contains(&r.p_high));
+            assert!((0.0..=1.0).contains(&r.p_low));
+            assert!(r.p_any() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn prediction_tracks_monte_carlo() {
+        // The analytical predictor should land within a few× of the
+        // sampled error rate for a representative row.
+        let params = DeviceParams {
+            fault_rate: 0.0,
+            programming_tolerance: 0.0,
+            ..DeviceParams::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let levels = vec![(0..128).map(|i| i % 4).collect::<Vec<u32>>()];
+        let array = CrossbarArray::program(&levels, &params, &mut rng);
+        let mask = InputMask::all_ones(128);
+        let ideal = array.ideal_row_output(0, &mask);
+        let trials = 6000;
+        let errors = (0..trials)
+            .filter(|_| array.read_row(0, &mask, &mut rng) != ideal)
+            .count();
+        let measured = errors as f64 / trials as f64;
+        let predicted = predict_row(&array, 0).p_any();
+        assert!(
+            predicted > measured / 5.0 && predicted < measured * 5.0 + 0.05,
+            "predicted {predicted} vs measured {measured}"
+        );
+    }
+
+    #[test]
+    fn stuck_cells_enter_composition_at_actual_level() {
+        let params = DeviceParams {
+            fault_rate: 1.0,
+            ..DeviceParams::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let array = CrossbarArray::program(&[vec![0u32; 16]], &params, &mut rng);
+        // Every cell got re-pinned to a random level; composition follows
+        // actual, not target, levels.
+        let comp = array.rows()[0].active_composition(&InputMask::all_ones(16));
+        assert_eq!(comp.iter().sum::<u32>(), 16);
+        assert!(comp[0] < 16, "some cells moved off level 0");
+        let _ = predict_row(&array, 0);
+    }
+
+    #[test]
+    fn higher_rtn_probability_raises_error_rate() {
+        let lo = DeviceParams {
+            rtn_state_probability: 0.17,
+            ..DeviceParams::default()
+        };
+        let hi = DeviceParams {
+            rtn_state_probability: 0.37,
+            ..DeviceParams::default()
+        };
+        let comp = [32, 32, 32, 32];
+        // Fig 12's sweep direction: more RTN occupancy, more errors.
+        // (The dependence can be non-monotonic near saturation; the sweep
+        // endpoints of the paper are safely ordered.)
+        let r_lo = predict_composition(&comp, &lo).p_any();
+        let r_hi = predict_composition(&comp, &hi).p_any();
+        assert!(r_hi > r_lo * 0.5, "lo {r_lo} hi {r_hi}");
+    }
+}

@@ -1,0 +1,301 @@
+//! Statistical primitives: Gaussian and binomial sampling, binomial
+//! PMF/CDF.
+//!
+//! Only the `rand` core crate is a sanctioned dependency, so the
+//! distributions the simulator needs are implemented here: Box–Muller
+//! Gaussians, inversion-method binomial draws (with a Gaussian
+//! approximation fallback for large `n·p`), and an exact log-space
+//! binomial CDF used by the §V-B5 row-error predictor.
+
+use rand::Rng;
+
+/// Natural log of `n!` for `n` up to [`MAX_LN_FACTORIAL_N`], computed by
+/// accumulation (exact to f64 rounding).
+const LN_FACTORIAL_TABLE_LEN: usize = 513;
+
+/// Largest `n` supported by [`ln_factorial`].
+pub const MAX_LN_FACTORIAL_N: u32 = (LN_FACTORIAL_TABLE_LEN - 1) as u32;
+
+fn ln_factorial_table() -> &'static [f64; LN_FACTORIAL_TABLE_LEN] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[f64; LN_FACTORIAL_TABLE_LEN]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0.0; LN_FACTORIAL_TABLE_LEN];
+        for i in 1..LN_FACTORIAL_TABLE_LEN {
+            t[i] = t[i - 1] + (i as f64).ln();
+        }
+        t
+    })
+}
+
+/// `ln(n!)`.
+///
+/// # Panics
+///
+/// Panics if `n > MAX_LN_FACTORIAL_N` (rows have at most a few hundred
+/// cells).
+pub fn ln_factorial(n: u32) -> f64 {
+    ln_factorial_table()[n as usize]
+}
+
+/// `ln C(n, k)`.
+///
+/// # Panics
+///
+/// Panics if `k > n` or `n` exceeds the table.
+pub fn ln_choose(n: u32, k: u32) -> f64 {
+    assert!(k <= n, "k={k} > n={n}");
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Binomial probability mass `P[X = k]` for `X ~ B(n, p)`.
+///
+/// # Examples
+///
+/// ```
+/// let p = xbar::stats::binomial_pmf(4, 2, 0.5);
+/// assert!((p - 0.375).abs() < 1e-12);
+/// ```
+pub fn binomial_pmf(n: u32, k: u32, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+    if k > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    (ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln()).exp()
+}
+
+/// Binomial CDF `P[X ≤ k]`.
+pub fn binomial_cdf(n: u32, k: u32, p: f64) -> f64 {
+    if k >= n {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    for i in 0..=k {
+        total += binomial_pmf(n, i, p);
+    }
+    total.min(1.0)
+}
+
+/// Upper tail `P[X ≥ k]`.
+pub fn binomial_sf(n: u32, k: u32, p: f64) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    (1.0 - binomial_cdf(n, k - 1, p)).clamp(0.0, 1.0)
+}
+
+/// Draws a standard normal via Box–Muller.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the open interval.
+    let u1: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > 0.0 {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws from `N(mean, sigma²)`.
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    mean + sigma * sample_standard_normal(rng)
+}
+
+/// Draws from `Binomial(n, p)`.
+///
+/// Uses CDF inversion (expected `O(n·p)` work) for small means and a
+/// rounded, clamped Gaussian approximation when `n·p·(1−p) > 100`, which
+/// is far beyond the accuracy the noise model needs.
+pub fn sample_binomial<R: Rng + ?Sized>(rng: &mut R, n: u32, p: f64) -> u32 {
+    assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    // Work with p ≤ 0.5 and mirror, keeping inversion cheap.
+    if p > 0.5 {
+        return n - sample_binomial(rng, n, 1.0 - p);
+    }
+    let mean = n as f64 * p;
+    let var = mean * (1.0 - p);
+    if var > 100.0 {
+        let draw = sample_normal(rng, mean + 0.5, var.sqrt());
+        return (draw.floor().max(0.0) as u32).min(n);
+    }
+    // CDF inversion.
+    let u: f64 = rng.gen();
+    let q = 1.0 - p;
+    let ratio = p / q;
+    let mut pmf = q.powi(n as i32);
+    if pmf == 0.0 {
+        // Extremely small q^n (large n, moderate p): fall back to the
+        // Gaussian approximation rather than loop on degenerate floats.
+        let draw = sample_normal(rng, mean + 0.5, var.sqrt());
+        return (draw.floor().max(0.0) as u32).min(n);
+    }
+    let mut cdf = pmf;
+    let mut k = 0u32;
+    while u > cdf && k < n {
+        k += 1;
+        pmf *= ratio * (n - k + 1) as f64 / k as f64;
+        cdf += pmf;
+    }
+    k
+}
+
+/// Draws an exponential with the given mean.
+pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean > 0.0, "exponential mean must be positive");
+    let u: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > 0.0 {
+            break u;
+        }
+    };
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(0x1234)
+    }
+
+    #[test]
+    fn ln_factorial_small_values() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-12);
+        assert!((ln_factorial(10) - 3628800f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_choose_matches_pascal() {
+        assert!((ln_choose(5, 2) - 10f64.ln()).abs() < 1e-12);
+        assert!((ln_choose(128, 64)
+            - ((ln_factorial(128) - 2.0 * ln_factorial(64))))
+        .abs()
+            < 1e-9);
+        assert_eq!(ln_choose(7, 0), 0.0);
+        assert_eq!(ln_choose(7, 7), 0.0);
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        for &(n, p) in &[(1u32, 0.3), (10, 0.05), (128, 0.145), (128, 0.9)] {
+            let total: f64 = (0..=n).map(|k| binomial_pmf(n, k, p)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n} p={p} total={total}");
+        }
+    }
+
+    #[test]
+    fn binomial_pmf_edge_probabilities() {
+        assert_eq!(binomial_pmf(5, 0, 0.0), 1.0);
+        assert_eq!(binomial_pmf(5, 3, 0.0), 0.0);
+        assert_eq!(binomial_pmf(5, 5, 1.0), 1.0);
+        assert_eq!(binomial_pmf(5, 4, 1.0), 0.0);
+        assert_eq!(binomial_pmf(5, 6, 0.5), 0.0);
+    }
+
+    #[test]
+    fn binomial_cdf_and_sf_complement() {
+        let n = 50;
+        let p = 0.2;
+        for k in 1..=n {
+            let total = binomial_cdf(n, k - 1, p) + binomial_sf(n, k, p);
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+        assert_eq!(binomial_cdf(10, 10, 0.3), 1.0);
+        assert_eq!(binomial_sf(10, 0, 0.3), 1.0);
+    }
+
+    #[test]
+    fn normal_sample_moments() {
+        let mut rng = rng();
+        let n = 20_000;
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for _ in 0..n {
+            let x = sample_normal(&mut rng, 3.0, 2.0);
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn binomial_sample_moments_small() {
+        let mut rng = rng();
+        let (n_trials, n, p) = (20_000, 128u32, 0.05);
+        let mut sum = 0u64;
+        for _ in 0..n_trials {
+            let k = sample_binomial(&mut rng, n, p);
+            assert!(k <= n);
+            sum += k as u64;
+        }
+        let mean = sum as f64 / n_trials as f64;
+        assert!((mean - 6.4).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_sample_mirrored_p() {
+        let mut rng = rng();
+        let mut sum = 0u64;
+        let trials = 20_000;
+        for _ in 0..trials {
+            sum += sample_binomial(&mut rng, 40, 0.9) as u64;
+        }
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - 36.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_sample_gaussian_regime() {
+        let mut rng = rng();
+        let mut sum = 0u64;
+        let trials = 20_000;
+        for _ in 0..trials {
+            let k = sample_binomial(&mut rng, 500, 0.5);
+            assert!(k <= 500);
+            sum += k as u64;
+        }
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - 250.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_sample_edges() {
+        let mut rng = rng();
+        assert_eq!(sample_binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(sample_binomial(&mut rng, 10, 0.0), 0);
+        assert_eq!(sample_binomial(&mut rng, 10, 1.0), 10);
+    }
+
+    #[test]
+    fn exponential_sample_mean() {
+        let mut rng = rng();
+        let trials = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..trials {
+            sum += sample_exponential(&mut rng, 2.5);
+        }
+        let mean = sum / trials as f64;
+        assert!((mean - 2.5).abs() < 0.1, "mean {mean}");
+    }
+}

@@ -1,0 +1,68 @@
+//! End-to-end DNN inference on the noisy accelerator.
+//!
+//! Trains the paper's MLP2 topology on the synthetic digits dataset,
+//! lowers it to 16-bit fixed point with ISAAC's negative-value
+//! normalization, and runs the test set through three accelerator
+//! configurations — reporting the misclassification rates the Figure 10
+//! experiments sweep at scale.
+//!
+//! Run with: `cargo run --release --example digit_inference`
+//! (set `EXAMPLE_SAMPLES` / `EXAMPLE_TRAIN` to resize).
+
+use accel::{AccelConfig, ProtectionScheme};
+use neural::{data, models, QuantizedNetwork};
+use rand_chacha::rand_core::SeedableRng;
+
+fn env(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let n_train = env("EXAMPLE_TRAIN", 2000);
+    let n_test = env("EXAMPLE_SAMPLES", 20);
+
+    // 1. Train the float network (the paper uses TensorFlow here).
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+    let mut net = models::mlp2(&mut rng);
+    let mut train = data::digits(n_train, 42);
+    data::shuffle(&mut train, 3);
+    println!("training MLP2 on {n_train} synthetic digits…");
+    for epoch in 0..6 {
+        let stats = net.train_epoch(&train.images, &train.labels, 32, 0.1);
+        println!("  epoch {epoch}: loss {:.4} acc {:.3}", stats.loss, stats.accuracy);
+    }
+
+    let test = data::digits(n_test, 777);
+    let software_err = 1.0 - net.evaluate(&test.images, &test.labels);
+    println!("\nsoftware (float) misclassification: {:.1}%", software_err * 100.0);
+
+    // 2. Lower to fixed point and run on the accelerator.
+    let qnet = QuantizedNetwork::from_network(&net);
+    println!("\n{:<10} {:>14} {:>16}", "scheme", "misclass", "ECU corrected");
+    for scheme in [
+        ProtectionScheme::None,
+        ProtectionScheme::Static16,
+        ProtectionScheme::data_aware(9),
+    ] {
+        let config = AccelConfig::new(scheme.clone())
+            .with_cell_bits(4) // aggressive multi-bit cells
+            .with_fault_rate(1e-3); // Table I stuck-at rate
+        let result = accel::sim::evaluate(&qnet, &test.images, &test.labels, &config, 5, 1);
+        println!(
+            "{:<10} {:>13.1}% {:>16}",
+            scheme.label(),
+            result.misclassification * 100.0,
+            result.stats.corrected
+        );
+    }
+
+    println!(
+        "\nAt 4-bit cells the unprotected accelerator visibly degrades;\n\
+         the data-aware ABN code recovers most of the loss — the paper's\n\
+         'aggressively increase bits per cell under a bounded error rate'\n\
+         use case (§VIII-A)."
+    );
+}

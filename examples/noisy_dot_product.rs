@@ -1,0 +1,82 @@
+//! A noisy in-situ dot product, protected and unprotected.
+//!
+//! Programs a small weight matrix into simulated memristive crossbars
+//! under three schemes (unprotected, naïve static code, data-aware
+//! ABN-9), runs repeated matrix-vector products through the noisy
+//! analog path, and reports how far each scheme's outputs stray from
+//! the exact fixed-point result — plus what the error correction unit
+//! saw along the way.
+//!
+//! Run with: `cargo run --release --example noisy_dot_product`
+
+use accel::{AccelConfig, CrossbarProvider, ProtectionScheme};
+use neural::{MvmEngineProvider, QuantizedMatrix, Tensor};
+
+fn main() {
+    // A 16×96 weight matrix with structure (mixed magnitudes).
+    let weights: Vec<f32> = (0..16 * 96)
+        .map(|i| ((i as f32 * 0.618).sin() * 0.8).powi(3))
+        .collect();
+    let matrix = QuantizedMatrix::from_tensor(&Tensor::from_vec(vec![16, 96], weights));
+    let input: Vec<u16> = (0..96).map(|j| (j as u16).wrapping_mul(683)).collect();
+
+    // Exact fixed-point reference.
+    let truth: Vec<i64> = matrix
+        .rows()
+        .iter()
+        .map(|row| {
+            row.iter()
+                .zip(&input)
+                .map(|(&w, &x)| w as i64 * x as i64)
+                .sum()
+        })
+        .collect();
+    let truth_norm: f64 = truth.iter().map(|&t| (t as f64).powi(2)).sum::<f64>().sqrt();
+
+    println!("16×96 matrix, 3-bit cells, Table I noise parameters\n");
+    println!(
+        "{:<12} {:>12} {:>10} {:>10} {:>10}",
+        "scheme", "rel. error", "clean", "corrected", "miscorr."
+    );
+
+    for scheme in [
+        ProtectionScheme::None,
+        ProtectionScheme::Static128,
+        ProtectionScheme::data_aware(9),
+    ] {
+        let config = AccelConfig::new(scheme.clone())
+            .with_cell_bits(3)
+            .with_fault_rate(0.0);
+        let provider = CrossbarProvider::new(config, 2024);
+        let mut engine = provider.build(&matrix);
+
+        // Average deviation over several reads (independent noise).
+        let mut err = 0.0f64;
+        let reads = 8;
+        for _ in 0..reads {
+            let out = engine.mvm(&input);
+            let dist: f64 = out
+                .iter()
+                .zip(&truth)
+                .map(|(&o, &t)| ((o - t) as f64).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            err += dist / truth_norm;
+        }
+        let stats = provider.stats();
+        println!(
+            "{:<12} {:>11.5}% {:>10} {:>10} {:>10}",
+            scheme.label(),
+            err / reads as f64 * 100.0,
+            stats.clean,
+            stats.corrected,
+            stats.miscorrected
+        );
+    }
+
+    println!(
+        "\nThe data-aware code trims the output deviation while the naïve\n\
+         multi-operand code wastes its table on uniform single-bit errors\n\
+         (§V-A's limitations of naïve AN codes)."
+    );
+}

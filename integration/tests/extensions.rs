@@ -1,0 +1,133 @@
+//! Integration tests for the extension modules: multiresidue detection,
+//! hierarchy planning, fault-aware remapping, and endurance — and their
+//! composition with the core pipeline.
+
+use accel::hierarchy::{plan_network, HierarchyConfig};
+use accel::{remap, AccelConfig, CrossbarProvider, ProtectionScheme};
+use ancode::multiresidue::MultiResidueCode;
+use ancode::{AnCode, CorrectionPolicy, CorrectionTable};
+use neural::{models, MvmEngineProvider, QuantizedNetwork};
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wideint::{I256, U256};
+use xbar::endurance::{EnduranceParams, WearTracker};
+
+/// Multiresidue detection composes with analog-style summed operands:
+/// the distributive property holds for `A·B₁·B₂` exactly as for `A·B`.
+#[test]
+fn multiresidue_conserves_addition() {
+    let an = AnCode::new(41).unwrap();
+    let table = CorrectionTable::for_single_bit_prefix(&an, 12);
+    let code = MultiResidueCode::new(41, &[3, 5], table, 10).unwrap();
+    let x = code.encode(U256::from(100u64)).unwrap();
+    let y = code.encode(U256::from(333u64)).unwrap();
+    let out = code.decode((x + y).into(), CorrectionPolicy::Revert);
+    assert_eq!(out.value.to_i128(), Some(433));
+    assert!(out.status.is_trusted());
+}
+
+/// Endurance wear feeding back into the fault-rate configuration: a
+/// worn array evaluated with the matching stuck-at rate still maps and
+/// runs under the split-table codes.
+#[test]
+fn wear_out_feeds_fault_rate() {
+    let params = EnduranceParams::default();
+    let mut rng = ChaCha8Rng::seed_from_u64(80);
+    let mut tracker = WearTracker::new(10_000, &params, &mut rng);
+    tracker.record_writes(2_000_000); // early-life wear
+    let measured_rate = tracker.failure_rate();
+    assert!(measured_rate < 0.2, "early-life rate {measured_rate}");
+
+    // Configure the accelerator with the measured wear-out rate.
+    let config = AccelConfig::new(ProtectionScheme::data_aware(9))
+        .with_fault_rate(measured_rate.max(1e-4));
+    let matrix = neural::QuantizedMatrix::from_tensor(&neural::Tensor::from_vec(
+        vec![8, 32],
+        (0..256).map(|i| ((i % 17) as f32 - 8.0) / 10.0).collect(),
+    ));
+    let provider = CrossbarProvider::new(config, 81);
+    let mut engine = provider.build(&matrix);
+    let out = engine.mvm(&vec![1000u16; 32]);
+    assert_eq!(out.len(), 8);
+}
+
+/// The hierarchy plan and the actual mapping agree on physical row
+/// counts for a dense layer.
+#[test]
+fn plan_matches_mapping_row_counts() {
+    let mut rng = ChaCha8Rng::seed_from_u64(82);
+    let net = models::mlp2(&mut rng);
+    let qnet = QuantizedNetwork::from_network(&net);
+    let config = AccelConfig::new(ProtectionScheme::None);
+    let plan = plan_network(&qnet, &config, &HierarchyConfig::default());
+
+    let mut mapped_rows = 0usize;
+    let mut map_rng = ChaCha8Rng::seed_from_u64(83);
+    for matrix in qnet.mvm_matrices() {
+        let mapped = accel::mapping::map_matrix(matrix.rows(), &config, &mut map_rng).unwrap();
+        mapped_rows += mapped.total_physical_rows();
+    }
+    assert_eq!(plan.data_rows + plan.check_rows, mapped_rows);
+}
+
+/// A remapped matrix produces the same noiseless outputs (restored to
+/// the original order) as the unmapped matrix.
+#[test]
+fn remap_preserves_noiseless_semantics() {
+    let rows: Vec<Vec<u16>> = (0..16)
+        .map(|o| {
+            (0..24)
+                .map(|j| (32768i64 + ((o * 101 + j * 13) % 2000) as i64 - 1000) as u16)
+                .collect()
+        })
+        .collect();
+    let mut config = AccelConfig::new(ProtectionScheme::data_aware(9));
+    config.device.rtn_state_probability = 0.0;
+    config.device.programming_tolerance = 0.0;
+    config.device.fault_rate = 0.0;
+    config.device.bandwidth = 0.0;
+
+    let input: Vec<u16> = (0..24).map(|j| (j * 713) as u16).collect();
+    let reference: Vec<i64> = rows
+        .iter()
+        .map(|r| r.iter().zip(&input).map(|(&w, &x)| w as i64 * x as i64).sum())
+        .collect();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(84);
+    let plan = remap::fault_aware_order(&rows, &config, &mut rng);
+    let remapped_rows = plan.apply(&rows);
+
+    // The remapped rows still map onto stacks without error…
+    let mapped = accel::mapping::map_matrix(&remapped_rows, &config, &mut rng).unwrap();
+    assert_eq!(mapped.out_dim, 16);
+
+    // …and their dot products, restored to original order, match the
+    // unmapped reference exactly.
+    let remapped_out: Vec<i64> = remapped_rows
+        .iter()
+        .map(|r| r.iter().zip(&input).map(|(&w, &x)| w as i64 * x as i64).sum())
+        .collect();
+    let restored = plan.restore_outputs(&remapped_out);
+    assert_eq!(restored, reference);
+}
+
+/// Multiresidue codes slot into a table built by the data-aware
+/// allocator (not just the static prefix builder).
+#[test]
+fn multiresidue_with_data_aware_table() {
+    use ancode::data_aware::{build_table, DataAwareConfig};
+    use ancode::{RowError, RowErrorModel};
+
+    let model = RowErrorModel::new(
+        (0..6).map(|r| RowError::symmetric(r * 2, 0.02 * (r + 1) as f64)).collect(),
+        16,
+    );
+    let table = build_table(79, &model, &DataAwareConfig::default()).unwrap();
+    let code = MultiResidueCode::new(79, &[3, 5], table, 12).unwrap();
+    let clean = code.encode(U256::from(900u64)).unwrap();
+    // The dominant row error (bit 10, +1) is covered and corrected.
+    let observed = I256::from(clean) + I256::from_i128(1 << 10);
+    let out = code.decode(observed, CorrectionPolicy::Revert);
+    assert!(out.status.was_corrected());
+    assert_eq!(out.value.to_i128(), Some(900));
+}

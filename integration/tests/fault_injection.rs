@@ -1,0 +1,134 @@
+//! Fault-injection integration tests: deterministic error scenarios
+//! pushed through the full decode path.
+
+use accel::{mapping, AccelConfig, ProtectionScheme};
+use ancode::{CorrectionPolicy, DecodeStatus, Syndrome};
+use neural::MvmEngineProvider;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wideint::{I256, U256};
+
+fn noiseless(scheme: ProtectionScheme) -> AccelConfig {
+    let mut c = AccelConfig::new(scheme);
+    c.device.rtn_state_probability = 0.0;
+    c.device.programming_tolerance = 0.0;
+    c.device.fault_rate = 0.0;
+    c.device.bandwidth = 0.0;
+    c
+}
+
+fn biased(w: i32) -> u16 {
+    (w + 32768) as u16
+}
+
+/// Maps one 8-row group noiselessly, reads every row under a mask, and
+/// verifies the reduced group value decodes to the exact packed sum —
+/// then injects row-level errors into the reduced value and checks the
+/// code's verdicts.
+#[test]
+fn injected_row_errors_follow_decode_contract() {
+    // Wide rows so the binomial predictor assigns real probabilities
+    // (the data-aware table is built from the default noisy device
+    // model; error injection below is digital and deterministic).
+    let rows: Vec<Vec<u16>> = (0..8)
+        .map(|o| (0..96).map(|j| biased((o * j) as i32 - 40)).collect())
+        .collect();
+    let config = AccelConfig::new(ProtectionScheme::data_aware(9)).with_fault_rate(0.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(50);
+    let mapped = mapping::map_matrix(&rows, &config, &mut rng).unwrap();
+    let stack = &mapped.stacks[0][0];
+    let code = stack.code.as_ref().unwrap();
+
+    // Compute the clean group value digitally: the sum of the encoded
+    // per-column blocks under the all-ones mask.
+    let group = ancode::OperandGroup::new(config.group);
+    let mut packed_sum = U256::ZERO;
+    for j in 0..96 {
+        let ops: Vec<u64> = (0..8).map(|o| rows[o][j] as u64).collect();
+        packed_sum = packed_sum + group.pack(&ops).unwrap();
+    }
+    let clean = packed_sum.checked_mul_u64(code.multiplier()).unwrap();
+
+    // Clean decode.
+    let outcome = code.decode(clean.into(), CorrectionPolicy::Revert);
+    assert_eq!(outcome.status, DecodeStatus::Clean);
+
+    // Single-row ±1 errors whose exact syndrome is in the table must
+    // decode back to the clean value; errors that merely *alias* a
+    // different entry may miscorrect (the §V-A hazard) — those are not
+    // asserted exact.
+    let clean_value = outcome.value;
+    let mut covered = 0;
+    for row in 0..stack.array.row_count() {
+        let bit = stack.slicer.row_lsb(row as u32);
+        let syndrome = Syndrome::single(bit, 1);
+        let residue = ancode::AnCode::new(code.a()).unwrap().residue(syndrome.value());
+        let table_hit = code
+            .table()
+            .lookup(residue)
+            .is_some_and(|e| e.syndrome == syndrome);
+        let observed = I256::from(clean) + syndrome.value();
+        let outcome = code.decode(observed, CorrectionPolicy::Revert);
+        if table_hit {
+            assert!(outcome.status.was_corrected(), "row {row}: {:?}", outcome.status);
+            assert_eq!(outcome.value, clean_value, "row {row}");
+            covered += 1;
+        }
+    }
+    assert!(covered > 0, "the table should cover at least one row exactly");
+}
+
+/// With a 100 % stuck-cell array, the data-aware construction still
+/// produces a working split-table code and nois(eless) reads reflect
+/// the stuck values deterministically.
+#[test]
+fn fully_stuck_array_still_maps() {
+    let rows: Vec<Vec<u16>> = (0..8).map(|_| vec![biased(100); 8]).collect();
+    let mut config = noiseless(ProtectionScheme::data_aware(9));
+    config.device.fault_rate = 1.0;
+    let mut rng = ChaCha8Rng::seed_from_u64(51);
+    let mapped = mapping::map_matrix(&rows, &config, &mut rng).unwrap();
+    let stack = &mapped.stacks[0][0];
+    let code = stack.code.as_ref().unwrap();
+    // Stuck rows exist, so the stuck-aware half must be bounded by
+    // capacity/2 and the transient half nonempty or empty (all rows
+    // stuck means most candidates involve stuck rows).
+    let (_, stuck) = code.table().half_sizes();
+    assert!(stuck <= (code.a() as usize - 1) / 2);
+    assert!(stack.array.rows().iter().all(|r| r.has_stuck()));
+}
+
+/// The Figure 3 story: an additive error of +1 can flip four bits of
+/// the binary representation yet remain a distance-1 arithmetic error —
+/// and the AN machinery corrects it where a Hamming view would not.
+#[test]
+fn figure_3_arithmetic_vs_hamming_distance() {
+    let code = ancode::AbnCode::classic(19, 3, 4).unwrap();
+    let seven = code.encode(U256::from(7u64)).unwrap();
+    let observed = I256::from(seven) + I256::from_i128(1);
+    // Binary 0111 + 1 = 1000: Hamming distance 4 from the true value,
+    // arithmetic distance 1.
+    let outcome = code.decode(observed, CorrectionPolicy::Revert);
+    assert!(outcome.status.was_corrected());
+    assert_eq!(outcome.value.to_i128(), Some(7));
+}
+
+/// Retries recover borderline thermal-noise errors but cannot fix a
+/// persistent stuck-at-dominated group: the retry loop must terminate
+/// and fall back to the policy value.
+#[test]
+fn retries_terminate_on_persistent_errors() {
+    let mut config = AccelConfig::new(ProtectionScheme::data_aware(7)).with_fault_rate(0.05);
+    config.max_retries = 3;
+    config.device.rtn_state_probability = 0.4; // heavy noise
+    let provider = accel::CrossbarProvider::new(config, 52);
+    let matrix = neural::QuantizedMatrix::from_tensor(&neural::Tensor::from_vec(
+        vec![8, 32],
+        (0..8 * 32).map(|i| ((i % 100) as f32) / 100.0 - 0.4).collect(),
+    ));
+    let mut engine = provider.build(&matrix);
+    let input: Vec<u16> = (0..32).map(|i| (i * 2000) as u16).collect();
+    // Must terminate (bounded retries) and produce outputs.
+    let out = engine.mvm(&input);
+    assert_eq!(out.len(), 8);
+}

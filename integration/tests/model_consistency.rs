@@ -1,0 +1,164 @@
+//! Consistency between the three error-model fidelities: the analytical
+//! binomial predictor (§V-B5), the Monte-Carlo array sampler, and the
+//! transient (SPICE-equivalent) simulator must agree on the error-rate
+//! regime for the same row state.
+
+use analog::TransientRow;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use xbar::{rowerr, CrossbarArray, DeviceParams, InputMask};
+
+fn fig7_levels() -> Vec<u32> {
+    (0..128).map(|i| i % 4).collect()
+}
+
+fn clean_params() -> DeviceParams {
+    DeviceParams {
+        fault_rate: 0.0,
+        programming_tolerance: 0.0,
+        ..DeviceParams::default()
+    }
+}
+
+/// All three fidelities land in the same error-rate band for the
+/// Figure 7 row (the paper reports 14.5 %).
+#[test]
+fn three_fidelities_agree_on_figure_7_row() {
+    let params = clean_params();
+    let mut rng = ChaCha8Rng::seed_from_u64(60);
+
+    // 1. Analytical predictor.
+    let predicted = rowerr::predict_composition(&[32, 32, 32, 32], &params).p_any();
+
+    // 2. Monte-Carlo array reads.
+    let array = CrossbarArray::program(&[fig7_levels()], &params, &mut rng);
+    let mask = InputMask::all_ones(128);
+    let ideal = array.ideal_row_output(0, &mask);
+    let trials = 3000;
+    let mc = (0..trials)
+        .filter(|_| array.read_row(0, &mask, &mut rng) != ideal)
+        .count() as f64
+        / trials as f64;
+
+    // 3. Transient simulation.
+    let mut row = TransientRow::new(&fig7_levels(), &params, &mut rng);
+    let trace = row.run(5e-3, 8000, &mut rng);
+    let transient = trace.error_stats().total_rate();
+
+    for (name, rate) in [("predicted", predicted), ("monte-carlo", mc), ("transient", transient)] {
+        assert!(
+            (0.01..0.45).contains(&rate),
+            "{name} rate {rate} outside the Figure 7 regime"
+        );
+    }
+    // Pairwise agreement within a factor of ~4 (they are different
+    // models of the same physics, not the same estimator).
+    let rates = [predicted, mc, transient];
+    for a in rates {
+        for b in rates {
+            assert!(a < b * 4.0 + 0.02, "rates diverge: {rates:?}");
+        }
+    }
+}
+
+/// Frozen-RTN reads have the same marginal error rate as independent
+/// reads (the snapshot changes correlation, not the per-read
+/// distribution).
+#[test]
+fn frozen_and_independent_reads_same_marginal() {
+    let params = clean_params();
+    let mut rng = ChaCha8Rng::seed_from_u64(61);
+    let array = CrossbarArray::program(&[fig7_levels()], &params, &mut rng);
+    let mask = InputMask::all_ones(128);
+    let ideal = array.ideal_row_output(0, &mask);
+
+    let trials = 3000;
+    let independent = (0..trials)
+        .filter(|_| array.read_row(0, &mask, &mut rng) != ideal)
+        .count() as f64
+        / trials as f64;
+    let frozen = (0..trials)
+        .filter(|_| {
+            let snap = array.sample_rtn(&mut rng);
+            array.read_row_frozen(0, &mask, &snap, &mut rng) != ideal
+        })
+        .count() as f64
+        / trials as f64;
+
+    assert!(
+        (independent - frozen).abs() < 0.05,
+        "independent {independent} vs frozen {frozen}"
+    );
+}
+
+/// The data-aware allocator consumes exactly the probabilities the
+/// predictor produces: a model with a hot MSB row yields a table whose
+/// top-probability entry involves that row.
+#[test]
+fn predictor_feeds_allocator_coherently() {
+    use ancode::data_aware::{build_table, DataAwareConfig};
+    use ancode::{RowError, RowErrorModel};
+
+    let params = DeviceParams::default();
+    // Hot row: all 128 cells at max level; cold row: nearly empty.
+    let hot = rowerr::predict_composition(&[0, 0, 0, 128], &params);
+    let cold = rowerr::predict_composition(&[120, 8, 0, 0], &params);
+    assert!(hot.p_any() > cold.p_any());
+
+    let model = RowErrorModel::new(
+        vec![
+            RowError {
+                lsb_bit: 0,
+                p_high: cold.p_high,
+                p_low: cold.p_low,
+                stuck: false,
+            },
+            RowError {
+                lsb_bit: 14,
+                p_high: hot.p_high,
+                p_low: hot.p_low,
+                stuck: false,
+            },
+        ],
+        16,
+    );
+    let table = build_table(41, &model, &DataAwareConfig::default()).unwrap();
+    let best = table
+        .iter()
+        .max_by(|a, b| a.1.probability.partial_cmp(&b.1.probability).unwrap())
+        .expect("table not empty");
+    assert_eq!(best.1.syndrome.msb(), 14, "hot row should dominate");
+}
+
+/// RTN parameter sweeps move all fidelities in the same direction.
+#[test]
+fn sensitivity_directions_consistent() {
+    let base = clean_params();
+    let hot = DeviceParams {
+        rtn_state_probability: 0.37,
+        ..clean_params()
+    };
+    let comp = [16, 16, 16, 80];
+    let p_base = rowerr::predict_composition(&comp, &base).p_any();
+    let p_hot = rowerr::predict_composition(&comp, &hot).p_any();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(62);
+    let levels: Vec<u32> = (0..128)
+        .map(|i| if i < 80 { 3 } else { (i % 3) as u32 })
+        .collect();
+    let mc_rate = |params: &DeviceParams, rng: &mut ChaCha8Rng| {
+        let array = CrossbarArray::program(&[levels.clone()], params, rng);
+        let mask = InputMask::all_ones(128);
+        let ideal = array.ideal_row_output(0, &mask);
+        (0..1500)
+            .filter(|_| array.read_row(0, &mask, rng) != ideal)
+            .count() as f64
+            / 1500.0
+    };
+    let m_base = mc_rate(&base, &mut rng);
+    let m_hot = mc_rate(&hot, &mut rng);
+
+    // Both fidelities agree on the direction of the Figure 12 sweep.
+    assert!(p_hot >= p_base * 0.8, "predictor: {p_base} → {p_hot}");
+    assert!(m_hot >= m_base * 0.8, "monte-carlo: {m_base} → {m_hot}");
+}

@@ -1,0 +1,74 @@
+//! Cross-crate property tests: the noiseless accelerator datapath is an
+//! exact MVM for arbitrary matrices, schemes, and cell widths.
+
+use accel::{AccelConfig, CrossbarProvider, ProtectionScheme};
+use neural::{MvmEngineProvider, QuantizedMatrix, Tensor};
+use proptest::prelude::*;
+
+fn noiseless(scheme: ProtectionScheme, bits: u32) -> AccelConfig {
+    let mut c = AccelConfig::new(scheme).with_cell_bits(bits);
+    c.device.rtn_state_probability = 0.0;
+    c.device.programming_tolerance = 0.0;
+    c.device.fault_rate = 0.0;
+    c.device.bandwidth = 0.0;
+    c
+}
+
+fn exact(matrix: &QuantizedMatrix, input: &[u16]) -> Vec<i64> {
+    matrix
+        .rows()
+        .iter()
+        .map(|row| row.iter().zip(input).map(|(&w, &x)| w as i64 * x as i64).sum())
+        .collect()
+}
+
+fn matrix_strategy() -> impl Strategy<Value = (QuantizedMatrix, Vec<u16>)> {
+    (1usize..12, 1usize..20).prop_flat_map(|(out, inp)| {
+        (
+            proptest::collection::vec(-1.0f32..1.0, out * inp),
+            proptest::collection::vec(any::<u16>(), inp),
+        )
+            .prop_map(move |(w, input)| {
+                (
+                    QuantizedMatrix::from_tensor(&Tensor::from_vec(vec![out, inp], w)),
+                    input,
+                )
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn noiseless_unprotected_exact((matrix, input) in matrix_strategy()) {
+        let provider = CrossbarProvider::new(noiseless(ProtectionScheme::None, 2), 1);
+        let mut engine = provider.build(&matrix);
+        prop_assert_eq!(engine.mvm(&input), exact(&matrix, &input));
+    }
+
+    #[test]
+    fn noiseless_data_aware_exact((matrix, input) in matrix_strategy()) {
+        let provider = CrossbarProvider::new(noiseless(ProtectionScheme::data_aware(9), 2), 2);
+        let mut engine = provider.build(&matrix);
+        prop_assert_eq!(engine.mvm(&input), exact(&matrix, &input));
+    }
+
+    #[test]
+    fn noiseless_exact_any_cell_width(
+        (matrix, input) in matrix_strategy(),
+        bits in 1u32..=5,
+    ) {
+        let provider = CrossbarProvider::new(noiseless(ProtectionScheme::Static16, bits), 3);
+        let mut engine = provider.build(&matrix);
+        prop_assert_eq!(engine.mvm(&input), exact(&matrix, &input));
+    }
+
+    #[test]
+    fn repeated_reads_are_deterministic_without_noise((matrix, input) in matrix_strategy()) {
+        let provider = CrossbarProvider::new(noiseless(ProtectionScheme::Static128, 3), 4);
+        let mut engine = provider.build(&matrix);
+        let first = engine.mvm(&input);
+        prop_assert_eq!(engine.mvm(&input), first);
+    }
+}

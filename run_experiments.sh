@@ -1,0 +1,22 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper. Results land in
+# results/*.json; logs in results/logs/.
+set -u
+mkdir -p results/logs
+export REPRO_TRAIN=${REPRO_TRAIN:-8000}
+run() {
+  name=$1; samples=$2
+  echo "=== $name (REPRO_SAMPLES=$samples) ==="
+  REPRO_SAMPLES=$samples cargo run --release -p bench --bin "$name" \
+    > "results/logs/$name.log" 2>&1
+  echo "    done: $(date +%H:%M:%S)"
+}
+run fig10_misclassification ${REPRO_SAMPLES:-60}
+run table3_alexnet ${REPRO_SAMPLES:-60}
+run fig11_cell_faults ${REPRO_SAMPLES:-36}
+run fig12_sensitivity ${REPRO_SAMPLES:-36}
+run ablation_group_size 24
+run ablation_policy 24
+run ablation_rtn_offset 24
+run ablation_table_depth 24
+echo "all experiments complete"

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Fills EXPERIMENTS.md placeholders from results/logs/*.log rows."""
+import re, sys, json, os
+
+def parse_rows(path):
+    rows = []
+    if not os.path.exists(path):
+        return rows
+    pat = re.compile(r"\[(\w+)\] (\S+) (\d)b: misclass ([\d.]+) flips ([\d.]+) \((\d+) samples")
+    sw = re.compile(r"\[(\w+)\] software misclassification: ([\d.]+)%")
+    for line in open(path):
+        m = pat.search(line)
+        if m:
+            rows.append(dict(network=m.group(1), scheme=m.group(2), bits=int(m.group(3)),
+                             mis=float(m.group(4)), flips=float(m.group(5)), n=int(m.group(6))))
+        m = sw.search(line)
+        if m:
+            rows.append(dict(network=m.group(1), scheme="Software", bits=0,
+                             mis=float(m.group(2))/100.0, flips=0.0, n=0))
+    return rows
+
+def grid_table(rows):
+    if not rows:
+        return "_(run did not complete in the recorded session; regenerate with the binary above)_"
+    nets = []
+    for r in rows:
+        if r["network"] not in nets:
+            nets.append(r["network"])
+    schemes = ["Software","NoECC","Static16","Static128","ABN-7","ABN-8","ABN-9","ABN-10"]
+    out = []
+    for net in nets:
+        sub = [r for r in rows if r["network"] == net]
+        n = max((r["n"] for r in sub), default=0)
+        out.append(f"\n**{net}** ({n} samples/config; misclassification % / flip %):\n")
+        out.append("| scheme | " + " | ".join(f"{b}-bit" for b in range(1,6)) + " |")
+        out.append("|---|" + "---|"*5)
+        for s in schemes:
+            cells = []
+            for b in range(1,6):
+                match = [r for r in sub if r["scheme"]==s and r["bits"]==b]
+                if s == "Software":
+                    swr = [r for r in sub if r["scheme"]=="Software"]
+                    cells.append(f"{swr[0]['mis']*100:.1f}" if swr else "—")
+                elif match:
+                    cells.append(f"{match[0]['mis']*100:.1f} / {match[0]['flips']*100:.1f}")
+                else:
+                    cells.append("—")
+            out.append(f"| {s} | " + " | ".join(cells) + " |")
+    return "\n".join(out)
+
+def simple_json_table(path, cols):
+    if not os.path.exists(path):
+        return "_(run did not complete in the recorded session; regenerate with the binary above)_"
+    data = json.load(open(path))
+    out = ["| " + " | ".join(cols) + " |", "|" + "---|"*len(cols)]
+    for row in data:
+        out.append("| " + " | ".join(fmt(row.get(c)) for c in cols) + " |")
+    return "\n".join(out)
+
+def fmt(v):
+    if isinstance(v, float):
+        return f"{v:.4f}" if abs(v) < 10 else f"{v:.1f}"
+    return str(v)
+
+md = open("EXPERIMENTS.md").read()
+md = md.replace("<!-- FIG10_TABLE -->", grid_table(parse_rows("results/logs/fig10_misclassification.log")))
+md = md.replace("<!-- FIG11_TABLE -->", grid_table(parse_rows("results/logs/fig11_cell_faults.log")))
+def fig12_table():
+    path = "results/logs/fig12_sensitivity.log"
+    if not os.path.exists(path):
+        return "_(not recorded)_"
+    pat = re.compile(r"(ΔR/R\(R_LO\)|p_RTN)=([\d.]+)%\s+(\S+)\s+-> ([\d.]+)%")
+    rows = [pat.search(l) for l in open(path)]
+    rows = [m for m in rows if m]
+    if not rows:
+        return "_(not recorded)_"
+    out = ["| axis | value | scheme | misclassification |", "|---|---|---|---|"]
+    for m in rows:
+        out.append(f"| {m.group(1)} | {m.group(2)}% | {m.group(3)} | {m.group(4)}% |")
+    return "\n".join(out)
+
+if os.path.exists("results/fig12_sensitivity.json"):
+    md = md.replace("<!-- FIG12_TABLE -->", simple_json_table("results/fig12_sensitivity.json",
+        ["axis","value","scheme","misclassification"]))
+else:
+    md = md.replace("<!-- FIG12_TABLE -->", fig12_table())
+md = md.replace("<!-- TABLE3 -->", simple_json_table("results/table3_alexnet.json",
+    ["config","top1","top5"]))
+
+abl = []
+for name, cols in [
+    ("ablation_multiresidue", ["bs","check_bits","theoretical_escape","measured_silent_escapes","trials"]),
+    ("ablation_group_size", ["operands","check_bits_per_128","misclassification"]),
+    ("ablation_policy", ["policy","retries","misclassification"]),
+    ("ablation_rtn_offset", ["rtn_offset","scheme","misclassification"]),
+    ("ablation_table_depth", ["max_rows_per_event","misclassification"]),
+]:
+    abl.append(f"\n### {name}\n")
+    abl.append(simple_json_table(f"results/{name}.json", cols))
+md = md.replace("<!-- ABLATIONS -->", "\n".join(abl))
+open("EXPERIMENTS.md","w").write(md)
+print("EXPERIMENTS.md updated")
