@@ -66,21 +66,26 @@ pub fn evaluate(
                 let provider = CrossbarProvider::new(config.clone(), seed.wrapping_add(t as u64));
                 let mut engines = qnet.build_engines(&provider);
                 let mut exact_engines = qnet.build_engines(&neural::ExactProvider);
+                // Per-worker reusable buffers: after the first example
+                // grows them to the network's high-water mark, the loop
+                // body performs no heap allocation.
+                let mut scratch = neural::RunScratch::new();
+                let mut exact_scratch = neural::RunScratch::new();
+                let mut top = Vec::with_capacity(TOP_K);
                 let mut top1_errors = 0usize;
                 let mut top5_errors = 0usize;
                 let mut flips = 0usize;
                 for i in lo..hi {
                     let image = &images_data[i * per_image..(i + 1) * per_image];
-                    let logits = qnet.run(image, &mut engines);
-                    let k = 5.min(logits.len());
-                    let top = Tensor::from_vec(vec![logits.len()], logits).top_k(k);
+                    let logits = qnet.run_with(image, &mut engines, &mut scratch);
+                    top_k_into(logits, TOP_K.min(logits.len()), &mut top);
                     if top[0] != labels[i] {
                         top1_errors += 1;
                     }
                     if !top.contains(&labels[i]) {
                         top5_errors += 1;
                     }
-                    if qnet.predict(image, &mut exact_engines) != top[0] {
+                    if qnet.predict_with(image, &mut exact_engines, &mut exact_scratch) != top[0] {
                         flips += 1;
                     }
                 }
@@ -121,6 +126,33 @@ pub fn software_baseline(
     labels: &[usize],
 ) -> f64 {
     1.0 - network.evaluate(images, labels)
+}
+
+/// Classes counted for the top-k misclassification rate.
+const TOP_K: usize = 5;
+
+/// Writes the indices of the `k` largest logits into `top`, in
+/// descending order, reusing the buffer.
+///
+/// Matches `Tensor::top_k` exactly, including tie-breaking: that method
+/// stable-sorts descending by value, so equal logits keep ascending
+/// index order. Here the ascending scan inserts a tying index after the
+/// entries already present (which all have smaller indices), preserving
+/// the same order without sorting the full array or allocating.
+fn top_k_into(logits: &[f32], k: usize, top: &mut Vec<usize>) {
+    top.clear();
+    for i in 0..logits.len() {
+        let mut pos = top.len();
+        while pos > 0 && logits[top[pos - 1]] < logits[i] {
+            pos -= 1;
+        }
+        if pos < k {
+            if top.len() == k {
+                top.pop();
+            }
+            top.insert(pos, i);
+        }
+    }
 }
 
 fn merge(mut a: DecodeStats, b: DecodeStats) -> DecodeStats {
@@ -196,8 +228,39 @@ mod tests {
         // Noise-free: results are deterministic, so thread count must not
         // change them.
         let single = evaluate(&qnet, &images, &labels, &config, 3, 1);
-        let multi = evaluate(&qnet, &images, &labels, &config, 3, 4);
-        assert_eq!(single.misclassification, multi.misclassification);
+        for threads in [2, 4, 7] {
+            let multi = evaluate(&qnet, &images, &labels, &config, 3, threads);
+            assert_eq!(single.misclassification, multi.misclassification, "{threads} threads");
+            assert_eq!(
+                single.top5_misclassification, multi.top5_misclassification,
+                "{threads} threads"
+            );
+            assert_eq!(single.flip_rate, multi.flip_rate, "{threads} threads");
+            assert_eq!(single.samples, multi.samples, "{threads} threads");
+            // The per-worker decode counters partition the example set,
+            // so their noise-free aggregate is partition-independent too.
+            assert_eq!(single.stats, multi.stats, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn top_k_scan_matches_tensor_top_k() {
+        // Including ties, which must resolve to ascending index order.
+        let cases: Vec<Vec<f32>> = vec![
+            vec![0.1, 0.9, 0.5, 0.9, 0.2, 0.9, 0.05],
+            vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+            vec![-3.0, -1.0, -2.0],
+            vec![0.25],
+            (0..12).map(|i| ((i * 7) % 5) as f32).collect(),
+        ];
+        let mut top = Vec::new();
+        for logits in cases {
+            for k in 1..=logits.len().min(6) {
+                let expected = Tensor::from_vec(vec![logits.len()], logits.clone()).top_k(k);
+                top_k_into(&logits, k, &mut top);
+                assert_eq!(top, expected, "logits {logits:?} k {k}");
+            }
+        }
     }
 
     #[test]

@@ -83,6 +83,35 @@ pub struct DecodeOutcome {
     pub status: DecodeStatus,
 }
 
+/// How a decode concluded, without the applied syndrome.
+///
+/// The allocation-free counterpart of [`DecodeStatus`]: hot loops that
+/// only need to *count* outcomes (the ECU statistics of Figure 9) use
+/// [`AbnCode::decode_value`], which returns this `Copy` summary instead
+/// of cloning the corrected [`Syndrome`] into a [`DecodeStatus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DecodeKind {
+    /// Residue zero, `B` check passed.
+    Clean,
+    /// Table hit, corrected value passed the `B` check.
+    Corrected,
+    /// Residue absent from the correction table.
+    Uncorrectable,
+    /// Correction applied but flagged by the `B` check.
+    Miscorrected,
+    /// Error was an exact multiple of `A`, caught only by `B`.
+    SilentA,
+}
+
+impl DecodeKind {
+    /// Whether the decoder believes the value is exact (mirrors
+    /// [`DecodeStatus::is_trusted`]).
+    pub fn is_trusted(self) -> bool {
+        matches!(self, DecodeKind::Clean | DecodeKind::Corrected)
+    }
+}
+
 /// An ABN arithmetic code: correction with `A`, detection with `B`.
 ///
 /// Data is encoded by multiplication with `A·B`. Decoding computes the
@@ -119,6 +148,10 @@ pub struct AbnCode {
     b: u64,
     table: CorrectionTable,
     data_bits: u32,
+    /// Dense residue-indexed cache of each table entry's syndrome value,
+    /// so the decode hot path reads one `Copy` value instead of chasing
+    /// the `TableEntry` and re-deriving the correction from its terms.
+    syndrome_values: Vec<Option<I256>>,
 }
 
 /// Returns whether `n` is prime (trial division; `n` is always small).
@@ -164,11 +197,15 @@ impl AbnCode {
         if !is_prime(b) || gcd(a, b) != 1 {
             return Err(CodeError::InvalidB { a, b });
         }
+        let syndrome_values = (0..a)
+            .map(|residue| table.lookup(residue).map(|entry| entry.syndrome.value()))
+            .collect();
         Ok(AbnCode {
             an,
             b,
             table,
             data_bits,
+            syndrome_values,
         })
     }
 
@@ -243,7 +280,64 @@ impl AbnCode {
     ///
     /// The input is signed: analog outputs are non-negative, but callers
     /// may feed back partially corrected values.
+    ///
+    /// Returns the full [`DecodeOutcome`], including the applied
+    /// [`Syndrome`] for corrected and miscorrected results; hot loops
+    /// that only tally outcomes should prefer the allocation-free
+    /// [`AbnCode::decode_value`].
     pub fn decode(&self, observed: I256, policy: CorrectionPolicy) -> DecodeOutcome {
+        let (value, kind) = self.decode_value(observed, policy);
+        let status = match kind {
+            DecodeKind::Clean => DecodeStatus::Clean,
+            DecodeKind::SilentA => DecodeStatus::SilentAError,
+            DecodeKind::Uncorrectable => DecodeStatus::Uncorrectable,
+            DecodeKind::Corrected | DecodeKind::Miscorrected => {
+                let a = self.an.a();
+                let residue = observed.rem_euclid_u64(a).expect("A is nonzero");
+                let entry = self
+                    .table
+                    .lookup(residue)
+                    .expect("decode_value applied a table entry");
+                if kind == DecodeKind::Corrected {
+                    DecodeStatus::Corrected(entry.syndrome.clone())
+                } else {
+                    DecodeStatus::MiscorrectionDetected {
+                        attempted: entry.syndrome.clone(),
+                    }
+                }
+            }
+        };
+        DecodeOutcome { value, status }
+    }
+
+    /// Decodes a computation result without materialising the applied
+    /// [`Syndrome`].
+    ///
+    /// Semantically identical to [`AbnCode::decode`] — same value, and a
+    /// [`DecodeKind`] mirroring the corresponding [`DecodeStatus`] — but
+    /// heap-allocation-free: the correction comes from a dense
+    /// residue-indexed cache of syndrome values built at construction.
+    /// This is the entry point the accelerator's decode loop uses.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ancode::{AbnCode, CorrectionPolicy, DecodeKind};
+    /// use wideint::{I256, U256};
+    ///
+    /// let code = AbnCode::classic(19, 3, 5)?;
+    /// let clean = code.encode(U256::from(26u64))?;
+    ///
+    /// let (value, kind) = code.decode_value(
+    ///     I256::from(clean + U256::from(4u64)),
+    ///     CorrectionPolicy::Revert,
+    /// );
+    /// assert_eq!(kind, DecodeKind::Corrected);
+    /// assert!(kind.is_trusted());
+    /// assert_eq!(value.to_i128(), Some(26));
+    /// # Ok::<(), ancode::CodeError>(())
+    /// ```
+    pub fn decode_value(&self, observed: I256, policy: CorrectionPolicy) -> (I256, DecodeKind) {
         let a = self.an.a();
         let residue = observed.rem_euclid_u64(a).expect("A is nonzero");
 
@@ -252,46 +346,29 @@ impl AbnCode {
             // multiple of A.
             let q = observed.div_exact_u64(a).expect("residue checked zero");
             return match q.div_exact_u64(self.b) {
-                Some(value) => DecodeOutcome {
-                    value,
-                    status: DecodeStatus::Clean,
-                },
-                None => DecodeOutcome {
-                    value: self.best_effort(observed),
-                    status: DecodeStatus::SilentAError,
-                },
+                Some(value) => (value, DecodeKind::Clean),
+                None => (self.best_effort(observed), DecodeKind::SilentA),
             };
         }
 
-        match self.table.lookup(residue) {
-            Some(entry) => {
-                let corrected = observed - entry.syndrome.value();
+        match self.syndrome_values[residue as usize] {
+            Some(syndrome) => {
+                let corrected = observed - syndrome;
                 let q = corrected
                     .div_exact_u64(a)
                     .expect("syndrome residue matches by construction");
                 match q.div_exact_u64(self.b) {
-                    Some(value) => DecodeOutcome {
-                        value,
-                        status: DecodeStatus::Corrected(entry.syndrome.clone()),
-                    },
+                    Some(value) => (value, DecodeKind::Corrected),
                     None => {
                         let value = match policy {
                             CorrectionPolicy::KeepCorrected => self.best_effort(corrected),
                             CorrectionPolicy::Revert => self.best_effort(observed),
                         };
-                        DecodeOutcome {
-                            value,
-                            status: DecodeStatus::MiscorrectionDetected {
-                                attempted: entry.syndrome.clone(),
-                            },
-                        }
+                        (value, DecodeKind::Miscorrected)
                     }
                 }
             }
-            None => DecodeOutcome {
-                value: self.best_effort(observed),
-                status: DecodeStatus::Uncorrectable,
-            },
+            None => (self.best_effort(observed), DecodeKind::Uncorrectable),
         }
     }
 

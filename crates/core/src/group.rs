@@ -165,10 +165,24 @@ impl OperandGroup {
     /// # Ok::<(), ancode::CodeError>(())
     /// ```
     pub fn split_signed(&self, error: I256) -> Vec<i64> {
+        let mut digits = Vec::new();
+        self.split_signed_into(error, &mut digits);
+        digits
+    }
+
+    /// Like [`OperandGroup::split_signed`], but writes the digits into a
+    /// caller-provided buffer instead of allocating a fresh `Vec`.
+    ///
+    /// `out` is cleared and resized to the lane count; a buffer whose
+    /// capacity already covers the layout is reused without allocating,
+    /// which is what the accelerator's per-stack loop relies on.
+    pub fn split_signed_into(&self, error: I256, out: &mut Vec<i64>) {
         let b = self.layout.operand_bits.min(62);
         let base = 1i128 << b;
         let half = base / 2;
-        let mut digits = vec![0i64; self.layout.operands];
+        out.clear();
+        out.resize(self.layout.operands, 0i64);
+        let digits = out;
         let negative = error.is_negative();
         let mut mag = error.magnitude();
         let mut carry = 0i128;
@@ -198,7 +212,6 @@ impl OperandGroup {
             let top = digits.last_mut().expect("layout has at least one lane");
             *top = top.saturating_add(extra.clamp(i64::MIN as i128, i64::MAX as i128) as i64);
         }
-        digits
     }
 }
 

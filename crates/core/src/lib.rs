@@ -90,7 +90,7 @@ pub mod search;
 mod syndrome;
 mod table;
 
-pub use abn::{AbnCode, CorrectionPolicy, DecodeOutcome, DecodeStatus};
+pub use abn::{AbnCode, CorrectionPolicy, DecodeKind, DecodeOutcome, DecodeStatus};
 pub use an::{min_single_error_a, AnCode};
 pub use error_list::{ErrorCandidate, ErrorList, ErrorListConfig};
 pub use group::{GroupLayout, OperandGroup};

@@ -175,6 +175,24 @@ impl CorrectionTable {
     ///
     /// Returns [`CodeError::ResidueCollision`] on conflict, leaving the
     /// table unchanged.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ancode::{AnCode, CorrectionTable, Syndrome, TableHalf};
+    ///
+    /// let code = AnCode::new(19)?;
+    /// let mut table = CorrectionTable::new(19)?;
+    /// // +2^0 has residue 1 under A = 19.
+    /// let residue = table.try_insert(&code, Syndrome::single(0, 1), 0.5, TableHalf::Transient)?;
+    /// assert_eq!(residue, 1);
+    /// // A second syndrome with the same residue is rejected and the
+    /// // table is left unchanged.
+    /// assert!(table.try_insert(&code, Syndrome::single(0, 1), 0.5, TableHalf::Transient).is_err());
+    /// assert_eq!(table.len(), 1);
+    /// assert_eq!(table.lookup(1).unwrap().probability, 0.5);
+    /// # Ok::<(), ancode::CodeError>(())
+    /// ```
     pub fn try_insert(
         &mut self,
         code: &AnCode,

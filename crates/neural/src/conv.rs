@@ -75,6 +75,44 @@ pub fn im2col(image: &[f32], geo: &ConvGeometry) -> Tensor {
     out
 }
 
+/// Writes row `p` of the [`im2col`] patch matrix into `out` without
+/// materialising the full matrix.
+///
+/// `out` is cleared and refilled with the `patch_len()` receptive-field
+/// values of output pixel `p`, identical to `im2col(image, geo).at2(p, ..)`.
+/// The quantized inference path extracts patches one at a time through
+/// this function so that a convolution needs only one patch-sized buffer
+/// rather than an `[out_h·out_w, C·k·k]` tensor per call.
+///
+/// # Panics
+///
+/// Panics if the image does not match the geometry or `p` is out of
+/// range.
+pub fn im2col_patch_into(image: &[f32], geo: &ConvGeometry, p: usize, out: &mut Vec<f32>) {
+    let (h, w) = geo.in_hw;
+    assert_eq!(image.len(), geo.in_channels * h * w, "image size mismatch");
+    let (oh, ow) = geo.out_hw();
+    assert!(p < oh * ow, "patch index {p} out of range");
+    let k = geo.kernel;
+    let pad = geo.padding as isize;
+    let (oy, ox) = (p / ow, p % ow);
+    out.clear();
+    for c in 0..geo.in_channels {
+        for ky in 0..k {
+            for kx in 0..k {
+                let iy = oy as isize + ky as isize - pad;
+                let ix = ox as isize + kx as isize - pad;
+                let v = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                    image[c * h * w + iy as usize * w + ix as usize]
+                } else {
+                    0.0
+                };
+                out.push(v);
+            }
+        }
+    }
+}
+
 /// A stride-1 2-D convolution layer.
 ///
 /// Both forward and backward are implemented via im2col so that training

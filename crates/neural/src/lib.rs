@@ -44,11 +44,12 @@ mod network;
 mod quant;
 mod tensor;
 
-pub use conv::{im2col, Conv2d, ConvGeometry, MaxPool2};
+pub use conv::{im2col, im2col_patch_into, Conv2d, ConvGeometry, MaxPool2};
 pub use layer::{softmax_cross_entropy, softmax_row, Dense, Flatten, Layer, Relu, Sigmoid};
 pub use network::{EpochStats, Network, SavedWeights};
 pub use quant::{
-    quantize_activations, Activation, ExactEngine, ExactProvider, MvmEngine, MvmEngineProvider,
-    MvmGeometry, QuantOp, QuantizedMatrix, QuantizedNetwork, QUANT_BITS, WEIGHT_BIAS,
+    quantize_activations, quantize_activations_into, Activation, ExactEngine, ExactProvider,
+    MvmEngine, MvmEngineProvider, MvmGeometry, QuantOp, QuantizedMatrix, QuantizedNetwork,
+    RunScratch, QUANT_BITS, WEIGHT_BIAS,
 };
 pub use tensor::Tensor;

@@ -12,7 +12,7 @@
 //! fixed-point software baseline), while the `accel` crate provides the
 //! noisy, AN-coded crossbar implementations.
 
-use crate::conv::{im2col, ConvGeometry};
+use crate::conv::{im2col_patch_into, ConvGeometry};
 use crate::layer::softmax_row;
 use crate::{Conv2d, Dense, Flatten, MaxPool2, Network, Relu, Sigmoid, Tensor};
 
@@ -102,16 +102,30 @@ impl QuantizedMatrix {
 /// Activations are non-negative by construction (images in `[0, 1]`,
 /// ReLU/sigmoid outputs); negative values are clamped to zero.
 pub fn quantize_activations(activations: &[f32]) -> (Vec<u16>, f32) {
+    let mut q = Vec::new();
+    let scale = quantize_activations_into(activations, &mut q);
+    (q, scale)
+}
+
+/// Like [`quantize_activations`], but writes into a caller-provided
+/// buffer (cleared first) and returns only the scale.
+///
+/// A buffer with sufficient capacity is reused without allocating; this
+/// is the variant the steady-state inference path uses.
+pub fn quantize_activations_into(activations: &[f32], q: &mut Vec<u16>) -> f32 {
+    q.clear();
     let max = activations.iter().fold(0.0f32, |m, &a| m.max(a));
     if max == 0.0 {
-        return (vec![0; activations.len()], 1.0);
+        q.resize(activations.len(), 0);
+        return 1.0;
     }
     let scale = max / u16::MAX as f32;
-    let q = activations
-        .iter()
-        .map(|&a| ((a.max(0.0) / scale).round() as u32).min(u16::MAX as u32) as u16)
-        .collect();
-    (q, scale)
+    q.extend(
+        activations
+            .iter()
+            .map(|&a| ((a.max(0.0) / scale).round() as u32).min(u16::MAX as u32) as u16),
+    );
+    scale
 }
 
 /// Executes biased unsigned matrix-vector products.
@@ -121,8 +135,21 @@ pub fn quantize_activations(activations: &[f32]) -> (Vec<u16>, f32) {
 /// shift-and-add tree produces. De-biasing and rescaling happen in the
 /// digital domain ([`QuantizedNetwork::run`]).
 pub trait MvmEngine {
-    /// Computes one matrix-vector product over quantized inputs.
-    fn mvm(&mut self, input: &[u16]) -> Vec<i64>;
+    /// Computes one matrix-vector product over quantized inputs, writing
+    /// the per-row outputs into `out`.
+    ///
+    /// `out` is cleared and refilled with `out_dim` entries; a buffer
+    /// with sufficient capacity is reused without allocating, which is
+    /// the contract the steady-state inference path
+    /// ([`QuantizedNetwork::run_with`]) relies on.
+    fn mvm_into(&mut self, input: &[u16], out: &mut Vec<i64>);
+
+    /// Computes one matrix-vector product, allocating a fresh output.
+    fn mvm(&mut self, input: &[u16]) -> Vec<i64> {
+        let mut out = Vec::new();
+        self.mvm_into(input, &mut out);
+        out
+    }
 }
 
 /// Builds engines for quantized matrices.
@@ -147,17 +174,15 @@ impl ExactEngine {
 }
 
 impl MvmEngine for ExactEngine {
-    fn mvm(&mut self, input: &[u16]) -> Vec<i64> {
-        self.rows
-            .iter()
-            .map(|row| {
-                assert_eq!(row.len(), input.len(), "input length mismatch");
-                row.iter()
-                    .zip(input)
-                    .map(|(&w, &x)| w as i64 * x as i64)
-                    .sum()
-            })
-            .collect()
+    fn mvm_into(&mut self, input: &[u16], out: &mut Vec<i64>) {
+        out.clear();
+        out.extend(self.rows.iter().map(|row| {
+            assert_eq!(row.len(), input.len(), "input length mismatch");
+            row.iter()
+                .zip(input)
+                .map(|(&w, &x)| w as i64 * x as i64)
+                .sum::<i64>()
+        }));
     }
 }
 
@@ -224,6 +249,35 @@ pub enum QuantOp {
         /// Input width.
         w: usize,
     },
+}
+
+/// Reusable buffers for [`QuantizedNetwork::run_with`].
+///
+/// Holds the activation double-buffer and the per-op quantization
+/// workspace, so that repeated evaluations against one scratch allocate
+/// nothing once every buffer has grown to the network's high-water
+/// mark. One scratch per worker thread; it carries no results between
+/// calls — only capacity.
+#[derive(Debug, Clone, Default)]
+pub struct RunScratch {
+    /// Current activations; holds the logits after the final op.
+    x: Vec<f32>,
+    /// Output buffer of the op being executed (swapped with `x`).
+    next: Vec<f32>,
+    /// Quantized activations for the current MVM.
+    q: Vec<u16>,
+    /// Raw engine outputs for the current MVM.
+    raw: Vec<i64>,
+    /// One im2col patch (convolutional ops).
+    patch: Vec<f32>,
+}
+
+impl RunScratch {
+    /// Creates an empty scratch; buffers grow on first use and are
+    /// reused afterwards.
+    pub fn new() -> RunScratch {
+        RunScratch::default()
+    }
 }
 
 /// A network lowered to quantized ops, executable on any [`MvmEngine`].
@@ -315,7 +369,28 @@ impl QuantizedNetwork {
     ///
     /// Panics if `engines` does not match the MVM op count.
     pub fn run(&self, input: &[f32], engines: &mut [Box<dyn MvmEngine>]) -> Vec<f32> {
-        let mut x: Vec<f32> = input.to_vec();
+        let mut scratch = RunScratch::new();
+        self.run_with(input, engines, &mut scratch);
+        scratch.x
+    }
+
+    /// Runs one input through the network using `scratch` for every
+    /// intermediate buffer, returning the logits as a borrow of the
+    /// scratch.
+    ///
+    /// Identical results to [`run`](QuantizedNetwork::run); the only
+    /// difference is allocation behaviour. After the buffers have grown
+    /// to the network's high-water mark (one warm-up evaluation), a
+    /// steady-state call performs no heap allocation at all — the
+    /// contract the accelerator's Monte-Carlo workers depend on.
+    pub fn run_with<'s>(
+        &self,
+        input: &[f32],
+        engines: &mut [Box<dyn MvmEngine>],
+        scratch: &'s mut RunScratch,
+    ) -> &'s [f32] {
+        scratch.x.clear();
+        scratch.x.extend_from_slice(input);
         let mut engine_idx = 0;
         for op in &self.ops {
             match op {
@@ -329,26 +404,67 @@ impl QuantizedNetwork {
                         .get_mut(engine_idx)
                         .expect("one engine per MVM op");
                     engine_idx += 1;
-                    x = match geometry {
-                        MvmGeometry::Dense => run_dense(matrix, bias, *activation, &x, engine),
-                        MvmGeometry::Conv(geo) => {
-                            run_conv(matrix, bias, *activation, geo, &x, engine)
-                        }
-                    };
+                    match geometry {
+                        MvmGeometry::Dense => run_dense_into(
+                            matrix,
+                            bias,
+                            *activation,
+                            &scratch.x,
+                            engine,
+                            &mut scratch.q,
+                            &mut scratch.raw,
+                            &mut scratch.next,
+                        ),
+                        MvmGeometry::Conv(geo) => run_conv_into(
+                            matrix,
+                            bias,
+                            *activation,
+                            geo,
+                            &scratch.x,
+                            engine,
+                            &mut scratch.q,
+                            &mut scratch.raw,
+                            &mut scratch.patch,
+                            &mut scratch.next,
+                        ),
+                    }
+                    std::mem::swap(&mut scratch.x, &mut scratch.next);
                 }
                 QuantOp::MaxPool { channels, h, w } => {
-                    x = run_maxpool(&x, *channels, *h, *w);
+                    run_maxpool_into(&scratch.x, *channels, *h, *w, &mut scratch.next);
+                    std::mem::swap(&mut scratch.x, &mut scratch.next);
                 }
             }
         }
         assert_eq!(engine_idx, engines.len(), "unused engines supplied");
-        x
+        &scratch.x
     }
 
     /// Convenience: class prediction for one input.
     pub fn predict(&self, input: &[f32], engines: &mut [Box<dyn MvmEngine>]) -> usize {
         let logits = self.run(input, engines);
         Tensor::from_vec(vec![logits.len()], logits).argmax()
+    }
+
+    /// Class prediction for one input using `scratch` buffers —
+    /// allocation-free in steady state, same result as
+    /// [`predict`](QuantizedNetwork::predict).
+    pub fn predict_with(
+        &self,
+        input: &[f32],
+        engines: &mut [Box<dyn MvmEngine>],
+        scratch: &mut RunScratch,
+    ) -> usize {
+        let logits = self.run_with(input, engines, scratch);
+        // Same tie-breaking as `Tensor::argmax` (`max_by` keeps the last
+        // maximal element).
+        let mut best = 0usize;
+        for (i, &v) in logits.iter().enumerate() {
+            if v >= logits[best] {
+                best = i;
+            }
+        }
+        best
     }
 
     /// Convenience: softmax probabilities for one input.
@@ -369,56 +485,63 @@ fn pool_in_shape(pool: &MaxPool2) -> (usize, usize, usize) {
     (c, oh * 2, ow * 2)
 }
 
-fn run_dense(
+#[allow(clippy::too_many_arguments)] // private helper: explicit split borrows of RunScratch
+fn run_dense_into(
     matrix: &QuantizedMatrix,
     bias: &[f32],
     activation: Activation,
     input: &[f32],
     engine: &mut Box<dyn MvmEngine>,
-) -> Vec<f32> {
+    q: &mut Vec<u16>,
+    raw: &mut Vec<i64>,
+    out: &mut Vec<f32>,
+) {
     assert_eq!(input.len(), matrix.in_dim(), "dense input size mismatch");
-    let (q, a_scale) = quantize_activations(input);
+    let a_scale = quantize_activations_into(input, q);
     let sum_q: i64 = q.iter().map(|&v| v as i64).sum();
-    let raw = engine.mvm(&q);
-    raw.iter()
-        .enumerate()
-        .map(|(o, &r)| {
-            let signed = r - WEIGHT_BIAS * sum_q;
-            activation.apply(signed as f32 * matrix.scale() * a_scale + bias[o])
-        })
-        .collect()
+    engine.mvm_into(q, raw);
+    out.clear();
+    out.extend(raw.iter().enumerate().map(|(o, &r)| {
+        let signed = r - WEIGHT_BIAS * sum_q;
+        activation.apply(signed as f32 * matrix.scale() * a_scale + bias[o])
+    }));
 }
 
-fn run_conv(
+#[allow(clippy::too_many_arguments)] // private helper: explicit split borrows of RunScratch
+fn run_conv_into(
     matrix: &QuantizedMatrix,
     bias: &[f32],
     activation: Activation,
     geo: &ConvGeometry,
     input: &[f32],
     engine: &mut Box<dyn MvmEngine>,
-) -> Vec<f32> {
-    let patches = im2col(input, geo);
+    q: &mut Vec<u16>,
+    raw: &mut Vec<i64>,
+    patch: &mut Vec<f32>,
+    out: &mut Vec<f32>,
+) {
     let (oh, ow) = geo.out_hw();
     let out_c = geo.out_channels;
-    let mut out = vec![0.0f32; out_c * oh * ow];
+    out.clear();
+    out.resize(out_c * oh * ow, 0.0);
     for p in 0..oh * ow {
-        let patch: Vec<f32> = (0..geo.patch_len()).map(|j| patches.at2(p, j)).collect();
-        let (q, a_scale) = quantize_activations(&patch);
+        im2col_patch_into(input, geo, p, patch);
+        let a_scale = quantize_activations_into(patch, q);
         let sum_q: i64 = q.iter().map(|&v| v as i64).sum();
-        let raw = engine.mvm(&q);
+        engine.mvm_into(q, raw);
         for (c, &r) in raw.iter().enumerate() {
             let signed = r - WEIGHT_BIAS * sum_q;
             out[c * oh * ow + p] =
                 activation.apply(signed as f32 * matrix.scale() * a_scale + bias[c]);
         }
     }
-    out
 }
 
-fn run_maxpool(input: &[f32], c: usize, h: usize, w: usize) -> Vec<f32> {
+fn run_maxpool_into(input: &[f32], c: usize, h: usize, w: usize, out: &mut Vec<f32>) {
     assert_eq!(input.len(), c * h * w, "pool input size mismatch");
     let (oh, ow) = (h / 2, w / 2);
-    let mut out = vec![0.0f32; c * oh * ow];
+    out.clear();
+    out.resize(c * oh * ow, 0.0);
     for ch in 0..c {
         for oy in 0..oh {
             for ox in 0..ow {
@@ -433,7 +556,6 @@ fn run_maxpool(input: &[f32], c: usize, h: usize, w: usize) -> Vec<f32> {
             }
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -485,12 +607,16 @@ mod tests {
 
         let matrix = QuantizedMatrix::from_tensor(dense.weights());
         let mut engine: Box<dyn MvmEngine> = Box::new(ExactEngine::new(&matrix));
-        let q_out = run_dense(
+        let (mut q, mut raw, mut q_out) = (Vec::new(), Vec::new(), Vec::new());
+        run_dense_into(
             &matrix,
             dense.bias().data(),
             Activation::None,
             &input,
             &mut engine,
+            &mut q,
+            &mut raw,
+            &mut q_out,
         );
         for (f, q) in float_out.data().iter().zip(&q_out) {
             assert!((f - q).abs() < 2e-3, "float {f} vs quant {q}");
@@ -557,6 +683,45 @@ mod tests {
         for (f, q) in float_logits.data().iter().zip(&q_logits) {
             assert!((f - q).abs() < 1e-2, "float {f} vs quant {q}");
         }
+    }
+
+    #[test]
+    fn run_with_reused_scratch_matches_run() {
+        // A conv + pool + dense network exercises every scratch buffer
+        // (activation double-buffer, quantization, patch extraction).
+        use crate::conv::ConvGeometry;
+        use crate::{Flatten, MaxPool2, Network, Relu};
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        let geo = ConvGeometry {
+            in_channels: 1,
+            out_channels: 2,
+            kernel: 3,
+            padding: 1,
+            in_hw: (6, 6),
+        };
+        let net = Network::new(vec![
+            Box::new(Conv2d::new(geo, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(MaxPool2::new(2, 6, 6)),
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(2 * 3 * 3, 4, &mut rng)),
+        ]);
+        let input: Vec<f32> = (0..36).map(|i| ((i % 7) as f32) / 7.0).collect();
+        let qnet = QuantizedNetwork::from_network(&net);
+        let mut engines = qnet.build_engines(&ExactProvider);
+
+        let reference = qnet.run(&input, &mut engines);
+        let mut scratch = RunScratch::new();
+        // Two evaluations against the same scratch: identical results,
+        // no state leaking between calls.
+        let first = qnet.run_with(&input, &mut engines, &mut scratch).to_vec();
+        let second = qnet.run_with(&input, &mut engines, &mut scratch).to_vec();
+        assert_eq!(first, reference);
+        assert_eq!(second, reference);
+        assert_eq!(
+            qnet.predict_with(&input, &mut engines, &mut scratch),
+            qnet.predict(&input, &mut engines)
+        );
     }
 
     #[test]

@@ -65,12 +65,20 @@ impl PhysicalRow {
 ///
 /// Produced by [`CrossbarArray::sample_rtn`] and consumed by
 /// [`CrossbarArray::read_row_frozen`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RtnSnapshot {
     traps: Vec<u128>,
 }
 
 impl RtnSnapshot {
+    /// An empty snapshot with capacity for `rows` rows, intended as the
+    /// reusable target of [`CrossbarArray::sample_rtn_into`].
+    pub fn with_row_capacity(rows: usize) -> RtnSnapshot {
+        RtnSnapshot {
+            traps: Vec::with_capacity(rows),
+        }
+    }
+
     /// Number of trapped cells in row `row`.
     pub fn trapped_in_row(&self, row: usize) -> u32 {
         self.traps[row].count_ones()
@@ -262,23 +270,31 @@ impl CrossbarArray {
     /// than independent per cycle — the regime the correction tables
     /// are designed for. Draw one snapshot per inference.
     pub fn sample_rtn<R: Rng + ?Sized>(&self, rng: &mut R) -> RtnSnapshot {
+        let mut snapshot = RtnSnapshot { traps: Vec::new() };
+        self.sample_rtn_into(rng, &mut snapshot);
+        snapshot
+    }
+
+    /// Like [`CrossbarArray::sample_rtn`], but refills a caller-provided
+    /// snapshot in place, reusing its trap buffer.
+    ///
+    /// Draws exactly the same random-number sequence as `sample_rtn`
+    /// (row-major, one uniform per cell when the trap probability is
+    /// nonzero), so the two are interchangeable under a fixed seed.
+    pub fn sample_rtn_into<R: Rng + ?Sized>(&self, rng: &mut R, snapshot: &mut RtnSnapshot) {
         let p = self.params.rtn_state_probability;
-        let traps = self
-            .rows
-            .iter()
-            .map(|row| {
-                let mut bits = 0u128;
-                if p > 0.0 {
-                    for j in 0..row.width() {
-                        if rng.gen::<f64>() < p {
-                            bits |= 1 << j;
-                        }
+        snapshot.traps.clear();
+        snapshot.traps.extend(self.rows.iter().map(|row| {
+            let mut bits = 0u128;
+            if p > 0.0 {
+                for j in 0..row.width() {
+                    if rng.gen::<f64>() < p {
+                        bits |= 1 << j;
                     }
                 }
-                bits
-            })
-            .collect();
-        RtnSnapshot { traps }
+            }
+            bits
+        }));
     }
 
     /// Reads row `row` under `mask` with the RTN occupancy frozen to
@@ -313,6 +329,50 @@ impl CrossbarArray {
         let sigma = (sigma_thermal * sigma_thermal + sigma_shot * sigma_shot).sqrt();
         let noisy = sample_normal(rng, current, sigma);
         self.adc.quantize(noisy, mask) as i64
+    }
+
+    /// Reads *every* row under `mask` with the RTN occupancy frozen to
+    /// `snapshot`, writing the quantized outputs into `out`.
+    ///
+    /// `out` is cleared and refilled with one entry per physical row; a
+    /// buffer with sufficient capacity is reused without allocating.
+    /// Rows are read in ascending order and each read draws the same
+    /// noise sequence as [`CrossbarArray::read_row_frozen`], so under a
+    /// fixed seed the bulk read is bit-identical to `row_count`
+    /// individual frozen reads. This is the accelerator's group-read
+    /// primitive: one call per bit-serial cycle per stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was taken from a different array shape.
+    pub fn read_rows_into<R: Rng + ?Sized>(
+        &self,
+        mask: &InputMask,
+        snapshot: &RtnSnapshot,
+        rng: &mut R,
+        out: &mut Vec<u64>,
+    ) {
+        out.clear();
+        let thermal_factor =
+            4.0 * crate::device::K_B * self.params.temperature * self.params.bandwidth;
+        for (row, r) in self.rows.iter().enumerate() {
+            let trap_bits = snapshot.traps[row];
+            let mut g_total = 0.0;
+            for j in mask.iter_ones() {
+                g_total += r.conductance[j as usize];
+            }
+            let mut current = self.params.v_read * g_total;
+            for (level, &delta_i) in self.delta_i.iter().enumerate() {
+                let trapped =
+                    (r.level_masks[level] & trap_bits & mask.bits()).count_ones();
+                current -= trapped as f64 * delta_i;
+            }
+            let sigma_thermal = (thermal_factor * g_total).sqrt();
+            let sigma_shot = self.params.shot_sigma(current);
+            let sigma = (sigma_thermal * sigma_thermal + sigma_shot * sigma_shot).sqrt();
+            let noisy = sample_normal(rng, current, sigma);
+            out.push(self.adc.quantize(noisy, mask) as u64);
+        }
     }
 
     /// Samples the raw analog row current (A) — used by the transient

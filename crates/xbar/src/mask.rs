@@ -105,9 +105,24 @@ impl InputMask {
         self.bits
     }
 
-    /// Iterates over driven column indices.
-    pub fn iter_ones(&self) -> impl Iterator<Item = u32> + '_ {
-        (0..self.width).filter(|&i| (self.bits >> i) & 1 == 1)
+    /// Iterates over driven column indices in ascending order.
+    ///
+    /// Scans set bits directly (`trailing_zeros` + clear-lowest-bit)
+    /// rather than testing every column, so sparse cycles cost
+    /// proportional to `count_ones()` instead of `width()`. This sits in
+    /// the innermost conductance-summation loop of every analog row
+    /// read, and the ascending order is load-bearing: it fixes the `f64`
+    /// summation order that the engine's golden tests pin down.
+    pub fn iter_ones(&self) -> impl Iterator<Item = u32> + 'static {
+        let mut bits = self.bits;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                return None;
+            }
+            let i = bits.trailing_zeros();
+            bits &= bits - 1;
+            Some(i)
+        })
     }
 }
 

@@ -1,0 +1,25 @@
+#!/bin/bash
+# Records the criterion benchmark baseline as machine-readable JSON.
+#
+# Runs the bench crate's criterion benches (codes, crossbar, engine by
+# default; pass bench names to run a subset) and writes one JSON-lines
+# file per bench at the repo root: BENCH_<name>.json, one object per
+# benchmark with mean/median/min nanoseconds and the sampling plan.
+# The vendored criterion stand-in (third_party/criterion) appends a line
+# per benchmark when CRITERION_JSON is set; this script truncates each
+# file first so reruns replace the baseline instead of growing it.
+#
+# BENCH_engine.json is committed: it is the reference the performance
+# model in DESIGN.md §2 and any future hot-path change compare against.
+# Regenerate it on the target machine before and after kernel changes —
+# absolute numbers are machine-specific, only ratios are meaningful.
+set -eu
+cd "$(dirname "$0")/.."
+
+benches=${*:-codes crossbar engine}
+for b in $benches; do
+  out="$PWD/BENCH_${b}.json"
+  : > "$out"
+  echo "=== bench $b -> BENCH_${b}.json ==="
+  CRITERION_JSON="$out" cargo bench -q -p bench --bench "$b"
+done

@@ -1,0 +1,20 @@
+#!/bin/bash
+# Repository health gate: strict documentation build plus the tier-1
+# build/test pair. Run before committing.
+#
+# The docs gate turns every rustdoc warning (broken intra-doc links,
+# malformed examples) into an error; doctests run as part of the test
+# suite, so `cargo doc` here only needs to validate, not execute.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "=== docs gate (rustdoc warnings are errors) ==="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+echo "=== release build ==="
+cargo build --release --quiet
+
+echo "=== tests ==="
+cargo test -q
+
+echo "all checks passed"

@@ -1,0 +1,199 @@
+//! Minimal vendored stand-in for `criterion`.
+//!
+//! Runs each benchmark with a calibration pass followed by
+//! `sample_size` timed samples sized to fill `measurement_time`, then
+//! reports mean/median/min per-iteration wall time. No statistical
+//! regression machinery — but the numbers are honest medians over real
+//! samples, which is what `scripts/bench_baseline.sh` records.
+//!
+//! When the `CRITERION_JSON` environment variable names a file, every
+//! completed benchmark appends one JSON object line:
+//! `{"name":...,"mean_ns":...,"median_ns":...,"min_ns":...,"samples":N,"iters_per_sample":M}`.
+//! The harness exits nonzero if the file cannot be written.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark harness configuration and runner.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark: calibrates, samples, reports.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Calibration: find an iteration count that takes ≥ ~1 ms, to
+        // estimate per-iteration cost.
+        let mut calibration_iters = 1u64;
+        let per_iter_estimate_ns = loop {
+            let mut bencher = Bencher {
+                iters: calibration_iters,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut bencher);
+            let nanos = bencher.elapsed.as_nanos().max(1) as u64;
+            if bencher.elapsed >= Duration::from_millis(1) || calibration_iters >= 1 << 24 {
+                break (nanos / calibration_iters).max(1);
+            }
+            calibration_iters = calibration_iters.saturating_mul(4);
+        };
+
+        // Size each sample so all samples together fill measurement_time.
+        let budget_ns = self.measurement_time.as_nanos() as u64 / self.sample_size as u64;
+        let iters_per_sample = (budget_ns / per_iter_estimate_ns).clamp(1, 1 << 28);
+
+        let mut per_iter_ns: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let mut bencher = Bencher {
+                    iters: iters_per_sample,
+                    elapsed: Duration::ZERO,
+                };
+                routine(&mut bencher);
+                bencher.elapsed.as_nanos() as f64 / iters_per_sample as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+
+        let min = per_iter_ns[0];
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+
+        println!(
+            "{name:<40} median {:>12} mean {:>12} min {:>12} ({} samples × {} iters)",
+            format_ns(median),
+            format_ns(mean),
+            format_ns(min),
+            self.sample_size,
+            iters_per_sample,
+        );
+
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            let line = format!(
+                "{{\"name\":\"{name}\",\"mean_ns\":{mean:.1},\"median_ns\":{median:.1},\
+                 \"min_ns\":{min:.1},\"samples\":{},\"iters_per_sample\":{iters_per_sample}}}\n",
+                self.sample_size,
+            );
+            let result = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut file| file.write_all(line.as_bytes()));
+            if let Err(err) = result {
+                eprintln!("criterion: cannot append to CRITERION_JSON={path}: {err}");
+                std::process::exit(1);
+            }
+        }
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it as many iterations as the harness
+    /// requested for this sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_sane_timings() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30));
+        let mut ran = false;
+        c.bench_function("spin", |b| {
+            ran = true;
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert!(format_ns(12.0).contains("ns"));
+        assert!(format_ns(12_000.0).contains("µs"));
+        assert!(format_ns(12_000_000.0).contains("ms"));
+    }
+}

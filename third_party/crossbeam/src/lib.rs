@@ -1,0 +1,91 @@
+//! Minimal vendored stand-in for `crossbeam`: scoped threads with the
+//! crossbeam 0.8 API (`scope(|s| ...)` returning a `Result`, spawn
+//! closures receiving `&Scope`), implemented over `std::thread::scope`.
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+    use std::panic::AssertUnwindSafe;
+
+    /// Error payload of a panicked scope or thread.
+    pub type Panic = Box<dyn Any + Send + 'static>;
+
+    /// A scope for spawning threads that may borrow from the caller.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, yielding its return value or
+        /// its panic payload.
+        pub fn join(self) -> Result<T, Panic> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the
+        /// scope again so it can spawn nested threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope { inner })))
+        }
+    }
+
+    /// Runs `f` with a scope; all spawned threads are joined before this
+    /// returns. Returns `Err` with the panic payload if the closure or
+    /// an unjoined spawned thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Panic>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = vec![1u64, 2, 3, 4];
+            let total = super::scope(|s| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker"))
+                    .sum::<u64>()
+            })
+            .expect("scope");
+            assert_eq!(total, 10);
+        }
+
+        #[test]
+        fn nested_spawn_works() {
+            let n = super::scope(|s| {
+                s.spawn(|s2| s2.spawn(|_| 21).join().expect("inner") * 2)
+                    .join()
+                    .expect("outer")
+            })
+            .expect("scope");
+            assert_eq!(n, 42);
+        }
+
+        #[test]
+        fn panics_surface_as_err() {
+            let r = super::scope(|_| panic!("boom"));
+            assert!(r.is_err());
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Minimal vendored stand-in for the `rand` crate.
+//!
+//! Implements exactly the API surface this workspace uses: the [`Rng`]
+//! extension trait with `gen` (uniform `f32`/`f64`/integers) and
+//! `gen_range` over half-open and inclusive integer/float ranges, plus
+//! re-exports of the [`rand_core`] traits. Uniform floats use the
+//! standard 53-bit (24-bit for `f32`) mantissa construction, so values
+//! lie in `[0, 1)` exactly as with upstream `rand`.
+
+pub use rand_core::{RngCore, SeedableRng};
+
+pub mod distributions {
+    //! The `Standard` distribution and the [`Distribution`] trait.
+
+    use crate::RngCore;
+
+    /// A distribution of values of type `T`.
+    pub trait Distribution<T> {
+        /// Samples one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The standard uniform distribution: floats in `[0, 1)`, integers
+    /// over their full range, `bool` with probability 1/2.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 random mantissa bits scaled into [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+}
+
+use distributions::{Distribution, Standard};
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! unsigned_range_from_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::RangeFrom<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                (<$t>::MAX as u64 - self.start as u64)
+                    .checked_add(1)
+                    .map(|span| self.start.wrapping_add((rng.next_u64() % span) as $t))
+                    .unwrap_or(rng.next_u64() as $t)
+            }
+        }
+    )*};
+}
+
+unsigned_range_from_impls!(u8, u16, u32, u64, usize);
+
+macro_rules! float_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit: $t = Standard.sample(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let unit: $t = Standard.sample(rng);
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_range_impls!(f32, f64);
+
+/// Extension methods over [`RngCore`]: the user-facing sampling API.
+pub trait Rng: RngCore {
+    /// Samples a value from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = Counter(3);
+        for _ in 0..1000 {
+            let a: u32 = rng.gen_range(0..7);
+            assert!(a < 7);
+            let b: usize = rng.gen_range(2..=5);
+            assert!((2..=5).contains(&b));
+            let c: u64 = rng.gen_range(1u64..);
+            assert!(c >= 1);
+            let f: f64 = rng.gen_range(-1.5..2.5);
+            assert!((-1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn works_through_unsized_refs() {
+        fn sample(rng: &mut (impl Rng + ?Sized)) -> f64 {
+            rng.gen()
+        }
+        let mut rng = Counter(9);
+        let dyn_ref: &mut Counter = &mut rng;
+        assert!((0.0..1.0).contains(&sample(dyn_ref)));
+    }
+}

@@ -1,0 +1,227 @@
+//! Minimal vendored stand-in for `serde`.
+//!
+//! Instead of serde's visitor architecture this stub routes everything
+//! through an owned [`Value`] tree: `Serialize` renders to a `Value`,
+//! `Deserialize` reads from one. The vendored `serde_json` then prints
+//! and parses that tree. This supports exactly what the workspace
+//! needs — `#[derive(Serialize, Deserialize)]` on plain named-field
+//! structs of primitives, `String`s, and `Vec`s — with the same import
+//! paths (`use serde::{Serialize, Deserialize}`) as the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A generic JSON-like value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; exact for `f32`, integers up to
+    /// 2^53, and every count this workspace serializes).
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object as an ordered field list (preserves struct order).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object by name.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Types renderable to a [`Value`].
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types constructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reads an instance from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the tree has the wrong
+    /// shape (missing field, wrong type, out-of-range number).
+    fn from_value(value: &Value) -> Result<Self, String>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<bool, String> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, found {other:?}")),
+        }
+    }
+}
+
+macro_rules! number_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<$t, String> {
+                match value {
+                    Value::Number(n) => {
+                        let cast = *n as $t;
+                        if cast as f64 == *n {
+                            Ok(cast)
+                        } else {
+                            Err(format!(
+                                "number {n} out of range for {}",
+                                stringify!($t)
+                            ))
+                        }
+                    }
+                    other => Err(format!("expected number, found {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+
+number_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<$t, String> {
+                match value {
+                    // Lenient cast: a shortest-f32 decimal written by the
+                    // real serde_json reparses to a nearby f64, so exact
+                    // f64 roundtripping must not be required here.
+                    Value::Number(n) => Ok(*n as $t),
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(format!("expected number, found {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<String, String> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(format!("expected string, found {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Vec<T>, String> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(format!("expected array, found {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Option<T>, String> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_roundtrips_exactly_through_f64() {
+        for &x in &[0.1f32, -3.75, f32::MAX, f32::MIN_POSITIVE, 1e-20] {
+            let v = x.to_value();
+            assert_eq!(f32::from_value(&v).unwrap(), x);
+        }
+    }
+
+    #[test]
+    fn out_of_range_numbers_rejected() {
+        let v = Value::Number(-1.0);
+        assert!(u32::from_value(&v).is_err());
+        let v = Value::Number(1.5);
+        assert!(u64::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn nested_vectors() {
+        let data = vec![vec![1u32, 2], vec![3]];
+        let v = data.to_value();
+        assert_eq!(Vec::<Vec<u32>>::from_value(&v).unwrap(), data);
+    }
+}

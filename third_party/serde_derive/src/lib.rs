@@ -1,0 +1,158 @@
+//! Minimal vendored `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! Supports exactly the shapes this workspace derives on: non-generic
+//! structs with named fields (doc comments and other attributes are
+//! skipped). The generated impls target the vendored `serde` crate's
+//! `Value`-tree traits. Anything fancier — enums, generics, tuple
+//! structs, `#[serde(...)]` attributes — is rejected with a compile
+//! error naming this file, so a future contributor knows where to add
+//! support.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Parses `[pub] struct Name { [attrs] [pub] field: Type, ... }` out of
+/// the derive input token stream.
+fn parse_struct(input: TokenStream, trait_name: &str) -> StructShape {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility; find the `struct` keyword.
+    let mut name = None;
+    while let Some(token) = tokens.next() {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next(); // the [...] attribute group
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("derive({trait_name}): expected struct name, got {other:?}"),
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" || id.to_string() == "union" => {
+                panic!(
+                    "derive({trait_name}): only structs with named fields are supported \
+                     by the vendored serde_derive stub"
+                );
+            }
+            _ => {}
+        }
+    }
+    let name = name.unwrap_or_else(|| panic!("derive({trait_name}): no struct found"));
+
+    // Next token must be the brace-delimited field list (no generics).
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => panic!(
+            "derive({trait_name}): generic structs are not supported by the vendored \
+             serde_derive stub (struct {name})"
+        ),
+        other => panic!(
+            "derive({trait_name}): expected named-field struct body for {name}, got {other:?}"
+        ),
+    };
+
+    let mut fields = Vec::new();
+    let mut body_tokens = body.into_iter().peekable();
+    'fields: loop {
+        // Skip field attributes (doc comments arrive as #[doc = "..."]).
+        loop {
+            match body_tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    body_tokens.next();
+                    body_tokens.next(); // the [...] group
+                }
+                _ => break,
+            }
+        }
+        // Skip `pub` / `pub(...)`.
+        if matches!(body_tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            body_tokens.next();
+            if matches!(
+                body_tokens.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                body_tokens.next();
+            }
+        }
+        // Field name.
+        match body_tokens.next() {
+            Some(TokenTree::Ident(field)) => fields.push(field.to_string()),
+            None => break 'fields,
+            other => panic!("derive({trait_name}): expected field name in {name}, got {other:?}"),
+        }
+        // Skip `: Type` up to the next top-level comma. Commas nested in
+        // parens/brackets arrive inside Groups; only `<...>` nesting is
+        // tracked manually.
+        let mut angle_depth = 0i32;
+        for token in body_tokens.by_ref() {
+            if let TokenTree::Punct(p) = &token {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    StructShape { name, fields }
+}
+
+/// Derives the vendored `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input, "Serialize");
+    let pairs: String = shape
+        .fields
+        .iter()
+        .map(|f| {
+            format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),")
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{pairs}])\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input, "Deserialize");
+    let inits: String = shape
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(\n\
+                     value.get(\"{f}\")\n\
+                         .ok_or_else(|| format!(\"missing field `{f}` in {name}\"))?,\n\
+                 )?,",
+                name = shape.name,
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> Result<Self, String> {{\n\
+                 Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
