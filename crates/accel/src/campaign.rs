@@ -1,0 +1,713 @@
+//! Lifetime fault-injection campaigns: graceful degradation over wear.
+//!
+//! The paper argues that data-aware codes let an accelerator "handle
+//! faults gracefully" as stuck-at cells accumulate over the device
+//! lifetime (§II-C6, §V-B), but evaluates only frozen fault snapshots.
+//! This module closes the gap: a [`Campaign`] steps simulated lifetime
+//! forward epoch by epoch, mapping accumulated writes to a stuck-cell
+//! fraction through the log-uniform endurance model of
+//! [`xbar::endurance`], re-programming the accelerator at the epoch's
+//! fault rate (re-running the A-search and, when
+//! [`AccelConfig::remap`] is set, the fault-aware remap — the
+//! post-fabrication test-and-remap flow repeated at field
+//! re-calibration), and recording misclassification / flip-rate / ECU
+//! statistics per epoch. The result is a degradation curve over
+//! lifetime rather than a point estimate.
+//!
+//! # Crash safety
+//!
+//! Campaigns are resumable: after each epoch (subject to
+//! [`CampaignConfig::checkpoint_every`]) the full state serializes to a
+//! JSON checkpoint, written atomically (temp file + rename) so a kill
+//! mid-write never corrupts the previous checkpoint. [`Campaign::resume`]
+//! validates that the checkpoint was recorded under the same campaign
+//! parameters and continues from the first missing epoch. Because every
+//! epoch is a pure function of `(seed, epoch, config, test set)`, a
+//! resumed campaign's final state is **byte-identical** to an
+//! uninterrupted run — tested in this module.
+//!
+//! Wall-clock timing is deliberately excluded from the state: it would
+//! break byte-identical resume. Drivers that want harness-overhead
+//! numbers (see `bench/src/bin/lifetime_campaign.rs`) time epochs
+//! externally.
+
+use std::path::{Path, PathBuf};
+
+use neural::{QuantizedNetwork, Tensor};
+use serde::{Deserialize, Serialize};
+use xbar::endurance::EnduranceParams;
+
+use crate::sim::{evaluate, SimResult};
+use crate::{AccelConfig, AccelError, ProtectionScheme};
+
+/// Checkpoint format version, bumped on incompatible schema changes.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// Per-epoch seed stride: the 64-bit golden-ratio constant also used
+/// for per-matrix seeds, so epoch streams never overlap worker streams.
+const EPOCH_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Parameters of a lifetime campaign.
+///
+/// The epoch schedule models periodic full-array re-programming (model
+/// updates / re-calibrations): before epoch `e` the array has absorbed
+/// `initial_writes + writes_per_epoch · e` writes, which the endurance
+/// distribution converts to a stuck-cell fraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignConfig {
+    /// Accelerator configuration evaluated at every epoch; its
+    /// `fault_rate` is overwritten per epoch from the wear model.
+    pub base: AccelConfig,
+    /// Number of lifetime epochs to simulate.
+    pub epochs: u64,
+    /// Writes already absorbed before epoch 0 (default: the weakest
+    /// cells' endurance floor, so degradation starts immediately).
+    pub initial_writes: f64,
+    /// Full-array rewrites added per epoch.
+    pub writes_per_epoch: f64,
+    /// Endurance distribution mapping writes to stuck-cell fraction.
+    pub endurance: EnduranceParams,
+    /// Base RNG seed. Keep below 2^53: checkpoints store integers as
+    /// JSON numbers, which must round-trip through `f64` exactly.
+    pub seed: u64,
+    /// Worker threads per evaluation.
+    pub threads: usize,
+    /// Write a checkpoint every this many epochs (the final epoch is
+    /// always checkpointed). 0 disables periodic checkpoints.
+    pub checkpoint_every: u64,
+}
+
+impl CampaignConfig {
+    /// A campaign over `epochs` epochs with the default wear schedule:
+    /// writes start at the endurance floor (1e6) and each epoch adds
+    /// 2e4 rewrites, ramping the stuck-cell fraction from 0 to ~1.3 %
+    /// over ten epochs — the regime where the paper's codes matter.
+    pub fn new(base: AccelConfig, epochs: u64, seed: u64) -> CampaignConfig {
+        let endurance = EnduranceParams::default();
+        CampaignConfig {
+            base,
+            epochs,
+            initial_writes: endurance.min_writes,
+            writes_per_epoch: 2e4,
+            endurance,
+            seed,
+            threads: 1,
+            checkpoint_every: 1,
+        }
+    }
+
+    /// Writes absorbed before epoch `epoch`.
+    pub fn writes_at(&self, epoch: u64) -> f64 {
+        self.initial_writes + self.writes_per_epoch * epoch as f64
+    }
+
+    /// Stuck-cell fraction at epoch `epoch`.
+    pub fn fault_rate_at(&self, epoch: u64) -> f64 {
+        self.endurance.failure_probability(self.writes_at(epoch))
+    }
+
+    /// The deterministic evaluation seed for one epoch.
+    fn epoch_seed(&self, epoch: u64) -> u64 {
+        self.seed.wrapping_add(epoch.wrapping_mul(EPOCH_SEED_STRIDE))
+    }
+
+    /// The state this config expects to find in a matching checkpoint.
+    fn fresh_state(&self) -> CampaignState {
+        CampaignState {
+            version: CHECKPOINT_VERSION,
+            scheme: self.base.scheme.label(),
+            cell_bits: self.base.device.bits_per_cell as u64,
+            remap: self.base.remap,
+            epochs: self.epochs,
+            initial_writes: self.initial_writes,
+            writes_per_epoch: self.writes_per_epoch,
+            min_endurance_writes: self.endurance.min_writes,
+            max_endurance_writes: self.endurance.max_writes,
+            seed: self.seed,
+            threads: self.threads as u64,
+            samples: 0,
+            completed: Vec::new(),
+        }
+    }
+}
+
+/// One completed lifetime epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// Epoch index (0-based).
+    pub epoch: u64,
+    /// Full-array writes absorbed before this epoch.
+    pub writes: f64,
+    /// Stuck-cell fraction the wear model assigns to those writes.
+    pub fault_rate: f64,
+    /// Top-1 misclassification rate.
+    pub misclassification: f64,
+    /// Top-5 misclassification rate.
+    pub top5_misclassification: f64,
+    /// Fraction of predictions flipped vs the exact fixed-point result.
+    pub flip_rate: f64,
+    /// Evaluated examples.
+    pub samples: u64,
+    /// ECU group-cycles decoded clean.
+    pub clean: u64,
+    /// ECU group-cycles corrected by a table hit.
+    pub corrected: u64,
+    /// ECU group-cycles with no table entry.
+    pub uncorrectable: u64,
+    /// ECU group-cycles flagged by the `B` check.
+    pub miscorrected: u64,
+    /// ECU group-cycles whose error was a multiple of `A`.
+    pub silent_a: u64,
+    /// ECU read retries.
+    pub retries: u64,
+    /// Group-cycles evaluated without any code.
+    pub uncoded: u64,
+}
+
+impl EpochRecord {
+    fn from_result(epoch: u64, writes: f64, fault_rate: f64, r: &SimResult) -> EpochRecord {
+        EpochRecord {
+            epoch,
+            writes,
+            fault_rate,
+            misclassification: r.misclassification,
+            top5_misclassification: r.top5_misclassification,
+            flip_rate: r.flip_rate,
+            samples: r.samples as u64,
+            clean: r.stats.clean,
+            corrected: r.stats.corrected,
+            uncorrectable: r.stats.uncorrectable,
+            miscorrected: r.stats.miscorrected,
+            silent_a: r.stats.silent_a,
+            retries: r.stats.retries,
+            uncoded: r.stats.uncoded,
+        }
+    }
+}
+
+/// The complete, serializable state of a campaign: the parameters it
+/// was launched with (for resume validation) plus every completed
+/// epoch. Contains no wall-clock data, so serializing it is
+/// deterministic — the basis of the byte-identical-resume guarantee.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignState {
+    /// Checkpoint schema version ([`CHECKPOINT_VERSION`]).
+    pub version: u64,
+    /// Scheme label (`ProtectionScheme::label`).
+    pub scheme: String,
+    /// Bits per memristor cell.
+    pub cell_bits: u64,
+    /// Whether fault-aware remapping ran at each re-programming.
+    pub remap: bool,
+    /// Total epochs the campaign will run.
+    pub epochs: u64,
+    /// Writes absorbed before epoch 0.
+    pub initial_writes: f64,
+    /// Writes added per epoch.
+    pub writes_per_epoch: f64,
+    /// Endurance floor (writes).
+    pub min_endurance_writes: f64,
+    /// Endurance ceiling (writes).
+    pub max_endurance_writes: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Worker threads per evaluation.
+    pub threads: u64,
+    /// Test-set size (0 until the first epoch runs).
+    pub samples: u64,
+    /// Completed epochs, in order.
+    pub completed: Vec<EpochRecord>,
+}
+
+impl CampaignState {
+    /// Serializes the state to pretty JSON (the checkpoint format).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::Checkpoint`] if serialization fails.
+    pub fn to_json(&self) -> Result<String, AccelError> {
+        serde_json::to_string_pretty(self).map_err(|e| AccelError::Checkpoint {
+            path: "<memory>".into(),
+            message: format!("serialize: {e:?}"),
+        })
+    }
+
+    /// Parses a checkpoint JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::Checkpoint`] on malformed JSON or a
+    /// mismatched schema version.
+    pub fn from_json(json: &str) -> Result<CampaignState, AccelError> {
+        let state: CampaignState =
+            serde_json::from_str(json).map_err(|e| AccelError::Checkpoint {
+                path: "<memory>".into(),
+                message: format!("parse: {e:?}"),
+            })?;
+        if state.version != CHECKPOINT_VERSION {
+            return Err(AccelError::Checkpoint {
+                path: "<memory>".into(),
+                message: format!(
+                    "checkpoint version {} but this binary writes {}",
+                    state.version, CHECKPOINT_VERSION
+                ),
+            });
+        }
+        Ok(state)
+    }
+}
+
+/// A resumable lifetime fault-injection campaign.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    config: CampaignConfig,
+    state: CampaignState,
+    checkpoint: Option<PathBuf>,
+}
+
+impl Campaign {
+    /// Starts a fresh campaign.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::InvalidConfig`] when the base accelerator
+    /// config fails validation, the scheme label is not round-trippable
+    /// (it must be, for checkpoints), or the seed exceeds 2^53 (JSON
+    /// numbers must round-trip through `f64` exactly).
+    pub fn new(config: CampaignConfig) -> Result<Campaign, AccelError> {
+        config.base.validate()?;
+        if ProtectionScheme::from_label(&config.base.scheme.label()).as_ref()
+            != Some(&config.base.scheme)
+        {
+            return Err(AccelError::InvalidConfig(format!(
+                "scheme {} does not survive a checkpoint label round-trip",
+                config.base.scheme.label()
+            )));
+        }
+        if config.seed >= (1u64 << 53) {
+            return Err(AccelError::InvalidConfig(
+                "campaign seeds must stay below 2^53 to round-trip through JSON".into(),
+            ));
+        }
+        let state = config.fresh_state();
+        Ok(Campaign {
+            config,
+            state,
+            checkpoint: None,
+        })
+    }
+
+    /// Resumes a campaign from a checkpoint file, validating that the
+    /// checkpoint was recorded under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::Checkpoint`] when the file cannot be read
+    /// or parsed, and [`AccelError::ResumeMismatch`] when any campaign
+    /// parameter (scheme, cell bits, remap, epoch schedule, endurance
+    /// range, seed, threads) differs from the checkpoint's.
+    pub fn resume(config: CampaignConfig, path: &Path) -> Result<Campaign, AccelError> {
+        let json = std::fs::read_to_string(path).map_err(|e| AccelError::Checkpoint {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let state = CampaignState::from_json(&json)?;
+        let mut campaign = Campaign::new(config)?;
+        let expected = &campaign.state;
+        let mismatch = |field: &str, want: &dyn std::fmt::Debug, got: &dyn std::fmt::Debug| {
+            Err(AccelError::ResumeMismatch(format!(
+                "{field}: campaign wants {want:?}, checkpoint has {got:?}"
+            )))
+        };
+        if state.scheme != expected.scheme {
+            return mismatch("scheme", &expected.scheme, &state.scheme);
+        }
+        if state.cell_bits != expected.cell_bits {
+            return mismatch("cell_bits", &expected.cell_bits, &state.cell_bits);
+        }
+        if state.remap != expected.remap {
+            return mismatch("remap", &expected.remap, &state.remap);
+        }
+        if state.epochs != expected.epochs {
+            return mismatch("epochs", &expected.epochs, &state.epochs);
+        }
+        if state.initial_writes != expected.initial_writes {
+            return mismatch(
+                "initial_writes",
+                &expected.initial_writes,
+                &state.initial_writes,
+            );
+        }
+        if state.writes_per_epoch != expected.writes_per_epoch {
+            return mismatch(
+                "writes_per_epoch",
+                &expected.writes_per_epoch,
+                &state.writes_per_epoch,
+            );
+        }
+        if state.min_endurance_writes != expected.min_endurance_writes
+            || state.max_endurance_writes != expected.max_endurance_writes
+        {
+            return mismatch(
+                "endurance range",
+                &(expected.min_endurance_writes, expected.max_endurance_writes),
+                &(state.min_endurance_writes, state.max_endurance_writes),
+            );
+        }
+        if state.seed != expected.seed {
+            return mismatch("seed", &expected.seed, &state.seed);
+        }
+        if state.threads != expected.threads {
+            return mismatch("threads", &expected.threads, &state.threads);
+        }
+        if state.completed.len() as u64 > state.epochs {
+            return Err(AccelError::ResumeMismatch(format!(
+                "checkpoint claims {} completed epochs of {}",
+                state.completed.len(),
+                state.epochs
+            )));
+        }
+        campaign.state = state;
+        campaign.checkpoint = Some(path.to_path_buf());
+        Ok(campaign)
+    }
+
+    /// Sets the checkpoint path for periodic saves during
+    /// [`run`](Campaign::run).
+    #[must_use]
+    pub fn with_checkpoint(mut self, path: PathBuf) -> Campaign {
+        self.checkpoint = Some(path);
+        self
+    }
+
+    /// The campaign state accumulated so far.
+    pub fn state(&self) -> &CampaignState {
+        &self.state
+    }
+
+    /// Number of epochs already completed.
+    pub fn completed_epochs(&self) -> u64 {
+        self.state.completed.len() as u64
+    }
+
+    /// Whether every epoch has been evaluated.
+    pub fn is_complete(&self) -> bool {
+        self.completed_epochs() >= self.config.epochs
+    }
+
+    /// Runs every remaining epoch, checkpointing per
+    /// [`CampaignConfig::checkpoint_every`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors ([`crate::sim::evaluate`]) and
+    /// checkpoint I/O failures; returns
+    /// [`AccelError::ResumeMismatch`] when the test set's size differs
+    /// from the one recorded in a resumed checkpoint. On error the
+    /// completed epochs remain in [`state`](Campaign::state) so callers
+    /// can dump partial results.
+    pub fn run(
+        &mut self,
+        qnet: &QuantizedNetwork,
+        images: &Tensor,
+        labels: &[usize],
+    ) -> Result<&CampaignState, AccelError> {
+        self.run_epochs(qnet, images, labels, self.config.epochs)
+    }
+
+    /// Runs remaining epochs up to epoch `limit` (exclusive), capped at
+    /// the campaign's epoch count. Used to simulate interrupted runs in
+    /// tests and to step campaigns incrementally.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Campaign::run).
+    pub fn run_epochs(
+        &mut self,
+        qnet: &QuantizedNetwork,
+        images: &Tensor,
+        labels: &[usize],
+        limit: u64,
+    ) -> Result<&CampaignState, AccelError> {
+        if self.state.samples != 0 && self.state.samples != labels.len() as u64 {
+            return Err(AccelError::ResumeMismatch(format!(
+                "checkpoint evaluated {} samples, this test set has {}",
+                self.state.samples,
+                labels.len()
+            )));
+        }
+        let limit = limit.min(self.config.epochs);
+        while self.completed_epochs() < limit {
+            let epoch = self.completed_epochs();
+            let writes = self.config.writes_at(epoch);
+            let fault_rate = self.config.fault_rate_at(epoch);
+            let config = self.config.base.clone().with_fault_rate(fault_rate);
+            let result = evaluate(
+                qnet,
+                images,
+                labels,
+                &config,
+                self.config.epoch_seed(epoch),
+                self.config.threads,
+            )?;
+            self.state.samples = labels.len() as u64;
+            self.state
+                .completed
+                .push(EpochRecord::from_result(epoch, writes, fault_rate, &result));
+            let due = self.config.checkpoint_every != 0
+                && (epoch + 1) % self.config.checkpoint_every == 0;
+            if due || self.is_complete() {
+                self.save_checkpoint()?;
+            }
+        }
+        Ok(&self.state)
+    }
+
+    /// Writes the current state to the configured checkpoint path (a
+    /// no-op if none is set), atomically: the JSON goes to a temporary
+    /// sibling file which is then renamed over the target, so a kill
+    /// mid-write leaves the previous checkpoint intact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::Checkpoint`] on I/O failure.
+    pub fn save_checkpoint(&self) -> Result<(), AccelError> {
+        let Some(path) = &self.checkpoint else {
+            return Ok(());
+        };
+        let json = self.state.to_json()?;
+        let io_err = |e: std::io::Error| AccelError::Checkpoint {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        };
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).map_err(io_err)?;
+            }
+        }
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, json).map_err(io_err)?;
+        std::fs::rename(&tmp, path).map_err(io_err)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProtectionScheme;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// A tiny trained network and test set (same recipe as the sim
+    /// tests, smaller test split: campaigns evaluate it many times).
+    fn tiny_problem() -> (QuantizedNetwork, Tensor, Vec<usize>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut net = neural::models::mlp2(&mut rng);
+        let mut train = neural::data::digits(400, 1);
+        neural::data::shuffle(&mut train, 2);
+        for _ in 0..3 {
+            net.train_epoch(&train.images, &train.labels, 32, 0.1);
+        }
+        let test = neural::data::digits(8, 99);
+        let qnet = QuantizedNetwork::from_network(&net);
+        (qnet, test.images, test.labels)
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("campaign-{}-{name}.json", std::process::id()))
+    }
+
+    fn small_campaign(scheme: ProtectionScheme, epochs: u64) -> CampaignConfig {
+        let mut config = CampaignConfig::new(AccelConfig::new(scheme), epochs, 41);
+        config.threads = 2;
+        // Steep wear schedule so fault rates move visibly in few epochs.
+        config.writes_per_epoch = 2e5;
+        config
+    }
+
+    #[test]
+    fn fault_rate_ramps_with_epochs() {
+        let config = small_campaign(ProtectionScheme::None, 8);
+        assert_eq!(config.fault_rate_at(0), 0.0);
+        let mut prev = -1.0;
+        for e in 0..8 {
+            let r = config.fault_rate_at(e);
+            assert!(r >= prev, "epoch {e}");
+            prev = r;
+        }
+        assert!(prev > 0.0);
+    }
+
+    #[test]
+    fn resume_after_kill_is_byte_identical() {
+        let (qnet, images, labels) = tiny_problem();
+        let config = small_campaign(ProtectionScheme::None, 4);
+
+        // Uninterrupted reference run.
+        let mut reference = Campaign::new(config.clone()).expect("campaign");
+        reference.run(&qnet, &images, &labels).expect("run");
+        let reference_json = reference.state().to_json().expect("json");
+
+        // Interrupted run: stop after 2 of 4 epochs ("kill"), then
+        // resume from the checkpoint and finish.
+        let path = temp_path("resume");
+        let mut interrupted = Campaign::new(config.clone())
+            .expect("campaign")
+            .with_checkpoint(path.clone());
+        interrupted
+            .run_epochs(&qnet, &images, &labels, 2)
+            .expect("partial run");
+        assert_eq!(interrupted.completed_epochs(), 2);
+        drop(interrupted);
+
+        let mut resumed = Campaign::resume(config, &path).expect("resume");
+        assert_eq!(resumed.completed_epochs(), 2);
+        resumed.run(&qnet, &images, &labels).expect("resumed run");
+        let resumed_json = resumed.state().to_json().expect("json");
+
+        assert_eq!(resumed_json, reference_json);
+        // The checkpoint on disk is the final state too.
+        let on_disk = std::fs::read_to_string(&path).expect("read checkpoint");
+        assert_eq!(on_disk, reference_json);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_campaigns() {
+        let (qnet, images, labels) = tiny_problem();
+        let config = small_campaign(ProtectionScheme::None, 3);
+        let path = temp_path("mismatch");
+        let mut campaign = Campaign::new(config.clone())
+            .expect("campaign")
+            .with_checkpoint(path.clone());
+        campaign
+            .run_epochs(&qnet, &images, &labels, 1)
+            .expect("one epoch");
+
+        // Different scheme.
+        let other = small_campaign(ProtectionScheme::Static16, 3);
+        assert!(matches!(
+            Campaign::resume(other, &path),
+            Err(AccelError::ResumeMismatch(_))
+        ));
+        // Different seed.
+        let mut other = config.clone();
+        other.seed = 999;
+        assert!(matches!(
+            Campaign::resume(other, &path),
+            Err(AccelError::ResumeMismatch(_))
+        ));
+        // Different wear schedule.
+        let mut other = config.clone();
+        other.writes_per_epoch *= 2.0;
+        assert!(matches!(
+            Campaign::resume(other, &path),
+            Err(AccelError::ResumeMismatch(_))
+        ));
+        // Matching config resumes fine, but a different test set is
+        // rejected at run time.
+        let mut resumed = Campaign::resume(config, &path).expect("resume");
+        assert!(matches!(
+            resumed.run_epochs(&qnet, &images, &labels[..4], 2),
+            Err(AccelError::ResumeMismatch(_))
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_typed_errors() {
+        let path = temp_path("corrupt");
+        std::fs::write(&path, "{ not json").expect("write");
+        let config = small_campaign(ProtectionScheme::None, 2);
+        assert!(matches!(
+            Campaign::resume(config.clone(), &path),
+            Err(AccelError::Checkpoint { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+        // Missing file is also a checkpoint error, not a panic.
+        assert!(matches!(
+            Campaign::resume(config, &path),
+            Err(AccelError::Checkpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_campaigns_are_rejected() {
+        let bad = CampaignConfig::new(
+            AccelConfig::new(ProtectionScheme::None).with_fault_rate(2.0),
+            2,
+            1,
+        );
+        assert!(matches!(
+            Campaign::new(bad),
+            Err(AccelError::InvalidConfig(_))
+        ));
+        let mut big_seed = CampaignConfig::new(AccelConfig::new(ProtectionScheme::None), 2, 1);
+        big_seed.seed = 1u64 << 53;
+        assert!(matches!(
+            Campaign::new(big_seed),
+            Err(AccelError::InvalidConfig(_))
+        ));
+    }
+
+    fn arb_record() -> impl Strategy<Value = EpochRecord> {
+        (
+            (0u64..100, 0.0f64..1e12, 0.0f64..1.0, 0.0f64..1.0),
+            (0.0f64..1.0, 0.0f64..1.0, 0u64..10_000),
+            proptest::collection::vec(0u64..1_000_000, 7),
+        )
+            .prop_map(|((epoch, writes, fault, mis), (top5, flip, samples), counts)| {
+                EpochRecord {
+                    epoch,
+                    writes,
+                    fault_rate: fault,
+                    misclassification: mis,
+                    top5_misclassification: top5,
+                    flip_rate: flip,
+                    samples,
+                    clean: counts[0],
+                    corrected: counts[1],
+                    uncorrectable: counts[2],
+                    miscorrected: counts[3],
+                    silent_a: counts[4],
+                    retries: counts[5],
+                    uncoded: counts[6],
+                }
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn checkpoint_json_roundtrips(
+            records in proptest::collection::vec(arb_record(), 0..6),
+            seed in 0u64..(1u64 << 53),
+            epochs in 0u64..1000,
+            threads in 1u64..64,
+            initial in 1e5f64..1e7,
+            per_epoch in 1.0f64..1e6,
+        ) {
+            let state = CampaignState {
+                version: CHECKPOINT_VERSION,
+                scheme: "ABN-9".into(),
+                cell_bits: 2,
+                remap: true,
+                epochs,
+                initial_writes: initial,
+                writes_per_epoch: per_epoch,
+                min_endurance_writes: 1e6,
+                max_endurance_writes: 1e12,
+                seed,
+                threads,
+                samples: 20,
+                completed: records,
+            };
+            let json = state.to_json().expect("serialize");
+            let back = CampaignState::from_json(&json).expect("parse");
+            prop_assert_eq!(&back, &state);
+            // Re-serialization is byte-stable (the resume guarantee).
+            prop_assert_eq!(back.to_json().expect("serialize"), json);
+        }
+    }
+}

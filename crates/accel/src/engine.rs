@@ -16,7 +16,7 @@ use xbar::InputMask;
 use xbar::RtnSnapshot;
 
 use crate::mapping::{map_matrix, MappedMatrix, Stack};
-use crate::AccelConfig;
+use crate::{AccelConfig, AccelError};
 
 /// Aggregate decode statistics across an engine's lifetime.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -100,12 +100,15 @@ pub struct MvmScratch {
     row_outputs: Vec<u64>,
     /// Frozen RTN trap state for the current stack.
     rtn: RtnSnapshot,
+    /// Staging copy of the output vector while un-permuting a
+    /// fault-aware remap (empty and unused when remap is off).
+    remapped_out: Vec<i64>,
 }
 
 impl MvmScratch {
     /// Pre-sizes every buffer for `mapped` so the first MVM call is
     /// already allocation-free.
-    fn for_mapped(mapped: &MappedMatrix, input_bits: u32) -> MvmScratch {
+    fn for_mapped(mapped: &MappedMatrix, input_bits: u32, remap: bool) -> MvmScratch {
         let stacks = mapped.stacks.iter().flatten();
         let max_rows = stacks.clone().map(|s| s.array.row_count()).max().unwrap_or(0);
         let max_lanes = stacks.map(|s| s.lanes).max().unwrap_or(0);
@@ -117,6 +120,7 @@ impl MvmScratch {
             lane_err: Vec::with_capacity(max_lanes),
             row_outputs: Vec::with_capacity(max_rows),
             rtn: RtnSnapshot::with_row_capacity(max_rows),
+            remapped_out: Vec::with_capacity(if remap { mapped.out_dim } else { 0 }),
         }
     }
 }
@@ -143,6 +147,9 @@ pub struct CrossbarEngine {
     local_stats: DecodeStats,
     reported: DecodeStats,
     scratch: MvmScratch,
+    /// `order[new_position] = original_row` when fault-aware remapping
+    /// is active; `None` leaves the hot path untouched.
+    remap_order: Option<Vec<usize>>,
 }
 
 impl std::fmt::Debug for CrossbarEngine {
@@ -157,26 +164,70 @@ impl std::fmt::Debug for CrossbarEngine {
 
 impl CrossbarEngine {
     /// Programs an engine for a quantized matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the scheme configuration cannot produce a code for
+    /// this matrix; [`try_program`](CrossbarEngine::try_program) is the
+    /// recoverable variant.
     pub fn program(
         matrix: &QuantizedMatrix,
         config: &AccelConfig,
         seed: u64,
         stats: Arc<Mutex<DecodeStats>>,
     ) -> CrossbarEngine {
+        match CrossbarEngine::try_program(matrix, config, seed, stats) {
+            Ok(engine) => engine,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Programs an engine for a quantized matrix, reporting code
+    /// construction failures as a typed error.
+    ///
+    /// When `config.remap` is set, a fault-aware row remap is scouted
+    /// first with an identically seeded RNG (modeling post-fabrication
+    /// test-and-remap: the scouted fault locations match the fabricated
+    /// ones), the permuted rows are programmed, and every MVM scatters
+    /// its outputs back to the original row order — callers never see
+    /// the permutation. With `config.remap` off this is byte-identical
+    /// to the pre-remap engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::Code`] when code construction / A-search
+    /// fails for this matrix under the configured scheme.
+    pub fn try_program(
+        matrix: &QuantizedMatrix,
+        config: &AccelConfig,
+        seed: u64,
+        stats: Arc<Mutex<DecodeStats>>,
+    ) -> Result<CrossbarEngine, AccelError> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let mapped =
-            map_matrix(matrix.rows(), config, &mut rng).expect("scheme configuration is valid");
-        let scratch = MvmScratch::for_mapped(&mapped, config.input_bits);
-        CrossbarEngine {
+        let (weights, remap_order) = if config.remap {
+            let mut scout_rng = ChaCha8Rng::seed_from_u64(seed);
+            let remap = crate::remap::fault_aware_order(matrix.rows(), config, &mut scout_rng);
+            let identity = remap.order.iter().enumerate().all(|(i, &o)| i == o);
+            (
+                remap.apply(matrix.rows()),
+                if identity { None } else { Some(remap.order) },
+            )
+        } else {
+            (matrix.rows().to_vec(), None)
+        };
+        let mapped = map_matrix(&weights, config, &mut rng)?;
+        let scratch = MvmScratch::for_mapped(&mapped, config.input_bits, remap_order.is_some());
+        Ok(CrossbarEngine {
             mapped,
-            weights: matrix.rows().to_vec(),
+            weights,
             config: config.clone(),
             rng,
             stats,
             local_stats: DecodeStats::default(),
             reported: DecodeStats::default(),
             scratch,
-        }
+            remap_order,
+        })
     }
 
     /// The mapping (for storage accounting).
@@ -313,6 +364,17 @@ impl MvmEngine for CrossbarEngine {
                 }
             }
             self.mapped.stacks[chunk_idx] = stacks;
+        }
+
+        // Un-permute a fault-aware remap: the loop above produced lane
+        // outputs in programmed (remapped) order; scatter them back so
+        // callers see the original row order.
+        if let Some(order) = &self.remap_order {
+            scratch.remapped_out.clear();
+            scratch.remapped_out.extend_from_slice(out);
+            for (new_pos, &orig) in order.iter().enumerate() {
+                out[orig] = scratch.remapped_out[new_pos];
+            }
         }
 
         self.mapped.chunks = chunks;
@@ -589,6 +651,42 @@ mod tests {
             assert_eq!(engine.mvm(&input), first, "{label} first call");
             assert_eq!(engine.mvm(&input), second, "{label} second call");
         }
+    }
+
+    #[test]
+    fn remap_scatter_restores_row_order() {
+        // Noiseless, so every lane is exact regardless of which group it
+        // was programmed into — the output must equal the reference even
+        // though the rows were permuted internally.
+        let m = quantized(24, 16, 10);
+        let input: Vec<u16> = (0..16).map(|i| (i * 481) as u16).collect();
+        let mut config = noiseless_config(ProtectionScheme::data_aware(9));
+        config.remap = true;
+        let out = run_engine(&m, config, &input);
+        assert_eq!(out, exact_reference(&m, &input));
+    }
+
+    #[test]
+    fn try_program_accepts_valid_config() {
+        let m = quantized(4, 8, 12);
+        let config = noiseless_config(ProtectionScheme::data_aware(9));
+        let stats = Arc::new(Mutex::new(DecodeStats::default()));
+        assert!(CrossbarEngine::try_program(&m, &config, 3, stats).is_ok());
+    }
+
+    #[test]
+    fn try_program_reports_code_errors() {
+        let m = quantized(4, 8, 12);
+        // A 5-bit budget admits no hardware divider constant
+        // (max A = 31/3 = 10 < 19), so the A-search must fail with a
+        // typed error instead of panicking.
+        let config = noiseless_config(ProtectionScheme::DataAware {
+            check_bits: 5,
+            hardware_candidates: true,
+        });
+        let stats = Arc::new(Mutex::new(DecodeStats::default()));
+        let result = CrossbarEngine::try_program(&m, &config, 3, stats);
+        assert!(matches!(result, Err(crate::AccelError::Code(_))));
     }
 
     #[test]

@@ -47,8 +47,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod cost;
 mod engine;
+mod error;
 pub mod hierarchy;
 pub mod mapping;
 mod scheme;
@@ -56,4 +58,5 @@ pub mod remap;
 pub mod sim;
 
 pub use engine::{CrossbarEngine, CrossbarProvider, DecodeStats};
-pub use scheme::{AccelConfig, ProtectionScheme};
+pub use error::AccelError;
+pub use scheme::{AccelConfig, ProtectionScheme, WorkerPanicHook};

@@ -111,7 +111,7 @@ pub fn fault_aware_order<R: Rng + ?Sized>(
 
     // Rank groups: healthiest first.
     let mut group_rank: Vec<usize> = (0..groups_per_chunk).collect();
-    group_rank.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+    group_rank.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
 
     // Rank rows: most important first (L1 mass of unbiased weights).
     let importance = |row: &[u16]| -> f64 {
@@ -120,11 +120,7 @@ pub fn fault_aware_order<R: Rng + ?Sized>(
             .sum()
     };
     let mut row_rank: Vec<usize> = (0..n).collect();
-    row_rank.sort_by(|&a, &b| {
-        importance(&rows[b])
-            .partial_cmp(&importance(&rows[a]))
-            .expect("finite importance")
-    });
+    row_rank.sort_by(|&a, &b| importance(&rows[b]).total_cmp(&importance(&rows[a])));
 
     // Fill healthiest groups with the most important rows.
     let ops = config.group.operands();

@@ -66,6 +66,21 @@ impl ProtectionScheme {
         }
     }
 
+    /// Parses a figure-legend label back into a scheme — the inverse of
+    /// [`label`](ProtectionScheme::label), used by the CLI and by
+    /// campaign checkpoints (whose JSON stores the label string).
+    pub fn from_label(label: &str) -> Option<ProtectionScheme> {
+        match label {
+            "NoECC" => Some(ProtectionScheme::None),
+            "Static16" => Some(ProtectionScheme::Static16),
+            "Static128" => Some(ProtectionScheme::Static128),
+            _ => {
+                let bits: u32 = label.strip_prefix("ABN-")?.parse().ok()?;
+                Some(ProtectionScheme::data_aware(bits))
+            }
+        }
+    }
+
     /// Check bits added per 128-bit (8×16-bit) group of weights.
     pub fn check_bits_per_group(&self) -> u32 {
         match self {
@@ -108,6 +123,36 @@ pub(crate) fn static128_code(cell_bits: u32) -> AbnCode {
     AbnCode::from_table(a, ProtectionScheme::B, table, 128).expect("static code is valid")
 }
 
+/// Test-only fault injection for the Monte-Carlo worker pool.
+///
+/// Lives on [`AccelConfig`] rather than in global state so that
+/// parallel test binaries cannot race on it. Production code always
+/// uses [`WorkerPanicHook::Never`] (the `Default`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorkerPanicHook {
+    /// Never inject a panic (the production setting).
+    #[default]
+    Never,
+    /// Panic the given shard on its first attempt only; the
+    /// deterministic retry then succeeds. Exercises the recovery path.
+    Once(usize),
+    /// Panic the given shard on every attempt, so the retry also fails
+    /// and `evaluate` must return a `WorkerPanic` error.
+    Always(usize),
+}
+
+impl WorkerPanicHook {
+    /// Whether the given shard should panic on the given attempt
+    /// (0 = first try, 1 = retry).
+    pub fn should_panic(&self, shard: usize, attempt: u32) -> bool {
+        match *self {
+            WorkerPanicHook::Never => false,
+            WorkerPanicHook::Once(s) => s == shard && attempt == 0,
+            WorkerPanicHook::Always(s) => s == shard,
+        }
+    }
+}
+
 /// Full accelerator configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AccelConfig {
@@ -129,6 +174,13 @@ pub struct AccelConfig {
     pub input_bits: u32,
     /// Error-list enumeration bounds for data-aware table construction.
     pub error_list: ErrorListConfig,
+    /// Remap logical rows away from faulty cells before programming
+    /// (the Xia-et-al. composition of [`crate::remap`]).
+    pub remap: bool,
+    /// Test-only worker panic injection; always
+    /// [`WorkerPanicHook::Never`] outside tests.
+    #[doc(hidden)]
+    pub worker_panic_hook: WorkerPanicHook,
 }
 
 impl AccelConfig {
@@ -144,7 +196,50 @@ impl AccelConfig {
             max_columns: 128,
             input_bits: 16,
             error_list: crate::mapping::mapping_error_list_config(),
+            remap: false,
+            worker_panic_hook: WorkerPanicHook::Never,
         }
+    }
+
+    /// Checks the configuration for internal consistency, reporting the
+    /// first problem found.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::InvalidConfig`](crate::AccelError) when a
+    /// field is out of its physical range: zero cell bits (or more than
+    /// the device's level budget supports), a fault rate outside
+    /// `[0, 1]`, zero crossbar columns, zero input bits, or a
+    /// data-aware check-bit budget outside the paper's 7–10 range the
+    /// hardware table sizes were derived for.
+    pub fn validate(&self) -> Result<(), crate::AccelError> {
+        let invalid = |detail: String| Err(crate::AccelError::InvalidConfig(detail));
+        if self.device.bits_per_cell == 0 || self.device.bits_per_cell > 5 {
+            return invalid(format!(
+                "bits_per_cell must be 1-5, got {}",
+                self.device.bits_per_cell
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.device.fault_rate) {
+            return invalid(format!(
+                "fault_rate must lie in [0, 1], got {}",
+                self.device.fault_rate
+            ));
+        }
+        if self.max_columns == 0 {
+            return invalid("max_columns must be nonzero".into());
+        }
+        if self.input_bits == 0 || self.input_bits > 16 {
+            return invalid(format!("input_bits must be 1-16, got {}", self.input_bits));
+        }
+        if let ProtectionScheme::DataAware { check_bits, .. } = self.scheme {
+            if !(7..=10).contains(&check_bits) {
+                return invalid(format!(
+                    "data-aware check_bits must be 7-10, got {check_bits}"
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Sets the bits per memristor cell (1–5 in the evaluation).
@@ -206,6 +301,51 @@ mod tests {
         assert_eq!(ProtectionScheme::Static16.check_bits_per_group(), 48);
         assert!(ProtectionScheme::Static128.check_bits_per_group() >= 10);
         assert_eq!(ProtectionScheme::data_aware(7).check_bits_per_group(), 7);
+    }
+
+    #[test]
+    fn from_label_round_trips() {
+        for scheme in [
+            ProtectionScheme::None,
+            ProtectionScheme::Static16,
+            ProtectionScheme::Static128,
+            ProtectionScheme::data_aware(7),
+            ProtectionScheme::data_aware(10),
+        ] {
+            assert_eq!(ProtectionScheme::from_label(&scheme.label()), Some(scheme));
+        }
+        assert_eq!(ProtectionScheme::from_label("ABN-x"), None);
+        assert_eq!(ProtectionScheme::from_label("bogus"), None);
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_rejects_bad_fields() {
+        assert!(AccelConfig::new(ProtectionScheme::data_aware(9))
+            .validate()
+            .is_ok());
+        assert!(AccelConfig::new(ProtectionScheme::None)
+            .with_cell_bits(0)
+            .validate()
+            .is_err());
+        assert!(AccelConfig::new(ProtectionScheme::None)
+            .with_fault_rate(1.5)
+            .validate()
+            .is_err());
+        assert!(AccelConfig::new(ProtectionScheme::data_aware(11))
+            .validate()
+            .is_err());
+        let mut c = AccelConfig::new(ProtectionScheme::None);
+        c.max_columns = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn panic_hook_targets_shard_and_attempt() {
+        assert!(!WorkerPanicHook::Never.should_panic(0, 0));
+        assert!(WorkerPanicHook::Once(2).should_panic(2, 0));
+        assert!(!WorkerPanicHook::Once(2).should_panic(2, 1));
+        assert!(!WorkerPanicHook::Once(2).should_panic(1, 0));
+        assert!(WorkerPanicHook::Always(2).should_panic(2, 1));
     }
 
     #[test]

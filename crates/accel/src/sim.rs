@@ -5,10 +5,22 @@
 //! rate. This module does the same, fanning the test set out across
 //! threads; each thread programs its own accelerator instance (an
 //! independently fabricated chip) from a deterministic seed.
+//!
+//! # Crash safety
+//!
+//! Workers run under [`std::panic::catch_unwind`]. A panicking shard is
+//! retried **once** from its original seed — a shard is a pure function
+//! of `(seed, sample range, config)`, so the retry reproduces the
+//! original draw sequence bit-for-bit and a successful retry yields
+//! results identical to a run that never panicked. A shard that panics
+//! twice surfaces as [`AccelError::WorkerPanic`] naming the shard and
+//! seed, instead of aborting the whole process mid-campaign.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use neural::{QuantizedNetwork, Tensor};
 
-use crate::{AccelConfig, CrossbarProvider, DecodeStats};
+use crate::{AccelConfig, AccelError, CrossbarProvider, DecodeStats};
 
 /// The outcome of one accuracy evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,6 +41,74 @@ pub struct SimResult {
     pub stats: DecodeStats,
 }
 
+/// Per-shard tallies: top-1 errors, top-5 errors, prediction flips, and
+/// the shard's decode statistics.
+type ShardTallies = (usize, usize, usize, DecodeStats);
+
+/// Runs one worker shard: programs a fresh accelerator from
+/// `shard_seed` and classifies samples `lo..hi`.
+///
+/// A shard is a pure function of its arguments — no shared mutable
+/// state, every RNG seeded from `shard_seed` — which is what makes the
+/// deterministic retry in [`evaluate`] sound.
+#[allow(clippy::too_many_arguments)] // private helper: the shard closure's captures, made explicit
+fn run_shard(
+    qnet: &QuantizedNetwork,
+    images_data: &[f32],
+    labels: &[usize],
+    per_image: usize,
+    config: &AccelConfig,
+    shard_seed: u64,
+    lo: usize,
+    hi: usize,
+    shard: usize,
+    attempt: u32,
+) -> ShardTallies {
+    let provider = CrossbarProvider::new(config.clone(), shard_seed);
+    let mut engines = qnet.build_engines(&provider);
+    let mut exact_engines = qnet.build_engines(&neural::ExactProvider);
+    // Per-worker reusable buffers: after the first example
+    // grows them to the network's high-water mark, the loop
+    // body performs no heap allocation.
+    let mut scratch = neural::RunScratch::new();
+    let mut exact_scratch = neural::RunScratch::new();
+    let mut top = Vec::with_capacity(TOP_K);
+    let mut top1_errors = 0usize;
+    let mut top5_errors = 0usize;
+    let mut flips = 0usize;
+    for i in lo..hi {
+        // Test-only fault injection, mid-shard so a retry must also
+        // discard the partial tallies accumulated before the panic.
+        if i == lo + (hi - lo) / 2 && config.worker_panic_hook.should_panic(shard, attempt) {
+            panic!("injected worker panic (shard {shard}, attempt {attempt})");
+        }
+        let image = &images_data[i * per_image..(i + 1) * per_image];
+        let logits = qnet.run_with(image, &mut engines, &mut scratch);
+        top_k_into(logits, TOP_K.min(logits.len()), &mut top);
+        if top[0] != labels[i] {
+            top1_errors += 1;
+        }
+        if !top.contains(&labels[i]) {
+            top5_errors += 1;
+        }
+        if qnet.predict_with(image, &mut exact_engines, &mut exact_scratch) != top[0] {
+            flips += 1;
+        }
+    }
+    (top1_errors, top5_errors, flips, provider.stats())
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Evaluates a quantized network on the noisy accelerator over a test
 /// set.
 ///
@@ -36,6 +116,18 @@ pub struct SimResult {
 /// a time (the accelerator pipeline is throughput-oriented, but accuracy
 /// is per-example). `threads` bounds the worker count; each worker
 /// programs its own engines with a seed derived from `seed`.
+///
+/// Worker panics are caught; the failing shard is re-run once from its
+/// original seed (bit-identical to a run that never panicked, since a
+/// shard is a pure function of seed + range + config) before the error
+/// is surfaced.
+///
+/// # Errors
+///
+/// Returns [`AccelError::EmptyTestSet`] for zero labels,
+/// [`AccelError::ShapeMismatch`] when `images` does not hold one sample
+/// per label, [`AccelError::InvalidConfig`] for an inconsistent
+/// `config`, and [`AccelError::WorkerPanic`] when a shard panics twice.
 pub fn evaluate(
     qnet: &QuantizedNetwork,
     images: &Tensor,
@@ -43,17 +135,25 @@ pub fn evaluate(
     config: &AccelConfig,
     seed: u64,
     threads: usize,
-) -> SimResult {
+) -> Result<SimResult, AccelError> {
     let n = labels.len();
-    assert!(n > 0, "empty test set");
-    assert_eq!(images.shape()[0], n, "one label per image");
+    if n == 0 {
+        return Err(AccelError::EmptyTestSet);
+    }
+    let samples_in_tensor = images.shape().first().copied().unwrap_or(0);
+    if samples_in_tensor != n {
+        return Err(AccelError::ShapeMismatch {
+            detail: format!("{n} labels but the image tensor holds {samples_in_tensor} samples"),
+        });
+    }
+    config.validate()?;
     let per_image = images.len() / n;
     let threads = threads.clamp(1, n);
 
     let chunk = n.div_ceil(threads);
-    let mut results: Vec<(usize, usize, usize, DecodeStats)> = Vec::new();
+    let mut results: Vec<Result<ShardTallies, AccelError>> = Vec::new();
 
-    crossbeam::thread::scope(|scope| {
+    let scope_result = crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let lo = t * chunk;
@@ -63,59 +163,83 @@ pub fn evaluate(
             }
             let images_data = images.data();
             let handle = scope.spawn(move |_| {
-                let provider = CrossbarProvider::new(config.clone(), seed.wrapping_add(t as u64));
-                let mut engines = qnet.build_engines(&provider);
-                let mut exact_engines = qnet.build_engines(&neural::ExactProvider);
-                // Per-worker reusable buffers: after the first example
-                // grows them to the network's high-water mark, the loop
-                // body performs no heap allocation.
-                let mut scratch = neural::RunScratch::new();
-                let mut exact_scratch = neural::RunScratch::new();
-                let mut top = Vec::with_capacity(TOP_K);
-                let mut top1_errors = 0usize;
-                let mut top5_errors = 0usize;
-                let mut flips = 0usize;
-                for i in lo..hi {
-                    let image = &images_data[i * per_image..(i + 1) * per_image];
-                    let logits = qnet.run_with(image, &mut engines, &mut scratch);
-                    top_k_into(logits, TOP_K.min(logits.len()), &mut top);
-                    if top[0] != labels[i] {
-                        top1_errors += 1;
-                    }
-                    if !top.contains(&labels[i]) {
-                        top5_errors += 1;
-                    }
-                    if qnet.predict_with(image, &mut exact_engines, &mut exact_scratch) != top[0] {
-                        flips += 1;
+                let shard_seed = seed.wrapping_add(t as u64);
+                let mut attempt = 0u32;
+                loop {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        run_shard(
+                            qnet,
+                            images_data,
+                            labels,
+                            per_image,
+                            config,
+                            shard_seed,
+                            lo,
+                            hi,
+                            t,
+                            attempt,
+                        )
+                    }));
+                    match outcome {
+                        Ok(tallies) => return Ok(tallies),
+                        Err(payload) if attempt == 0 => {
+                            // Deterministic retry: the shard restarts
+                            // from `shard_seed`, discarding all partial
+                            // state, so a success here is bit-identical
+                            // to a first-try success.
+                            let _ = payload;
+                            attempt = 1;
+                        }
+                        Err(payload) => {
+                            return Err(AccelError::WorkerPanic {
+                                shard: t,
+                                seed: shard_seed,
+                                message: panic_message(payload.as_ref()),
+                            });
+                        }
                     }
                 }
-                (top1_errors, top5_errors, flips, provider.stats())
             });
             handles.push(handle);
         }
-        for handle in handles {
-            results.push(handle.join().expect("worker thread panicked"));
+        for (t, handle) in handles.into_iter().enumerate() {
+            results.push(handle.join().unwrap_or_else(|payload| {
+                // Unreachable in practice (the closure catches its own
+                // panics), but a join failure must not abort the run.
+                Err(AccelError::WorkerPanic {
+                    shard: t,
+                    seed: seed.wrapping_add(t as u64),
+                    message: panic_message(payload.as_ref()),
+                })
+            }));
         }
-    })
-    .expect("thread scope");
+    });
+    if let Err(payload) = scope_result {
+        return Err(AccelError::WorkerPanic {
+            shard: threads,
+            seed,
+            message: format!("thread scope teardown: {}", panic_message(payload.as_ref())),
+        });
+    }
 
     let mut stats = DecodeStats::default();
     let mut top1 = 0usize;
     let mut top5 = 0usize;
     let mut flips = 0usize;
-    for (t1, t5, f, s) in results {
+    for shard in results {
+        let (t1, t5, f, s) = shard?;
         top1 += t1;
         top5 += t5;
         flips += f;
         stats = merge(stats, s);
     }
-    SimResult {
+    Ok(SimResult {
         misclassification: top1 as f64 / n as f64,
         top5_misclassification: top5 as f64 / n as f64,
         flip_rate: flips as f64 / n as f64,
         samples: n,
         stats,
-    }
+    })
 }
 
 /// Evaluates the float software baseline on the same test set (the
@@ -196,7 +320,7 @@ mod tests {
         config.device.programming_tolerance = 0.0;
         config.device.fault_rate = 0.0;
         config.device.bandwidth = 0.0;
-        let result = evaluate(&qnet, &images, &labels, &config, 3, 2);
+        let result = evaluate(&qnet, &images, &labels, &config, 3, 2).expect("evaluate");
         // Noise-free fixed point: identical predictions to the exact
         // fixed-point engine.
         let mut exact_engines = qnet.build_engines(&neural::ExactProvider);
@@ -227,9 +351,9 @@ mod tests {
         config.device.bandwidth = 0.0;
         // Noise-free: results are deterministic, so thread count must not
         // change them.
-        let single = evaluate(&qnet, &images, &labels, &config, 3, 1);
+        let single = evaluate(&qnet, &images, &labels, &config, 3, 1).expect("evaluate");
         for threads in [2, 4, 7] {
-            let multi = evaluate(&qnet, &images, &labels, &config, 3, threads);
+            let multi = evaluate(&qnet, &images, &labels, &config, 3, threads).expect("evaluate");
             assert_eq!(single.misclassification, multi.misclassification, "{threads} threads");
             assert_eq!(
                 single.top5_misclassification, multi.top5_misclassification,
@@ -272,8 +396,59 @@ mod tests {
             vec![2, 1, 28, 28],
             images.data()[..2 * 784].to_vec(),
         );
-        let result = evaluate(&qnet, &images_small, &labels[..2], &config, 7, 1);
+        let result = evaluate(&qnet, &images_small, &labels[..2], &config, 7, 1).expect("evaluate");
         assert!(result.stats.total() > 0);
         assert_eq!(result.samples, 2);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_typed_errors() {
+        let (qnet, images, labels) = tiny_problem();
+        let config = AccelConfig::new(ProtectionScheme::None);
+        assert_eq!(
+            evaluate(&qnet, &images, &[], &config, 1, 1),
+            Err(crate::AccelError::EmptyTestSet)
+        );
+        assert!(matches!(
+            evaluate(&qnet, &images, &labels[..labels.len() - 1], &config, 1, 1),
+            Err(crate::AccelError::ShapeMismatch { .. })
+        ));
+        let bad = AccelConfig::new(ProtectionScheme::None).with_fault_rate(2.0);
+        assert!(matches!(
+            evaluate(&qnet, &images, &labels, &bad, 1, 1),
+            Err(crate::AccelError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn injected_panic_is_retried_to_identical_results() {
+        let (qnet, images, labels) = tiny_problem();
+        let mut config = AccelConfig::new(ProtectionScheme::data_aware(9)).with_fault_rate(0.002);
+        let clean = evaluate(&qnet, &images, &labels, &config, 11, 2).expect("clean run");
+        // Shard 1 panics mid-shard on its first attempt; the retry
+        // restarts it from its original seed, so the final results must
+        // be bit-identical to the panic-free run.
+        config.worker_panic_hook = crate::WorkerPanicHook::Once(1);
+        let retried = evaluate(&qnet, &images, &labels, &config, 11, 2).expect("retried run");
+        assert_eq!(clean, retried);
+    }
+
+    #[test]
+    fn persistent_panic_surfaces_shard_and_seed() {
+        let (qnet, images, labels) = tiny_problem();
+        let mut config = AccelConfig::new(ProtectionScheme::None).with_fault_rate(0.0);
+        config.worker_panic_hook = crate::WorkerPanicHook::Always(1);
+        match evaluate(&qnet, &images, &labels, &config, 11, 2) {
+            Err(crate::AccelError::WorkerPanic {
+                shard,
+                seed,
+                message,
+            }) => {
+                assert_eq!(shard, 1);
+                assert_eq!(seed, 12); // base seed 11 + shard 1
+                assert!(message.contains("injected worker panic"), "{message}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
     }
 }

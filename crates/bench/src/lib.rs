@@ -198,6 +198,11 @@ pub struct ResultRow {
 }
 
 /// Evaluates one scheme × cell-bits configuration of a workload.
+///
+/// # Panics
+///
+/// Panics on evaluation errors (bad config, repeated worker panic) —
+/// the regenerator binaries treat those as fatal.
 pub fn evaluate_config(workload: &Workload, config: &AccelConfig, seed: u64) -> ResultRow {
     let started = Instant::now();
     let result = accel::sim::evaluate(
@@ -207,7 +212,8 @@ pub fn evaluate_config(workload: &Workload, config: &AccelConfig, seed: u64) -> 
         config,
         seed,
         threads(),
-    );
+    )
+    .expect("evaluation failed");
     eprintln!(
         "[{}] {} {}b: misclass {:.3} flips {:.3} ({} samples, {:.1?})",
         workload.name,

@@ -13,11 +13,18 @@
 //!   composition under the Table I device model.
 //! - `overheads <check_bits>` — ECU area/power and tile/chip overheads.
 //! - `lifetime <rewrites_per_day> <fault_rate>` — endurance lifetime.
+//! - `campaign <scheme> <epochs> [flags]` — lifetime fault-injection
+//!   campaign: per-epoch misclassification as stuck-at faults
+//!   accumulate, with JSON checkpoints and `--resume`.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
+use accel::campaign::{Campaign, CampaignConfig};
+use accel::{AccelConfig, ProtectionScheme};
 use ancode::data_aware::DataAwareConfig;
 use ancode::{AbnCode, CorrectionPolicy, RowError, RowErrorModel};
+use rand_chacha::rand_core::SeedableRng;
 use wideint::{I256, U256};
 use xbar::endurance::EnduranceParams;
 use xbar::DeviceParams;
@@ -32,6 +39,7 @@ fn main() -> ExitCode {
         Some("predict") => cmd_predict(&args[1..]),
         Some("overheads") => cmd_overheads(&args[1..]),
         Some("lifetime") => cmd_lifetime(&args[1..]),
+        Some("campaign") => cmd_campaign(&args[1..]),
         _ => {
             eprint!("{USAGE}");
             return ExitCode::from(2);
@@ -57,6 +65,10 @@ usage:
   reram-ecc predict <count_level0> <count_level1> ...
   reram-ecc overheads <check_bits>
   reram-ecc lifetime <rewrites_per_day> <target_fault_rate>
+  reram-ecc campaign <scheme> <epochs> [--samples N] [--train N] [--seed S]
+             [--threads T] [--cell-bits B] [--writes-per-epoch W]
+             [--initial-writes W] [--checkpoint-every K] [--remap]
+             [--out PATH] [--resume]
 ";
 
 fn parse<T: std::str::FromStr>(args: &[String], i: usize, name: &str) -> Result<T, String> {
@@ -194,6 +206,151 @@ fn cmd_lifetime(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs a lifetime fault-injection campaign on a small trained network.
+///
+/// Trains an MLP on the synthetic digits task (sized by `--train`),
+/// then steps simulated wear forward for `<epochs>` epochs, evaluating
+/// `--samples` test examples at each epoch's stuck-at fault rate. The
+/// campaign state checkpoints to `--out` (default
+/// `results/campaign-<scheme>.json`) after every `--checkpoint-every`
+/// epochs; `--resume` continues an interrupted campaign from that file.
+/// On a mid-campaign error, completed epochs are saved before exiting
+/// non-zero, so partial results are never lost.
+fn cmd_campaign(args: &[String]) -> Result<(), String> {
+    let scheme_label = args.first().ok_or("missing argument <scheme>")?;
+    let scheme = ProtectionScheme::from_label(scheme_label).ok_or_else(|| {
+        format!("unknown scheme {scheme_label} (try NoECC, Static16, Static128, ABN-7..ABN-10)")
+    })?;
+    let epochs: u64 = parse(args, 1, "epochs")?;
+
+    let mut samples = 12usize;
+    let mut train_n = 200usize;
+    let mut seed = 7u64;
+    let mut threads = 1usize;
+    let mut cell_bits = 2u32;
+    let mut writes_per_epoch = 2e5f64;
+    let mut initial_writes = 1e6f64;
+    let mut checkpoint_every = 1u64;
+    let mut remap = false;
+    let mut resume = false;
+    let mut out: Option<String> = None;
+
+    let mut i = 2;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |name: &str| -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match flag {
+            "--samples" => samples = parsed(value("--samples")?, "samples")?,
+            "--train" => train_n = parsed(value("--train")?, "train")?,
+            "--seed" => seed = parsed(value("--seed")?, "seed")?,
+            "--threads" => threads = parsed(value("--threads")?, "threads")?,
+            "--cell-bits" => cell_bits = parsed(value("--cell-bits")?, "cell-bits")?,
+            "--writes-per-epoch" => {
+                writes_per_epoch = parsed(value("--writes-per-epoch")?, "writes-per-epoch")?;
+            }
+            "--initial-writes" => {
+                initial_writes = parsed(value("--initial-writes")?, "initial-writes")?;
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = parsed(value("--checkpoint-every")?, "checkpoint-every")?;
+            }
+            "--out" => out = Some(value("--out")?.clone()),
+            "--remap" => {
+                remap = true;
+                i += 1;
+                continue;
+            }
+            "--resume" => {
+                resume = true;
+                i += 1;
+                continue;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    if samples == 0 || train_n == 0 {
+        return Err("--samples and --train must be positive".into());
+    }
+
+    // A small trained workload keeps the CLI demo fast; the bench
+    // driver (`lifetime_campaign`) runs the paper-scale networks.
+    eprintln!("[campaign] training MLP2 on {train_n} synthetic digits…");
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
+    let mut net = neural::models::mlp2(&mut rng);
+    let mut train = neural::data::digits(train_n, 42);
+    neural::data::shuffle(&mut train, 3);
+    for _ in 0..3 {
+        net.train_epoch(&train.images, &train.labels, 32, 0.1);
+    }
+    let qnet = neural::QuantizedNetwork::try_from_network(&net).map_err(|e| e.to_string())?;
+    let test = neural::data::digits(samples, 99);
+
+    let mut base = AccelConfig::new(scheme).with_cell_bits(cell_bits);
+    base.remap = remap;
+    let mut config = CampaignConfig::new(base, epochs, seed);
+    config.threads = threads;
+    config.writes_per_epoch = writes_per_epoch;
+    config.initial_writes = initial_writes;
+    config.checkpoint_every = checkpoint_every;
+
+    let out_path =
+        PathBuf::from(out.unwrap_or_else(|| format!("results/campaign-{scheme_label}.json")));
+    let mut campaign = if resume {
+        Campaign::resume(config, &out_path).map_err(|e| e.to_string())?
+    } else {
+        Campaign::new(config)
+            .map_err(|e| e.to_string())?
+            .with_checkpoint(out_path.clone())
+    };
+    if campaign.completed_epochs() > 0 {
+        eprintln!(
+            "[campaign] resuming after epoch {}",
+            campaign.completed_epochs() - 1
+        );
+    }
+
+    if let Err(e) = campaign.run(&qnet, &test.images, &test.labels) {
+        // Partial-result dump: completed epochs survive the failure.
+        let _ = campaign.save_checkpoint();
+        eprintln!(
+            "[campaign] failed after {} completed epochs; partial results in {}",
+            campaign.completed_epochs(),
+            out_path.display()
+        );
+        return Err(e.to_string());
+    }
+
+    println!(
+        "{:>5} {:>12} {:>10} {:>10} {:>8} {:>11} {:>14}",
+        "epoch", "writes", "faults", "misclass", "flips", "corrected", "uncorrectable"
+    );
+    for r in &campaign.state().completed {
+        println!(
+            "{:>5} {:>12.3e} {:>9.3}% {:>9.1}% {:>7.1}% {:>11} {:>14}",
+            r.epoch,
+            r.writes,
+            r.fault_rate * 100.0,
+            r.misclassification * 100.0,
+            r.flip_rate * 100.0,
+            r.corrected,
+            r.uncorrectable
+        );
+    }
+    println!("checkpoint: {}", out_path.display());
+    Ok(())
+}
+
+/// Parses a flag value (the flag-argument counterpart of [`parse`]).
+fn parsed<T: std::str::FromStr>(value: &str, name: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("invalid <{name}>: {value}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,5 +399,36 @@ mod tests {
     fn missing_args_reported() {
         assert!(cmd_encode(&s(&["19"])).is_err());
         assert!(cmd_decode(&s(&["19", "3"])).is_err());
+    }
+
+    #[test]
+    fn campaign_validates_arguments() {
+        assert!(cmd_campaign(&s(&[])).is_err());
+        assert!(cmd_campaign(&s(&["BogusScheme", "2"])).is_err());
+        assert!(cmd_campaign(&s(&["NoECC"])).is_err());
+        assert!(cmd_campaign(&s(&["NoECC", "2", "--bogus-flag"])).is_err());
+        assert!(cmd_campaign(&s(&["NoECC", "2", "--samples"])).is_err());
+        assert!(cmd_campaign(&s(&["NoECC", "2", "--samples", "0"])).is_err());
+    }
+
+    #[test]
+    fn campaign_runs_and_resumes() {
+        let out = std::env::temp_dir().join(format!("cli-campaign-{}.json", std::process::id()));
+        let out_s = out.display().to_string();
+        // Tiny run: 2 epochs, 3 samples, 40 training digits.
+        let base = ["NoECC", "2", "--samples", "3", "--train", "40", "--out", &out_s];
+        assert_eq!(cmd_campaign(&s(&base)), Ok(()));
+        assert!(out.exists());
+        // Resuming a complete campaign is a no-op that succeeds.
+        let mut with_resume: Vec<&str> = base.to_vec();
+        with_resume.push("--resume");
+        assert_eq!(cmd_campaign(&s(&with_resume)), Ok(()));
+        // Resuming under different parameters is rejected.
+        let mismatched = [
+            "NoECC", "2", "--samples", "3", "--train", "40", "--out", &out_s, "--resume",
+            "--seed", "99",
+        ];
+        assert!(cmd_campaign(&s(&mismatched)).is_err());
+        let _ = std::fs::remove_file(&out);
     }
 }

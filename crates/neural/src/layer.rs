@@ -16,6 +16,11 @@ pub trait Layer {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
 
     /// Propagates the output gradient, returning the input gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no `forward(…, train: true)` call preceded it — the
+    /// cached activations it differentiates through would be missing.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
 
     /// Applies accumulated gradients with learning rate `lr` and clears

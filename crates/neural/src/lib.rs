@@ -49,7 +49,7 @@ pub use layer::{softmax_cross_entropy, softmax_row, Dense, Flatten, Layer, Relu,
 pub use network::{EpochStats, Network, SavedWeights};
 pub use quant::{
     quantize_activations, quantize_activations_into, Activation, ExactEngine, ExactProvider,
-    MvmEngine, MvmEngineProvider, MvmGeometry, QuantOp, QuantizedMatrix, QuantizedNetwork,
-    RunScratch, QUANT_BITS, WEIGHT_BIAS,
+    MvmEngine, MvmEngineProvider, MvmGeometry, QuantError, QuantOp, QuantizedMatrix,
+    QuantizedNetwork, RunScratch, QUANT_BITS, WEIGHT_BIAS,
 };
 pub use tensor::Tensor;

@@ -16,6 +16,40 @@ use crate::conv::{im2col_patch_into, ConvGeometry};
 use crate::layer::softmax_row;
 use crate::{Conv2d, Dense, Flatten, MaxPool2, Network, Relu, Sigmoid, Tensor};
 
+/// A network or tensor shape the quantized lowering cannot handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QuantError {
+    /// Weight tensor was not 2-D.
+    NotAMatrix {
+        /// The tensor's actual rank.
+        rank: usize,
+    },
+    /// A layer type the lowering does not understand.
+    UnsupportedLayer(String),
+    /// An activation layer appeared with no preceding MVM op to fold
+    /// into.
+    ActivationWithoutMvm,
+}
+
+impl std::fmt::Display for QuantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantError::NotAMatrix { rank } => {
+                write!(f, "weights must be 2-D, got a rank-{rank} tensor")
+            }
+            QuantError::UnsupportedLayer(name) => {
+                write!(f, "cannot lower layer {name:?} to quantized ops")
+            }
+            QuantError::ActivationWithoutMvm => {
+                write!(f, "activation layer with no preceding MVM op")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
 /// The additive bias applied to weights so they are non-negative
 /// (ISAAC's negative-value normalization): `2^15`.
 pub const WEIGHT_BIAS: i64 = 1 << 15;
@@ -47,9 +81,28 @@ impl QuantizedMatrix {
     ///
     /// # Panics
     ///
-    /// Panics if the tensor is not 2-D.
+    /// Panics if the tensor is not 2-D;
+    /// [`try_from_tensor`](QuantizedMatrix::try_from_tensor) is the
+    /// recoverable variant.
     pub fn from_tensor(weights: &Tensor) -> QuantizedMatrix {
-        assert_eq!(weights.shape().len(), 2, "weights must be 2-D");
+        match QuantizedMatrix::try_from_tensor(weights) {
+            Ok(q) => q,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Quantizes a `[out, in]` float matrix, reporting shape problems as
+    /// a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::NotAMatrix`] when the tensor is not 2-D.
+    pub fn try_from_tensor(weights: &Tensor) -> Result<QuantizedMatrix, QuantError> {
+        if weights.shape().len() != 2 {
+            return Err(QuantError::NotAMatrix {
+                rank: weights.shape().len(),
+            });
+        }
         let (out, inp) = (weights.shape()[0], weights.shape()[1]);
         let max = weights.max_abs();
         let scale = if max == 0.0 {
@@ -67,7 +120,7 @@ impl QuantizedMatrix {
                     .collect()
             })
             .collect();
-        QuantizedMatrix { rows, scale }
+        Ok(QuantizedMatrix { rows, scale })
     }
 
     /// The biased rows (`[out][in]`), each entry in `0..2^16`.
@@ -297,39 +350,57 @@ impl QuantizedNetwork {
     /// # Panics
     ///
     /// Panics if the network contains a layer type this lowering does
-    /// not understand.
+    /// not understand;
+    /// [`try_from_network`](QuantizedNetwork::try_from_network) is the
+    /// recoverable variant.
     pub fn from_network(network: &Network) -> QuantizedNetwork {
+        match QuantizedNetwork::try_from_network(network) {
+            Ok(qnet) => qnet,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Lowers a trained float [`Network`] to quantized ops, reporting
+    /// unsupported topologies as a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::UnsupportedLayer`] for a layer type the
+    /// lowering does not understand, and
+    /// [`QuantError::ActivationWithoutMvm`] when a ReLU/sigmoid has no
+    /// preceding MVM op to fold into.
+    pub fn try_from_network(network: &Network) -> Result<QuantizedNetwork, QuantError> {
         let mut ops: Vec<QuantOp> = Vec::new();
         for layer in network.layers() {
             let any = layer.as_any();
             if let Some(dense) = any.downcast_ref::<Dense>() {
                 ops.push(QuantOp::Mvm {
-                    matrix: QuantizedMatrix::from_tensor(dense.weights()),
+                    matrix: QuantizedMatrix::try_from_tensor(dense.weights())?,
                     bias: dense.bias().data().to_vec(),
                     activation: Activation::None,
                     geometry: MvmGeometry::Dense,
                 });
             } else if let Some(conv) = any.downcast_ref::<Conv2d>() {
                 ops.push(QuantOp::Mvm {
-                    matrix: QuantizedMatrix::from_tensor(conv.weights()),
+                    matrix: QuantizedMatrix::try_from_tensor(conv.weights())?,
                     bias: conv.bias().data().to_vec(),
                     activation: Activation::None,
                     geometry: MvmGeometry::Conv(conv.geometry()),
                 });
             } else if any.downcast_ref::<Relu>().is_some() {
-                fold_activation(&mut ops, Activation::Relu);
+                fold_activation(&mut ops, Activation::Relu)?;
             } else if any.downcast_ref::<Sigmoid>().is_some() {
-                fold_activation(&mut ops, Activation::Sigmoid);
+                fold_activation(&mut ops, Activation::Sigmoid)?;
             } else if let Some(pool) = any.downcast_ref::<MaxPool2>() {
                 let (c, h, w) = pool_in_shape(pool);
                 ops.push(QuantOp::MaxPool { channels: c, h, w });
             } else if any.downcast_ref::<Flatten>().is_some() {
                 // Shape bookkeeping only; the quantized runtime is flat.
             } else {
-                panic!("cannot lower layer {:?} to quantized ops", layer.name());
+                return Err(QuantError::UnsupportedLayer(layer.name().to_string()));
             }
         }
-        QuantizedNetwork { ops }
+        Ok(QuantizedNetwork { ops })
     }
 
     /// The ops.
@@ -473,10 +544,13 @@ impl QuantizedNetwork {
     }
 }
 
-fn fold_activation(ops: &mut [QuantOp], act: Activation) {
+fn fold_activation(ops: &mut [QuantOp], act: Activation) -> Result<(), QuantError> {
     match ops.last_mut() {
-        Some(QuantOp::Mvm { activation, .. }) => *activation = act,
-        _ => panic!("activation layer with no preceding MVM op"),
+        Some(QuantOp::Mvm { activation, .. }) => {
+            *activation = act;
+            Ok(())
+        }
+        _ => Err(QuantError::ActivationWithoutMvm),
     }
 }
 

@@ -213,6 +213,10 @@ impl Tensor {
     }
 
     /// Index of the maximum element of a 1-D view of the data.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tensor or NaN elements.
     pub fn argmax(&self) -> usize {
         self.data
             .iter()
@@ -223,6 +227,10 @@ impl Tensor {
     }
 
     /// Indices of the `k` largest elements, in descending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element is NaN.
     pub fn top_k(&self, k: usize) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.data.len()).collect();
         idx.sort_by(|&a, &b| {

@@ -5,6 +5,53 @@ use rand::Rng;
 use crate::stats::{sample_binomial, sample_normal};
 use crate::{Adc, DeviceParams, InputMask};
 
+/// A programming request the crossbar fabric cannot satisfy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArrayError {
+    /// A row held more cells than the 128-column crossbar width.
+    RowTooWide {
+        /// Index of the offending row.
+        row: usize,
+        /// Requested cell count.
+        width: usize,
+    },
+    /// A target level exceeded the device's level count.
+    LevelOutOfRange {
+        /// Index of the offending row.
+        row: usize,
+        /// Column within the row.
+        column: usize,
+        /// The requested level.
+        level: u32,
+        /// Number of levels the device supports.
+        levels: u32,
+    },
+}
+
+impl std::fmt::Display for ArrayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArrayError::RowTooWide { row, width } => write!(
+                f,
+                "row {row} holds {width} cells; rows hold at most {} cells",
+                InputMask::MAX_WIDTH
+            ),
+            ArrayError::LevelOutOfRange {
+                row,
+                column,
+                level,
+                levels,
+            } => write!(
+                f,
+                "row {row} column {column}: level {level} out of range (device has {levels} levels)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ArrayError {}
+
 /// One programmed physical row: up to 128 cells.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhysicalRow {
@@ -125,13 +172,52 @@ impl CrossbarArray {
     /// # Panics
     ///
     /// Panics if any row is wider than 128 columns or any level exceeds
-    /// the device's maximum.
+    /// the device's maximum; [`try_program`](CrossbarArray::try_program)
+    /// is the recoverable variant.
     pub fn program<R: Rng + ?Sized>(
         rows: &[Vec<u32>],
         params: &DeviceParams,
         rng: &mut R,
     ) -> CrossbarArray {
+        match CrossbarArray::try_program(rows, params, rng) {
+            Ok(array) => array,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Programs an array from target cell levels, validating the request
+    /// before touching the RNG.
+    ///
+    /// Validation draws nothing from `rng`, so for valid inputs this is
+    /// bit-identical to [`program`](CrossbarArray::program) under a
+    /// fixed seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError`] when a row is wider than 128 columns or a
+    /// target level exceeds the device's level count.
+    pub fn try_program<R: Rng + ?Sized>(
+        rows: &[Vec<u32>],
+        params: &DeviceParams,
+        rng: &mut R,
+    ) -> Result<CrossbarArray, ArrayError> {
         let levels = params.levels();
+        for (i, targets) in rows.iter().enumerate() {
+            if targets.len() > InputMask::MAX_WIDTH as usize {
+                return Err(ArrayError::RowTooWide {
+                    row: i,
+                    width: targets.len(),
+                });
+            }
+            if let Some((j, &level)) = targets.iter().enumerate().find(|(_, &l)| l >= levels) {
+                return Err(ArrayError::LevelOutOfRange {
+                    row: i,
+                    column: j,
+                    level,
+                    levels,
+                });
+            }
+        }
         let rtn = params.rtn();
 
         // Per-level programmed resistance with the RTN offset applied.
@@ -156,15 +242,10 @@ impl CrossbarArray {
         let rows = rows
             .iter()
             .map(|targets| {
-                assert!(
-                    targets.len() <= InputMask::MAX_WIDTH as usize,
-                    "rows hold at most 128 cells"
-                );
                 let mut actual_levels = Vec::with_capacity(targets.len());
                 let mut conductance = Vec::with_capacity(targets.len());
                 let mut stuck_columns = Vec::new();
                 for (j, &target) in targets.iter().enumerate() {
-                    assert!(target < levels, "level {target} out of range");
                     let actual = if rng.gen::<f64>() < params.fault_rate {
                         stuck_columns.push(j as u32);
                         rng.gen_range(0..levels)
@@ -192,14 +273,14 @@ impl CrossbarArray {
             })
             .collect();
 
-        CrossbarArray {
+        Ok(CrossbarArray {
             rows,
             params: params.clone(),
             adc: Adc::new(params),
             r_prog,
             delta_r,
             delta_i,
-        }
+        })
     }
 
     /// The device parameters the array was programmed with.
@@ -613,6 +694,38 @@ mod tests {
             array.read_row_frozen(0, &mask, &snap, &mut rng),
             array.ideal_row_output(0, &mask)
         );
+    }
+
+    #[test]
+    fn try_program_rejects_invalid_requests() {
+        let params = clean_params();
+        let wide = vec![vec![0u32; 200]];
+        assert_eq!(
+            CrossbarArray::try_program(&wide, &params, &mut rng()).unwrap_err(),
+            ArrayError::RowTooWide { row: 0, width: 200 }
+        );
+        let bad_level = vec![vec![0, 1], vec![2, 9]];
+        let err = CrossbarArray::try_program(&bad_level, &params, &mut rng()).unwrap_err();
+        assert_eq!(
+            err,
+            ArrayError::LevelOutOfRange {
+                row: 1,
+                column: 1,
+                level: 9,
+                levels: params.levels(),
+            }
+        );
+        assert!(err.to_string().contains("level 9 out of range"));
+    }
+
+    #[test]
+    fn try_program_matches_program_under_fixed_seed() {
+        // Validation draws nothing, so both constructors consume the
+        // same RNG stream and produce identical arrays.
+        let levels = vec![(0..64).map(|i| i % 4).collect::<Vec<u32>>(); 3];
+        let a = CrossbarArray::program(&levels, &DeviceParams::default(), &mut rng());
+        let b = CrossbarArray::try_program(&levels, &DeviceParams::default(), &mut rng()).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub mod rowerr;
 pub mod stats;
 
 pub use adc::Adc;
-pub use array::{CrossbarArray, PhysicalRow, RtnSnapshot};
+pub use array::{ArrayError, CrossbarArray, PhysicalRow, RtnSnapshot};
 pub use bitslice::BitSlicer;
 pub use device::{DeviceParams, RtnModel};
 pub use mask::InputMask;

@@ -50,7 +50,8 @@ fn main() {
         let config = AccelConfig::new(scheme.clone())
             .with_cell_bits(4) // aggressive multi-bit cells
             .with_fault_rate(1e-3); // Table I stuck-at rate
-        let result = accel::sim::evaluate(&qnet, &test.images, &test.labels, &config, 5, 1);
+        let result = accel::sim::evaluate(&qnet, &test.images, &test.labels, &config, 5, 1)
+            .expect("evaluation failed");
         println!(
             "{:<10} {:>13.1}% {:>16}",
             scheme.label(),

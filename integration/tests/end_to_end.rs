@@ -141,7 +141,8 @@ fn network_accuracy_ordering_sane() {
 
     for scheme in [ProtectionScheme::None, ProtectionScheme::data_aware(9)] {
         let config = AccelConfig::new(scheme).with_cell_bits(2).with_fault_rate(0.0);
-        let result = accel::sim::evaluate(&qnet, &test.images, &test.labels, &config, 9, 1);
+        let result =
+            accel::sim::evaluate(&qnet, &test.images, &test.labels, &config, 9, 1).expect("evaluate");
         assert!((0.0..=1.0).contains(&result.misclassification));
         assert!(result.top5_misclassification <= result.misclassification);
         assert_eq!(result.samples, 10);

@@ -17,4 +17,23 @@ cargo build --release --quiet
 echo "=== tests ==="
 cargo test -q
 
+echo "=== unwrap gate (crash-safe harness files) ==="
+# The Monte-Carlo harness and campaign runner promise typed errors, not
+# panics: reject any .unwrap() outside the #[cfg(test)] region.
+for f in crates/accel/src/sim.rs crates/accel/src/campaign.rs; do
+  if sed -n '1,/#\[cfg(test)\]/p' "$f" | grep -n '\.unwrap()' ; then
+    echo "FAIL: .unwrap() in non-test code of $f" >&2
+    exit 1
+  fi
+done
+echo "no unwrap() in harness non-test code"
+
+echo "=== campaign smoke run (2 epochs, tiny net) ==="
+smoke_out="$(mktemp -d)/campaign-NoECC.json"
+cargo run --release --quiet -p reram-ecc -- campaign NoECC 2 \
+  --samples 3 --train 40 --out "$smoke_out" > /dev/null
+test -s "$smoke_out" || { echo "FAIL: campaign smoke wrote no checkpoint" >&2; exit 1; }
+rm -f "$smoke_out"
+echo "campaign smoke run passed"
+
 echo "all checks passed"
