@@ -1,0 +1,158 @@
+//! A counting global allocator: the dynamic half of the allocation
+//! sanitizer (the static half is `repro-lint`).
+//!
+//! PR 1 made the MVM hot path allocation-free in steady state and
+//! documented an allocation audit; this module turns that audit into an
+//! enforced invariant. A test binary installs [`CountingAllocator`] as
+//! its `#[global_allocator]` and wraps hot-path calls in
+//! [`assert_no_alloc!`], which fails the test if the wrapped block
+//! performs any heap allocation on the current thread.
+//!
+//! The counter is **thread-local**, so concurrently running tests (or
+//! the libtest harness thread) never perturb a measurement. Only
+//! allocating operations count — `alloc`, `alloc_zeroed`, and `realloc`
+//! (a grow *or* shrink both take the slow path we want to catch);
+//! `dealloc` is free of allocator pressure and is deliberately not
+//! counted, so dropping a pre-sized buffer inside a guarded scope does
+//! not trip the assertion.
+//!
+//! Compiled only under the `alloc-count` feature: implementing
+//! [`GlobalAlloc`] requires `unsafe`, and this crate otherwise forbids
+//! unsafe code outright. The feature narrows the forbid to a deny with
+//! a single audited exemption (see `lib.rs`), and is enabled only by
+//! the sanitizer test in `scripts/check.sh` — production builds never
+//! compile this module.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    /// Allocating operations performed by the current thread since it
+    /// started. Const-initialized `Cell<u64>`: no lazy init and no
+    /// destructor, so reading it inside the allocator can never itself
+    /// allocate or race thread teardown.
+    static ALLOC_OPS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of allocating operations (`alloc` + `alloc_zeroed` +
+/// `realloc`) the current thread has performed since it started.
+///
+/// Monotonically increasing; meaningful only as a *difference* across a
+/// scope, which is what [`assert_no_alloc!`] computes.
+pub fn thread_alloc_ops() -> u64 {
+    ALLOC_OPS.with(Cell::get)
+}
+
+/// A [`System`]-backed allocator that counts allocating operations per
+/// thread.
+///
+/// Install it once per test binary:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: accel::alloc_count::CountingAllocator =
+///     accel::alloc_count::CountingAllocator::new();
+/// ```
+#[derive(Debug, Default)]
+pub struct CountingAllocator;
+
+impl CountingAllocator {
+    /// Creates the allocator (const, so it can initialize a static).
+    pub const fn new() -> CountingAllocator {
+        CountingAllocator
+    }
+}
+
+fn bump() {
+    ALLOC_OPS.with(|c| c.set(c.get() + 1));
+}
+
+// The one audited unsafe block in the workspace: pure delegation to
+// `System` plus a thread-local counter bump. No pointer arithmetic, no
+// invariants beyond the ones `GlobalAlloc` already imposes on `System`.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+/// Asserts that a block performs zero heap allocations on the current
+/// thread, returning the block's value.
+///
+/// The first argument labels the failure message (scheme name, call
+/// index, …). Requires [`CountingAllocator`] to be installed as the
+/// `#[global_allocator]` of the running binary — without it the
+/// counter never moves and the assertion is vacuous, so the sanitizer
+/// test begins by asserting the counter *does* move for a `Vec` push.
+#[macro_export]
+macro_rules! assert_no_alloc {
+    ($label:expr, $body:expr) => {{
+        let __ops_before = $crate::alloc_count::thread_alloc_ops();
+        let __value = $body;
+        let __ops = $crate::alloc_count::thread_alloc_ops() - __ops_before;
+        assert_eq!(
+            __ops, 0,
+            "{}: expected an allocation-free scope but counted {} allocating operation(s)",
+            $label, __ops
+        );
+        __value
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NOTE: these unit tests run without the counting allocator
+    // installed (the library test binary keeps the default allocator),
+    // so they only cover the counter plumbing. The real end-to-end
+    // guarantee lives in `tests/alloc_free.rs`, which installs the
+    // allocator and proves the counter moves before relying on it.
+
+    #[test]
+    fn counter_is_monotonic_and_thread_local() {
+        let base = thread_alloc_ops();
+        bump();
+        bump();
+        assert_eq!(thread_alloc_ops(), base + 2);
+        let other = std::thread::spawn(|| {
+            let t = thread_alloc_ops();
+            bump();
+            thread_alloc_ops() - t
+        })
+        .join()
+        .expect("thread");
+        // The spawned thread saw only its own bump.
+        assert_eq!(other, 1);
+        // And ours is unchanged by the other thread's.
+        assert_eq!(thread_alloc_ops(), base + 2);
+    }
+
+    #[test]
+    fn assert_no_alloc_passes_without_counted_ops() {
+        let v = assert_no_alloc!("arithmetic", 2 + 2);
+        assert_eq!(v, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocation-free scope")]
+    fn assert_no_alloc_fails_when_the_counter_moves() {
+        assert_no_alloc!("bumped", bump());
+    }
+}

@@ -652,6 +652,24 @@ mod tests {
         ));
     }
 
+    #[test]
+    fn seed_boundary_pins_the_json_f64_limit() {
+        // The vendored serde stub stores JSON numbers as f64, and
+        // 2^53 - 1 is the largest integer f64 round-trips exactly
+        // (see CHANGES.md, PR 2). Pin both sides of the boundary so a
+        // future serde swap that lifts the limit shows up here.
+        let mut config = CampaignConfig::new(AccelConfig::new(ProtectionScheme::None), 2, 1);
+        config.seed = (1u64 << 53) - 1;
+        assert!(Campaign::new(config.clone()).is_ok());
+        config.seed = 1u64 << 53;
+        match Campaign::new(config) {
+            Err(AccelError::InvalidConfig(msg)) => {
+                assert!(msg.contains("2^53"), "message should name the limit: {msg}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
     fn arb_record() -> impl Strategy<Value = EpochRecord> {
         (
             (0u64..100, 0.0f64..1e12, 0.0f64..1.0, 0.0f64..1.0),

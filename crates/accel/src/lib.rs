@@ -44,9 +44,16 @@
 //! assert!(class < 10);
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is forbidden outright except under the test-only `alloc-count`
+// feature, whose counting global allocator must implement the unsafe
+// `GlobalAlloc` trait. Even then it is denied by default and exempted
+// for that single audited impl (see `alloc_count`).
+#![cfg_attr(not(feature = "alloc-count"), forbid(unsafe_code))]
+#![cfg_attr(feature = "alloc-count", deny(unsafe_code))]
 #![warn(missing_docs)]
 
+#[cfg(feature = "alloc-count")]
+pub mod alloc_count;
 pub mod campaign;
 pub mod cost;
 mod engine;

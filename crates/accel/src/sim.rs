@@ -368,6 +368,32 @@ mod tests {
     }
 
     #[test]
+    fn double_run_same_seed_is_bit_identical() {
+        // The dynamic counterpart of the `nondeterminism` lint (L3):
+        // with realistic noise every RNG draw matters, so two runs from
+        // the same seed must produce bit-identical results — including
+        // the f64 rates — at every thread count. The per-thread-count
+        // runs also keep this robust under `--test-threads` variation:
+        // shard results depend only on (seed, range, config), never on
+        // scheduling. Static16 exercises the full noisy decode draw
+        // order without data-aware A-search programming cost.
+        let (qnet, images, labels) = tiny_problem();
+        let samples = 4;
+        let per = images.len() / labels.len();
+        let images = Tensor::from_vec(
+            vec![samples, 1, 28, 28],
+            images.data()[..samples * per].to_vec(),
+        );
+        let labels = &labels[..samples];
+        let config = AccelConfig::new(ProtectionScheme::Static16).with_fault_rate(0.002);
+        for threads in [1, 2] {
+            let first = evaluate(&qnet, &images, labels, &config, 9, threads).expect("first");
+            let second = evaluate(&qnet, &images, labels, &config, 9, threads).expect("second");
+            assert_eq!(first, second, "{threads} threads");
+        }
+    }
+
+    #[test]
     fn top_k_scan_matches_tensor_top_k() {
         // Including ties, which must resolve to ascending index order.
         let cases: Vec<Vec<f32>> = vec![

@@ -1,0 +1,11 @@
+//! CLI wrapper around [`repro_lint::run`]; see the library docs for the
+//! lint inventory and `lint-baseline.toml` workflow.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cwd = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let mut stdout = std::io::stdout();
+    ExitCode::from(repro_lint::run(&args, &cwd, &mut stdout).clamp(0, u8::MAX as i32) as u8)
+}

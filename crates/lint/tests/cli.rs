@@ -1,0 +1,145 @@
+//! End-to-end tests of the `repro-lint` binary: builds a throwaway
+//! mini-workspace on disk, seeds violations, and asserts on real
+//! process exit codes — the same contract `scripts/check.sh` relies on.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn temp_workspace(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro-lint-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("crates/accel/src")).expect("mkdir");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("manifest");
+    dir
+}
+
+fn write(root: &Path, rel: &str, content: &str) {
+    let path = root.join(rel);
+    std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+    std::fs::write(path, content).expect("write");
+}
+
+fn run_lint(root: &Path, args: &[&str]) -> (i32, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_repro-lint"))
+        .arg(args[0])
+        .args(["--root", root.to_str().expect("utf8 root")])
+        .args(&args[1..])
+        .output()
+        .expect("spawn repro-lint");
+    let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
+    (output.status.code().unwrap_or(-1), stdout)
+}
+
+#[test]
+fn seeded_violation_fails_and_baseline_suppresses_it() {
+    let root = temp_workspace("seeded");
+    write(
+        &root,
+        "crates/accel/src/sim.rs",
+        "fn shard() { let x: Option<u32> = None; x.unwrap(); }\n\
+         #[cfg(test)]\nmod tests { fn t() { let y: Option<u32> = None; y.unwrap(); } }\n",
+    );
+
+    // No baseline: the seeded violation must fail the check (exit 1)
+    // and be reported machine-readably.
+    let (code, out) = run_lint(&root, &["check"]);
+    assert_eq!(code, 1, "expected failure, got:\n{out}");
+    assert!(
+        out.contains("crates/accel/src/sim.rs:1: panic_in_harness"),
+        "missing file:line report:\n{out}"
+    );
+    // The cfg(test) unwrap must not be reported.
+    assert!(!out.contains("sim.rs:3"), "test-region unwrap leaked:\n{out}");
+
+    // Record the baseline: check now passes (exit 0).
+    let (code, out) = run_lint(&root, &["baseline"]);
+    assert_eq!(code, 0, "baseline write failed:\n{out}");
+    let (code, out) = run_lint(&root, &["check"]);
+    assert_eq!(code, 0, "baselined violation still fails:\n{out}");
+    assert!(out.contains("1 baseline-suppressed"), "{out}");
+
+    // A *new* violation on top of the baseline fails again.
+    write(
+        &root,
+        "crates/accel/src/sim.rs",
+        "fn shard() { let x: Option<u32> = None; x.unwrap(); }\n\
+         fn fresh() { panic!(\"new\"); }\n",
+    );
+    let (code, out) = run_lint(&root, &["check"]);
+    assert_eq!(code, 1, "new violation not caught:\n{out}");
+    assert!(out.contains("REGRESSION"), "{out}");
+
+    // Fixing *both* makes the baseline stale — also a failure, with a
+    // pointer at the regeneration command.
+    write(&root, "crates/accel/src/sim.rs", "fn shard() {}\n");
+    let (code, out) = run_lint(&root, &["check"]);
+    assert_eq!(code, 1, "stale baseline not caught:\n{out}");
+    assert!(out.contains("STALE BASELINE"), "{out}");
+    assert!(out.contains("repro-lint -- baseline"), "{out}");
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn clean_workspace_passes_and_list_enumerates() {
+    let root = temp_workspace("clean");
+    write(
+        &root,
+        "crates/core/src/an.rs",
+        "pub fn residue(v: u64, a: u64) -> u64 { v % a }\n",
+    );
+    let (code, out) = run_lint(&root, &["check"]);
+    assert_eq!(code, 0, "{out}");
+
+    // `list` prints raw violations without baseline filtering.
+    write(
+        &root,
+        "crates/core/src/an.rs",
+        "pub fn low(v: u64) -> u32 { v as u32 }\n",
+    );
+    let (code, out) = run_lint(&root, &["list"]);
+    assert_eq!(code, 1);
+    assert!(out.contains("crates/core/src/an.rs:1: lossy_cast"), "{out}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn allow_comment_with_reason_passes_without_baseline() {
+    let root = temp_workspace("allow");
+    write(
+        &root,
+        "crates/wideint/src/u256.rs",
+        "pub fn low(v: u128) -> u64 {\n\
+         // lint: allow(lossy_cast, intentional low-limb extraction)\n\
+         v as u64\n\
+         }\n",
+    );
+    let (code, out) = run_lint(&root, &["check"]);
+    assert_eq!(code, 0, "{out}");
+
+    // Dropping the reason turns the allow itself into a violation.
+    write(
+        &root,
+        "crates/wideint/src/u256.rs",
+        "pub fn low(v: u128) -> u64 {\n\
+         // lint: allow(lossy_cast)\n\
+         v as u64\n\
+         }\n",
+    );
+    let (code, out) = run_lint(&root, &["check"]);
+    assert_eq!(code, 1);
+    assert!(out.contains("bare_allow"), "{out}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let root = temp_workspace("usage");
+    let (code, out) = run_lint(&root, &["frobnicate"]);
+    assert_eq!(code, 2, "{out}");
+    let output = Command::new(env!("CARGO_BIN_EXE_repro-lint"))
+        .output()
+        .expect("spawn");
+    assert_eq!(output.status.code(), Some(2));
+    let _ = std::fs::remove_dir_all(&root);
+}

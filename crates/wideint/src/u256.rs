@@ -93,7 +93,7 @@ impl U256 {
     #[inline]
     pub fn bit(self, i: u32) -> bool {
         assert!(i < 256, "bit index {i} out of range");
-        (self.limbs[(i / 64) as usize] >> (i % 64)) & 1 == 1
+        (self.limbs[(i / 64) as usize] >> (i % 64)) & 1 == 1 // lint: allow(lossy_cast, i < 256 so the limb index is < 4)
     }
 
     /// Returns a copy of `self` with bit `i` set to `value`.
@@ -105,7 +105,7 @@ impl U256 {
     #[must_use]
     pub fn with_bit(mut self, i: u32, value: bool) -> U256 {
         assert!(i < 256, "bit index {i} out of range");
-        let limb = &mut self.limbs[(i / 64) as usize];
+        let limb = &mut self.limbs[(i / 64) as usize]; // lint: allow(lossy_cast, i < 256 so the limb index is < 4)
         if value {
             *limb |= 1 << (i % 64);
         } else {
@@ -119,7 +119,7 @@ impl U256 {
     pub fn leading_zeros(self) -> u32 {
         for (i, &limb) in self.limbs.iter().enumerate().rev() {
             if limb != 0 {
-                return (3 - i as u32) * 64 + limb.leading_zeros();
+                return (3 - i as u32) * 64 + limb.leading_zeros(); // lint: allow(lossy_cast, i is a limb index < 4)
             }
         }
         256
@@ -130,7 +130,7 @@ impl U256 {
     pub fn trailing_zeros(self) -> u32 {
         for (i, &limb) in self.limbs.iter().enumerate() {
             if limb != 0 {
-                return i as u32 * 64 + limb.trailing_zeros();
+                return i as u32 * 64 + limb.trailing_zeros(); // lint: allow(lossy_cast, i is a limb index < 4)
             }
         }
         256
@@ -156,7 +156,7 @@ impl U256 {
         let mut carry = false;
         for i in 0..4 {
             let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
-            let (s2, c2) = s1.overflowing_add(carry as u64);
+            let (s2, c2) = s1.overflowing_add(u64::from(carry));
             out[i] = s2;
             carry = c1 || c2;
         }
@@ -170,7 +170,7 @@ impl U256 {
         let mut borrow = false;
         for i in 0..4 {
             let (d1, b1) = self.limbs[i].overflowing_sub(rhs.limbs[i]);
-            let (d2, b2) = d1.overflowing_sub(borrow as u64);
+            let (d2, b2) = d1.overflowing_sub(u64::from(borrow));
             out[i] = d2;
             borrow = b1 || b2;
         }
@@ -186,8 +186,8 @@ impl U256 {
                 let wide = self.limbs[i] as u128 * rhs.limbs[j] as u128
                     + out[i + j] as u128
                     + carry as u128;
-                out[i + j] = wide as u64;
-                carry = (wide >> 64) as u64;
+                out[i + j] = wide as u64; // lint: allow(lossy_cast, intentional low-half extraction of the 128-bit partial product)
+                carry = (wide >> 64) as u64; // lint: allow(lossy_cast, high half fits after the shift)
             }
             out[i + 4] = out[i + 4].wrapping_add(carry);
         }
@@ -258,8 +258,8 @@ impl U256 {
         let mut carry = 0u64;
         for i in 0..4 {
             let wide = self.limbs[i] as u128 * rhs as u128 + carry as u128;
-            out[i] = wide as u64;
-            carry = (wide >> 64) as u64;
+            out[i] = wide as u64; // lint: allow(lossy_cast, intentional low-half extraction of the 128-bit partial product)
+            carry = (wide >> 64) as u64; // lint: allow(lossy_cast, high half fits after the shift)
         }
         if carry != 0 {
             None
@@ -288,10 +288,13 @@ impl U256 {
         let mut rem = 0u128;
         for i in (0..4).rev() {
             let cur = (rem << 64) | self.limbs[i] as u128;
-            quotient[i] = (cur / divisor as u128) as u64;
+            // Long-division invariant: rem < divisor <= u64::MAX going
+            // in, so cur < divisor * 2^64 and the per-limb quotient
+            // fits in 64 bits.
+            quotient[i] = (cur / divisor as u128) as u64; // lint: allow(lossy_cast, quotient < 2^64 by the long-division invariant)
             rem = cur % divisor as u128;
         }
-        Some((U256 { limbs: quotient }, rem as u64))
+        Some((U256 { limbs: quotient }, rem as u64)) // lint: allow(lossy_cast, rem < divisor which is a u64)
     }
 
     /// Returns `self % divisor` for a `u64` divisor, or `None` if
@@ -385,21 +388,21 @@ impl U256 {
 impl From<u8> for U256 {
     #[inline]
     fn from(v: u8) -> U256 {
-        U256::from(v as u64)
+        U256::from(u64::from(v))
     }
 }
 
 impl From<u16> for U256 {
     #[inline]
     fn from(v: u16) -> U256 {
-        U256::from(v as u64)
+        U256::from(u64::from(v))
     }
 }
 
 impl From<u32> for U256 {
     #[inline]
     fn from(v: u32) -> U256 {
-        U256::from(v as u64)
+        U256::from(u64::from(v))
     }
 }
 
@@ -416,6 +419,7 @@ impl From<u128> for U256 {
     #[inline]
     fn from(v: u128) -> U256 {
         U256 {
+            // lint: allow(lossy_cast, intentional limb split of the u128)
             limbs: [v as u64, (v >> 64) as u64, 0, 0],
         }
     }
@@ -424,7 +428,7 @@ impl From<u128> for U256 {
 impl From<usize> for U256 {
     #[inline]
     fn from(v: usize) -> U256 {
-        U256::from(v as u64)
+        U256::from(v as u64) // lint: allow(lossy_cast, usize is at most 64 bits on every supported target)
     }
 }
 
@@ -529,11 +533,14 @@ macro_rules! impl_shift {
             type Output = U256;
             #[inline]
             fn shl(self, shift: $ty) -> U256 {
-                let shift = shift as u32;
+                // A `shift as u32` here would wrap for shifts >= 2^32
+                // and silently shift by the low bits instead; saturate,
+                // so any shift too big for u32 flushes to zero below.
+                let shift = u32::try_from(shift).unwrap_or(u32::MAX);
                 if shift >= 256 {
                     return U256::ZERO;
                 }
-                let limb_shift = (shift / 64) as usize;
+                let limb_shift = (shift / 64) as usize; // lint: allow(lossy_cast, shift < 256 so the limb index is < 4)
                 let bit_shift = shift % 64;
                 let mut out = [0u64; 4];
                 for i in (limb_shift..4).rev() {
@@ -550,11 +557,13 @@ macro_rules! impl_shift {
             type Output = U256;
             #[inline]
             fn shr(self, shift: $ty) -> U256 {
-                let shift = shift as u32;
+                // Same wrap hazard as `shl`: saturate oversized shifts
+                // instead of truncating them.
+                let shift = u32::try_from(shift).unwrap_or(u32::MAX);
                 if shift >= 256 {
                     return U256::ZERO;
                 }
-                let limb_shift = (shift / 64) as usize;
+                let limb_shift = (shift / 64) as usize; // lint: allow(lossy_cast, shift < 256 so the limb index is < 4)
                 let bit_shift = shift % 64;
                 let mut out = [0u64; 4];
                 for i in 0..(4 - limb_shift) {
@@ -688,7 +697,7 @@ impl fmt::Display for U256 {
         let mut v = *self;
         while !v.is_zero() {
             let (q, r) = v.div_rem_u64(10).expect("nonzero divisor");
-            digits.push(b'0' + r as u8);
+            digits.push(b'0' + r as u8); // lint: allow(lossy_cast, r < 10 from div_rem_u64(10))
             v = q;
         }
         digits.reverse();
@@ -775,7 +784,7 @@ impl FromStr for U256 {
         let mut v = U256::ZERO;
         for c in s.bytes() {
             let digit = match c {
-                b'0'..=b'9' => (c - b'0') as u64,
+                b'0'..=b'9' => u64::from(c - b'0'),
                 _ => return Err(ParseU256Error::InvalidDigit),
             };
             v = v
@@ -886,6 +895,20 @@ mod tests {
             assert_eq!((x << shift) >> shift, x, "shift {shift}");
         }
         assert_eq!(x << 256u32, U256::ZERO);
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn oversized_usize_shifts_saturate_to_zero() {
+        // Regression: `shift as u32` used to wrap, so a shift of
+        // 2^32 + 3 silently shifted by 3 instead of flushing to zero.
+        let x = U256::from(0xDEAD_BEEFu64);
+        let huge = (1usize << 32) + 3;
+        assert_eq!(x << huge, U256::ZERO);
+        assert_eq!(x >> huge, U256::ZERO);
+        // Small usize shifts still behave like their u32 counterparts.
+        assert_eq!(x << 3usize, x << 3u32);
+        assert_eq!(x >> 3usize, x >> 3u32);
     }
 
     #[test]
