@@ -258,6 +258,29 @@ impl CampaignState {
 }
 
 /// A resumable lifetime fault-injection campaign.
+///
+/// # Examples
+///
+/// ```
+/// use accel::campaign::{Campaign, CampaignConfig};
+/// use accel::{AccelConfig, ProtectionScheme};
+/// use neural::{Dense, Network, QuantizedNetwork, Tensor};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let net = Network::new(vec![Box::new(Dense::new(8, 4, &mut rng))]);
+/// let qnet = QuantizedNetwork::from_network(&net);
+/// let images = Tensor::from_vec(vec![2, 8], vec![0.5; 16]);
+/// let labels = vec![0usize, 1];
+///
+/// let base = AccelConfig::new(ProtectionScheme::None);
+/// let mut campaign = Campaign::new(CampaignConfig::new(base, 2, 11))?;
+/// let state = campaign.run(&qnet, &images, &labels)?;
+/// assert_eq!(state.completed.len(), 2);
+/// // Accumulated writes grow the stuck-cell fraction monotonically.
+/// assert!(state.completed[1].fault_rate >= state.completed[0].fault_rate);
+/// # Ok::<(), accel::AccelError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct Campaign {
     config: CampaignConfig,
@@ -442,6 +465,14 @@ impl Campaign {
             let writes = self.config.writes_at(epoch);
             let fault_rate = self.config.fault_rate_at(epoch);
             let config = self.config.base.clone().with_fault_rate(fault_rate);
+            // Wall timings live only in the event log, never in
+            // `CampaignState`: checkpoints must stay byte-identical
+            // across re-runs. `span_total_ns("program")` deltas isolate
+            // the re-program + A-search share of the evaluation (shard
+            // workers flush their metric shards before `evaluate`
+            // returns, so the total is current at both reads).
+            let eval_start_ns = obs::now_ns();
+            let program_ns_before = obs::span_total_ns("program");
             let result = evaluate(
                 qnet,
                 images,
@@ -450,15 +481,45 @@ impl Campaign {
                 self.config.epoch_seed(epoch),
                 self.config.threads,
             )?;
+            let eval_ns = obs::now_ns().saturating_sub(eval_start_ns);
+            let program_ns = obs::span_total_ns("program").saturating_sub(program_ns_before);
             self.state.samples = labels.len() as u64;
-            self.state
-                .completed
-                .push(EpochRecord::from_result(epoch, writes, fault_rate, &result));
+            let record = EpochRecord::from_result(epoch, writes, fault_rate, &result);
+            self.state.completed.push(record.clone());
             let due = self.config.checkpoint_every != 0
                 && (epoch + 1) % self.config.checkpoint_every == 0;
+            let mut checkpoint_ns = 0u64;
             if due || self.is_complete() {
+                let ckpt_start_ns = obs::now_ns();
                 self.save_checkpoint()?;
+                // Only report a write latency when a checkpoint was
+                // actually written; with no path configured the save is
+                // a no-op and the field stays 0.
+                if self.checkpoint.is_some() {
+                    checkpoint_ns = obs::now_ns().saturating_sub(ckpt_start_ns);
+                }
             }
+            obs::events::emit(
+                obs::Event::new("campaign_epoch")
+                    .str("scheme", &self.state.scheme)
+                    .u64("epoch", record.epoch)
+                    .f64("writes", record.writes)
+                    .f64("fault_rate", record.fault_rate)
+                    .f64("misclassification", record.misclassification)
+                    .f64("top5_misclassification", record.top5_misclassification)
+                    .f64("flip_rate", record.flip_rate)
+                    .u64("samples", record.samples)
+                    .u64("clean", record.clean)
+                    .u64("corrected", record.corrected)
+                    .u64("uncorrectable", record.uncorrectable)
+                    .u64("miscorrected", record.miscorrected)
+                    .u64("silent_a", record.silent_a)
+                    .u64("retries", record.retries)
+                    .u64("uncoded", record.uncoded)
+                    .u64("eval_ns", eval_ns)
+                    .u64("program_ns", program_ns)
+                    .u64("checkpoint_ns", checkpoint_ns),
+            );
         }
         Ok(&self.state)
     }

@@ -203,6 +203,7 @@ impl CrossbarEngine {
         seed: u64,
         stats: Arc<Mutex<DecodeStats>>,
     ) -> Result<CrossbarEngine, AccelError> {
+        let _span = obs::span!("program");
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let (weights, remap_order) = if config.remap {
             let mut scout_rng = ChaCha8Rng::seed_from_u64(seed);
@@ -296,6 +297,7 @@ impl CrossbarEngine {
 
 impl MvmEngine for CrossbarEngine {
     fn mvm_into(&mut self, input: &[u16], out: &mut Vec<i64>) {
+        let _span = obs::span!("mvm");
         assert_eq!(input.len(), self.mapped.in_dim, "input length mismatch");
         out.clear();
         out.resize(self.mapped.out_dim, 0i64);
@@ -360,7 +362,14 @@ impl MvmEngine for CrossbarEngine {
                 let err = total - ideal_total;
                 stack.group.split_signed_into(err, &mut scratch.lane_err);
                 for l in 0..stack.lanes {
-                    out[stack.row_offset + l] += scratch.ideal[l] + scratch.lane_err[l];
+                    let lane_err = scratch.lane_err[l];
+                    if lane_err != 0 {
+                        // Which bit-slice lanes absorb residual analog
+                        // error, and how large it lands after decode.
+                        obs::counter!(lane_error_digits).incr();
+                        obs::histogram!(lane_error_magnitude).record(lane_err.unsigned_abs());
+                    }
+                    out[stack.row_offset + l] += scratch.ideal[l] + lane_err;
                 }
             }
             self.mapped.stacks[chunk_idx] = stacks;
@@ -379,9 +388,15 @@ impl MvmEngine for CrossbarEngine {
 
         self.mapped.chunks = chunks;
         self.scratch = scratch;
-        self.stats
-            .lock()
-            .absorb(self.local_stats.delta_since(&self.reported));
+        let delta = self.local_stats.delta_since(&self.reported);
+        obs::counter!(ecc_clean).add(delta.clean);
+        obs::counter!(ecc_corrected).add(delta.corrected);
+        obs::counter!(ecc_uncorrectable).add(delta.uncorrectable);
+        obs::counter!(ecc_miscorrected).add(delta.miscorrected);
+        obs::counter!(ecc_silent_a).add(delta.silent_a);
+        obs::counter!(ecc_retries).add(delta.retries);
+        obs::counter!(ecc_uncoded).add(delta.uncoded);
+        self.stats.lock().absorb(delta);
         self.reported = self.local_stats;
     }
 }

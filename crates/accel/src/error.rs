@@ -10,6 +10,21 @@
 use ancode::CodeError;
 
 /// An error produced by the accelerator simulation stack.
+///
+/// # Examples
+///
+/// ```
+/// use accel::AccelError;
+///
+/// // Errors render as actionable messages and match structurally.
+/// let err = AccelError::WorkerPanic {
+///     shard: 3,
+///     seed: 99,
+///     message: "boom".into(),
+/// };
+/// assert_eq!(err.to_string(), "worker shard 3 (seed 99) panicked twice: boom");
+/// assert!(matches!(err, AccelError::WorkerPanic { shard: 3, .. }));
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum AccelError {

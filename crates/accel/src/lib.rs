@@ -43,6 +43,22 @@
 //! let class = qnet.predict(&image, &mut engines);
 //! assert!(class < 10);
 //! ```
+//!
+//! # Observability
+//!
+//! Built with the `obs` feature (which forwards to `repro-obs/enabled`;
+//! the CLI always turns it on), the hot paths feed the workspace's
+//! zero-dependency metric layer: per-MVM ECC counters
+//! (`ecc_clean` … `ecc_uncoded`, matching [`DecodeStats`]), per-lane
+//! error digits and magnitudes, `"mvm"`/`"program"`/`"shard"` spans,
+//! and JSONL events from [`sim::evaluate`] (`shard_done`,
+//! `shard_retry`) and [`campaign`] (`campaign_epoch`). Workers merge
+//! thread-local metric shards at join points, so totals are exact and
+//! deterministic; instrumentation never draws RNG values or enters
+//! checkpoint state. Without the feature every hook compiles to a
+//! no-op and `mvm_into` stays allocation-free either way (both proven
+//! by `scripts/check.sh`). DESIGN.md §8 documents the model and the
+//! event schema.
 
 // Unsafe is forbidden outright except under the test-only `alloc-count`
 // feature, whose counting global allocator must implement the unsafe

@@ -64,6 +64,7 @@ fn run_shard(
     shard: usize,
     attempt: u32,
 ) -> ShardTallies {
+    let _span = obs::span!("shard");
     let provider = CrossbarProvider::new(config.clone(), shard_seed);
     let mut engines = qnet.build_engines(&provider);
     let mut exact_engines = qnet.build_engines(&neural::ExactProvider);
@@ -95,6 +96,7 @@ fn run_shard(
             flips += 1;
         }
     }
+    obs::counter!(prediction_flips).add(flips as u64);
     (top1_errors, top5_errors, flips, provider.stats())
 }
 
@@ -121,6 +123,52 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// original seed (bit-identical to a run that never panicked, since a
 /// shard is a pure function of seed + range + config) before the error
 /// is surfaced.
+///
+/// # Examples
+///
+/// ```
+/// use accel::{sim::evaluate, AccelConfig, ProtectionScheme};
+/// use neural::{Dense, Network, QuantizedNetwork, Tensor};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let net = Network::new(vec![Box::new(Dense::new(8, 4, &mut rng))]);
+/// let qnet = QuantizedNetwork::from_network(&net);
+/// let images = Tensor::from_vec(vec![3, 8], vec![0.25; 24]);
+/// let labels = vec![0usize, 1, 2];
+///
+/// let config = AccelConfig::new(ProtectionScheme::data_aware(9));
+/// let result = evaluate(&qnet, &images, &labels, &config, 42, 2)?;
+/// assert_eq!(result.samples, 3);
+/// assert!(result.misclassification <= 1.0);
+/// # Ok::<(), accel::AccelError>(())
+/// ```
+///
+/// # Observability
+///
+/// With the `obs` feature, each worker merges its thread-local metric
+/// shard as it finishes (`obs::flush_thread`), so by the time
+/// `evaluate` returns the global counter totals equal the returned
+/// [`SimResult::stats`] exactly — independent of thread count and join
+/// order (DESIGN.md §8):
+///
+/// ```
+/// # use accel::{sim::evaluate, AccelConfig, ProtectionScheme};
+/// # use neural::{Dense, Network, QuantizedNetwork, Tensor};
+/// # use rand::SeedableRng;
+/// # let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// # let net = Network::new(vec![Box::new(Dense::new(8, 4, &mut rng))]);
+/// # let qnet = QuantizedNetwork::from_network(&net);
+/// # let images = Tensor::from_vec(vec![3, 8], vec![0.25; 24]);
+/// # let labels = vec![0usize, 1, 2];
+/// obs::reset();
+/// let config = AccelConfig::new(ProtectionScheme::None);
+/// let result = evaluate(&qnet, &images, &labels, &config, 42, 2)?;
+/// if obs::enabled() {
+///     assert_eq!(obs::counter_value("ecc_uncoded"), result.stats.uncoded);
+/// }
+/// # Ok::<(), accel::AccelError>(())
+/// ```
 ///
 /// # Errors
 ///
@@ -166,6 +214,7 @@ pub fn evaluate(
                 let shard_seed = seed.wrapping_add(t as u64);
                 let mut attempt = 0u32;
                 loop {
+                    let start_ns = obs::now_ns();
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         run_shard(
                             qnet,
@@ -181,16 +230,41 @@ pub fn evaluate(
                         )
                     }));
                     match outcome {
-                        Ok(tallies) => return Ok(tallies),
+                        Ok(tallies) => {
+                            obs::events::emit(
+                                obs::Event::new("shard_done")
+                                    .u64("shard", t as u64)
+                                    .u64("lo", lo as u64)
+                                    .u64("hi", hi as u64)
+                                    .u64("duration_ns", obs::now_ns().saturating_sub(start_ns)),
+                            );
+                            // Join point: merge this worker's metric
+                            // shard before the thread ends, so totals
+                            // are complete when `evaluate` returns.
+                            obs::flush_thread();
+                            return Ok(tallies);
+                        }
                         Err(payload) if attempt == 0 => {
                             // Deterministic retry: the shard restarts
                             // from `shard_seed`, discarding all partial
                             // state, so a success here is bit-identical
-                            // to a first-try success.
+                            // to a first-try success. The partial metric
+                            // shard is discarded for the same reason —
+                            // counters must match what the successful
+                            // attempt actually counted.
                             let _ = payload;
+                            obs::discard_thread();
+                            obs::counter!(shard_retries).incr();
                             attempt = 1;
+                            obs::events::emit(
+                                obs::Event::new("shard_retry")
+                                    .u64("shard", t as u64)
+                                    .u64("seed", shard_seed)
+                                    .u64("attempt", u64::from(attempt)),
+                            );
                         }
                         Err(payload) => {
+                            obs::discard_thread();
                             return Err(AccelError::WorkerPanic {
                                 shard: t,
                                 seed: shard_seed,

@@ -58,6 +58,15 @@ fn main() {
             .unwrap_or(10)
     };
 
+    // Per-epoch telemetry (campaign_epoch / shard_done / shard_retry
+    // events, DESIGN.md §8) lands next to the checkpoints. A no-op
+    // unless the bench crate is built with `--features obs`; the
+    // recorded BENCH_campaign.json baseline stays uninstrumented.
+    let events_path = results_dir().join("campaign_events.jsonl");
+    if obs::enabled() {
+        obs::events::log_to_file(&events_path).expect("open event log");
+    }
+
     let wl = workload("mlp1");
     let mut timings: Vec<EpochTiming> = Vec::new();
     let mut finals: Vec<(String, f64, f64)> = Vec::new();
@@ -168,6 +177,11 @@ fn main() {
             mean_epoch_ms,
             mean_checkpoint_fraction * 100.0
         );
+    }
+
+    if obs::enabled() {
+        obs::events::stop_logging();
+        println!("event log: {}", events_path.display());
     }
 
     if let [(_, no_ecc_delta, no_ecc_flips), (_, abn_delta, abn_flips)] = finals.as_slice() {

@@ -68,7 +68,12 @@ usage:
   reram-ecc campaign <scheme> <epochs> [--samples N] [--train N] [--seed S]
              [--threads T] [--cell-bits B] [--writes-per-epoch W]
              [--initial-writes W] [--checkpoint-every K] [--remap]
-             [--out PATH] [--resume]
+             [--out PATH] [--resume] [--metrics PATH] [--events PATH]
+
+campaign observability (see DESIGN.md §8):
+  --metrics PATH  write a final metric snapshot (Prometheus text, or
+                  JSON when PATH ends in .json)
+  --events PATH   stream per-epoch/per-shard JSONL events to PATH
 ";
 
 fn parse<T: std::str::FromStr>(args: &[String], i: usize, name: &str) -> Result<T, String> {
@@ -234,6 +239,8 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     let mut remap = false;
     let mut resume = false;
     let mut out: Option<String> = None;
+    let mut metrics: Option<String> = None;
+    let mut events: Option<String> = None;
 
     let mut i = 2;
     while i < args.len() {
@@ -258,6 +265,8 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
                 checkpoint_every = parsed(value("--checkpoint-every")?, "checkpoint-every")?;
             }
             "--out" => out = Some(value("--out")?.clone()),
+            "--metrics" => metrics = Some(value("--metrics")?.clone()),
+            "--events" => events = Some(value("--events")?.clone()),
             "--remap" => {
                 remap = true;
                 i += 1;
@@ -274,6 +283,13 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     }
     if samples == 0 || train_n == 0 {
         return Err("--samples and --train must be positive".into());
+    }
+    if !obs::enabled() && (metrics.is_some() || events.is_some()) {
+        eprintln!("[campaign] note: this binary was built without metrics; --metrics/--events will record nothing");
+    }
+    if let Some(path) = &events {
+        obs::events::log_to_file(std::path::Path::new(path))
+            .map_err(|e| format!("cannot open event log {path}: {e}"))?;
     }
 
     // A small trained workload keeps the CLI demo fast; the bench
@@ -315,7 +331,11 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
 
     if let Err(e) = campaign.run(&qnet, &test.images, &test.labels) {
         // Partial-result dump: completed epochs survive the failure.
+        // The event log already holds every line up to the failure
+        // (written through per event); just detach the sink.
         let _ = campaign.save_checkpoint();
+        write_metrics_snapshot(metrics.as_deref());
+        obs::events::stop_logging();
         eprintln!(
             "[campaign] failed after {} completed epochs; partial results in {}",
             campaign.completed_epochs(),
@@ -341,7 +361,94 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         );
     }
     println!("checkpoint: {}", out_path.display());
+    write_metrics_snapshot(metrics.as_deref());
+    obs::events::stop_logging();
+    if obs::enabled() {
+        print_metrics_summary();
+    }
+    if let Some(path) = &events {
+        println!("event log:  {path}");
+    }
     Ok(())
+}
+
+/// Writes the final metric snapshot to `path` (no-op without a path):
+/// Prometheus text, or the JSON rendering when the path ends in
+/// `.json`. Failures are reported but never fail the run — metrics are
+/// diagnostics, not results.
+fn write_metrics_snapshot(path: Option<&str>) {
+    let Some(path) = path else {
+        return;
+    };
+    let snap = obs::snapshot();
+    let rendered = if path.ends_with(".json") {
+        let mut json = snap.to_json();
+        json.push('\n');
+        json
+    } else {
+        snap.to_prometheus_text()
+    };
+    if let Err(e) = std::fs::write(path, rendered) {
+        eprintln!("[campaign] cannot write metrics snapshot {path}: {e}");
+    } else {
+        println!("metrics:    {path}");
+    }
+}
+
+/// Prints the end-of-run metric summary: counter totals, per-span
+/// timing aggregates (count, total, p50/p99 — approximate log-bucket
+/// quantiles), and unitless histogram aggregates.
+fn print_metrics_summary() {
+    let snap = obs::snapshot();
+    if snap.counters.is_empty() && snap.series.is_empty() {
+        return;
+    }
+    println!();
+    println!("{:<24} {:>14}", "counter", "total");
+    for c in &snap.counters {
+        println!("{:<24} {:>14}", c.name, c.value);
+    }
+    let spans: Vec<_> = snap
+        .series
+        .iter()
+        .filter(|s| s.kind == obs::SeriesKind::Span)
+        .collect();
+    if !spans.is_empty() {
+        println!();
+        println!(
+            "{:<24} {:>10} {:>12} {:>10} {:>10}",
+            "span", "count", "total_ms", "p50_us", "p99_us"
+        );
+        for s in spans {
+            println!(
+                "{:<24} {:>10} {:>12.3} {:>10.1} {:>10.1}",
+                s.name,
+                s.count,
+                s.sum as f64 / 1e6,
+                s.p50 as f64 / 1e3,
+                s.p99 as f64 / 1e3
+            );
+        }
+    }
+    // Histograms record plain values, not nanoseconds: no unit scaling.
+    let histograms: Vec<_> = snap
+        .series
+        .iter()
+        .filter(|s| s.kind == obs::SeriesKind::Histogram)
+        .collect();
+    if !histograms.is_empty() {
+        println!();
+        println!(
+            "{:<24} {:>10} {:>14} {:>10} {:>10}",
+            "histogram", "count", "sum", "p50", "p99"
+        );
+        for s in histograms {
+            println!(
+                "{:<24} {:>10} {:>14} {:>10} {:>10}",
+                s.name, s.count, s.sum, s.p50, s.p99
+            );
+        }
+    }
 }
 
 /// Parses a flag value (the flag-argument counterpart of [`parse`]).
@@ -358,6 +465,11 @@ mod tests {
     fn s(v: &[&str]) -> Vec<String> {
         v.iter().map(|x| x.to_string()).collect()
     }
+
+    /// Campaign runs share the process-global event sink; serialize the
+    /// tests that actually run campaigns so one test's epochs cannot
+    /// leak into another's event log.
+    static CAMPAIGN_GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[test]
     fn encode_and_decode_roundtrip() {
@@ -409,10 +521,55 @@ mod tests {
         assert!(cmd_campaign(&s(&["NoECC", "2", "--bogus-flag"])).is_err());
         assert!(cmd_campaign(&s(&["NoECC", "2", "--samples"])).is_err());
         assert!(cmd_campaign(&s(&["NoECC", "2", "--samples", "0"])).is_err());
+        assert!(cmd_campaign(&s(&["NoECC", "2", "--metrics"])).is_err());
+        assert!(cmd_campaign(&s(&["NoECC", "2", "--events"])).is_err());
+        // An unopenable event-log path fails before any training work.
+        assert!(cmd_campaign(&s(&[
+            "NoECC",
+            "2",
+            "--events",
+            "/nonexistent-dir/events.jsonl"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn campaign_writes_metrics_and_events() {
+        let _g = CAMPAIGN_GUARD.lock().unwrap_or_else(|p| p.into_inner());
+        let pid = std::process::id();
+        let out = std::env::temp_dir().join(format!("cli-campaign-obs-{pid}.json"));
+        let metrics = std::env::temp_dir().join(format!("cli-campaign-obs-{pid}.prom"));
+        let events = std::env::temp_dir().join(format!("cli-campaign-obs-{pid}.jsonl"));
+        let (out_s, metrics_s, events_s) = (
+            out.display().to_string(),
+            metrics.display().to_string(),
+            events.display().to_string(),
+        );
+        let args = [
+            "NoECC", "2", "--samples", "3", "--train", "40", "--out", &out_s, "--metrics",
+            &metrics_s, "--events", &events_s,
+        ];
+        assert_eq!(cmd_campaign(&s(&args)), Ok(()));
+        // This test binary builds accel with the `obs` feature, so the
+        // sinks must hold real telemetry.
+        let prom = std::fs::read_to_string(&metrics).expect("metrics snapshot written");
+        assert!(prom.contains("ecc_clean"), "snapshot:\n{prom}");
+        assert!(prom.contains("# TYPE mvm summary"), "snapshot:\n{prom}");
+        let log = std::fs::read_to_string(&events).expect("event log written");
+        let epoch_lines = log
+            .lines()
+            .filter(|l| l.contains("\"type\":\"campaign_epoch\""))
+            .count();
+        assert_eq!(epoch_lines, 2, "log:\n{log}");
+        assert!(log.contains("\"type\":\"shard_done\""), "log:\n{log}");
+        for path in [&out, &metrics, &events] {
+            let _ = std::fs::remove_file(path);
+        }
     }
 
     #[test]
     fn campaign_runs_and_resumes() {
+        let _g = CAMPAIGN_GUARD.lock().unwrap_or_else(|p| p.into_inner());
         let out = std::env::temp_dir().join(format!("cli-campaign-{}.json", std::process::id()));
         let out_s = out.display().to_string();
         // Tiny run: 2 epochs, 3 samples, 40 training digits.

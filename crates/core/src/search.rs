@@ -78,11 +78,14 @@ pub fn select_a<F>(
 where
     F: FnMut(u64) -> RowErrorModel,
 {
+    let _span = obs::span!("a_search");
     let mut best: Option<(AbnCode, f64)> = None;
     let mut evaluated = 0;
     for &a in candidates {
+        obs::counter!(a_search_candidates).incr();
         let model = model_for(a);
         let Ok(code) = build_code(a, b, &model, data_bits, config) else {
+            obs::counter!(a_search_rejected).incr();
             continue;
         };
         evaluated += 1;

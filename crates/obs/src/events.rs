@@ -1,0 +1,280 @@
+//! The append-only JSONL event log.
+//!
+//! Events are discrete, *cold-path* records — one per campaign epoch,
+//! per completed shard, per retry — in contrast to the metrics shards,
+//! which absorb millions of hot-path updates. Allocation is therefore
+//! fine here, and every [`emit`] renders and writes one line
+//! immediately (no buffering), so a crashed run keeps every event up
+//! to the failure point.
+//!
+//! # Line format
+//!
+//! Each line is a flat JSON object:
+//!
+//! ```json
+//! {"v":1,"ts_ns":123456,"type":"shard_retry","shard":2,"seed":13,"attempt":1}
+//! ```
+//!
+//! - `v` — schema version, [`crate::schema::VERSION`];
+//! - `ts_ns` — monotonic nanoseconds from [`crate::now_ns`] at emit
+//!   time (process-relative, *not* wall-clock time of day);
+//! - `type` — event type, matched field-by-field against
+//!   [`crate::schema::EVENTS`];
+//! - remaining keys — the event's fields, in builder insertion order.
+//!
+//! Unsigned integers are rendered as JSON integers and are kept below
+//! 2^53 by every producer in this workspace, so parsers with an IEEE
+//! double number type (including the vendored `serde_json` stub) read
+//! them back exactly. Floats use Rust's shortest-round-trip `Display`;
+//! a non-finite float renders as `null` (no producer emits one).
+//!
+//! # Sinks
+//!
+//! One process-global sink: a file ([`log_to_file`]), an in-memory
+//! buffer for tests ([`log_to_memory`] / [`take_memory`]), or nothing
+//! (the default — [`emit`] is then a cheap early return). In a
+//! disabled build ([`crate::enabled`]` == false`) all of this
+//! compiles to no-ops and no file is ever created.
+
+#[cfg(feature = "enabled")]
+pub use imp::*;
+#[cfg(not(feature = "enabled"))]
+pub use noop::*;
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use crate::clock::now_ns;
+    use std::fmt::Write as _;
+    use std::fs::File;
+    use std::io::{self, Write as _};
+    use std::path::Path;
+    use std::sync::{Mutex, MutexGuard};
+
+    enum SinkState {
+        Off,
+        File(File),
+        Memory(Vec<String>),
+    }
+
+    static SINK: Mutex<SinkState> = Mutex::new(SinkState::Off);
+
+    fn lock() -> MutexGuard<'static, SinkState> {
+        SINK.lock().unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    enum FieldValue {
+        U64(u64),
+        F64(f64),
+        Str(String),
+        Bool(bool),
+    }
+
+    /// One structured event, built field-by-field and handed to
+    /// [`emit`]. Field order in the output line is insertion order.
+    pub struct Event {
+        ty: &'static str,
+        fields: Vec<(&'static str, FieldValue)>,
+    }
+
+    impl Event {
+        /// Starts an event of the given type (see
+        /// [`crate::schema::EVENTS`] for the documented types).
+        pub fn new(ty: &'static str) -> Event {
+            Event {
+                ty,
+                fields: Vec::new(),
+            }
+        }
+
+        /// Appends an unsigned-integer field. Keep values below 2^53
+        /// so double-based JSON parsers round-trip them exactly.
+        #[must_use]
+        pub fn u64(mut self, key: &'static str, value: u64) -> Event {
+            self.fields.push((key, FieldValue::U64(value)));
+            self
+        }
+
+        /// Appends a float field (rendered via shortest-round-trip
+        /// `Display`; non-finite values render as `null`).
+        #[must_use]
+        pub fn f64(mut self, key: &'static str, value: f64) -> Event {
+            self.fields.push((key, FieldValue::F64(value)));
+            self
+        }
+
+        /// Appends a string field (JSON-escaped on render).
+        #[must_use]
+        pub fn str(mut self, key: &'static str, value: &str) -> Event {
+            self.fields.push((key, FieldValue::Str(value.to_string())));
+            self
+        }
+
+        /// Appends a boolean field.
+        #[must_use]
+        pub fn bool(mut self, key: &'static str, value: bool) -> Event {
+            self.fields.push((key, FieldValue::Bool(value)));
+            self
+        }
+
+        fn render(&self) -> String {
+            let mut out = String::new();
+            let _ = write!(
+                out,
+                "{{\"v\":{},\"ts_ns\":{},\"type\":",
+                crate::schema::VERSION,
+                now_ns()
+            );
+            push_json_str(&mut out, self.ty);
+            for (key, value) in &self.fields {
+                out.push(',');
+                push_json_str(&mut out, key);
+                out.push(':');
+                match value {
+                    FieldValue::U64(v) => {
+                        let _ = write!(out, "{v}");
+                    }
+                    FieldValue::F64(v) if v.is_finite() => {
+                        let _ = write!(out, "{v}");
+                    }
+                    FieldValue::F64(_) => out.push_str("null"),
+                    FieldValue::Str(v) => push_json_str(&mut out, v),
+                    FieldValue::Bool(v) => {
+                        let _ = write!(out, "{v}");
+                    }
+                }
+            }
+            out.push('}');
+            out
+        }
+    }
+
+    fn push_json_str(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Writes one event line to the active sink; a cheap early return
+    /// when no sink is active. Write errors are swallowed: the event
+    /// log is diagnostic output and must never fail the run it
+    /// observes.
+    pub fn emit(event: Event) {
+        let mut sink = lock();
+        match &mut *sink {
+            SinkState::Off => {}
+            SinkState::File(file) => {
+                let mut line = event.render();
+                line.push('\n');
+                let _ = file.write_all(line.as_bytes());
+            }
+            SinkState::Memory(lines) => lines.push(event.render()),
+        }
+    }
+
+    /// Starts logging events to `path` (created or truncated).
+    /// Replaces any previously active sink.
+    pub fn log_to_file(path: &Path) -> io::Result<()> {
+        let file = File::create(path)?;
+        *lock() = SinkState::File(file);
+        Ok(())
+    }
+
+    /// Starts logging events to an in-memory buffer (test support).
+    /// Replaces any previously active sink.
+    pub fn log_to_memory() {
+        *lock() = SinkState::Memory(Vec::new());
+    }
+
+    /// Drains and returns the in-memory buffer's lines (empty if the
+    /// active sink is not the memory sink). Logging continues.
+    pub fn take_memory() -> Vec<String> {
+        match &mut *lock() {
+            SinkState::Memory(lines) => std::mem::take(lines),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Deactivates the sink; a file sink is closed (every line was
+    /// already written through).
+    pub fn stop_logging() {
+        *lock() = SinkState::Off;
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod noop {
+    use std::io;
+    use std::path::Path;
+
+    /// One structured event (disabled build: zero-sized, the builder
+    /// records nothing).
+    pub struct Event(());
+
+    impl Event {
+        /// Starts an event of the given type (no-op).
+        pub fn new(_ty: &'static str) -> Event {
+            Event(())
+        }
+
+        /// Appends an unsigned-integer field (no-op).
+        #[must_use]
+        pub fn u64(self, _key: &'static str, _value: u64) -> Event {
+            self
+        }
+
+        /// Appends a float field (no-op).
+        #[must_use]
+        pub fn f64(self, _key: &'static str, _value: f64) -> Event {
+            self
+        }
+
+        /// Appends a string field (no-op).
+        #[must_use]
+        pub fn str(self, _key: &'static str, _value: &str) -> Event {
+            self
+        }
+
+        /// Appends a boolean field (no-op).
+        #[must_use]
+        pub fn bool(self, _key: &'static str, _value: bool) -> Event {
+            self
+        }
+    }
+
+    /// Writes one event line (no-op: disabled builds have no sink).
+    #[inline(always)]
+    pub fn emit(_event: Event) {}
+
+    /// Starts logging to a file (disabled build: returns `Ok` without
+    /// creating or touching any file).
+    #[inline(always)]
+    pub fn log_to_file(_path: &Path) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Starts logging to memory (no-op).
+    #[inline(always)]
+    pub fn log_to_memory() {}
+
+    /// Returns the in-memory buffer (disabled build: always empty).
+    #[inline(always)]
+    pub fn take_memory() -> Vec<String> {
+        Vec::new()
+    }
+
+    /// Deactivates the sink (no-op).
+    #[inline(always)]
+    pub fn stop_logging() {}
+}

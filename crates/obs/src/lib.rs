@@ -1,0 +1,133 @@
+//! `repro-obs` — a zero-dependency observability layer for the
+//! reproduction harness: spans, counters, histograms, registry
+//! snapshots (Prometheus text + JSON) and an append-only JSONL event
+//! log.
+//!
+//! # Model
+//!
+//! Three primitives, each declared *statically* at its use site by a
+//! macro and registered lazily on first use:
+//!
+//! - [`counter!`] — a monotonically increasing `u64`;
+//! - [`histogram!`] — a value distribution over power-of-two buckets
+//!   (count/sum/min/max plus approximate p50/p99);
+//! - [`span!`] — a scoped timer: the returned guard records the
+//!   elapsed monotonic nanoseconds into a histogram series when it
+//!   drops. Spans nest lexically (`span!("program")` inside
+//!   `span!("mvm")` simply times both scopes) and aggregate **per
+//!   name** — count/total/min/max/p50/p99, not per call path.
+//!
+//! # Sharding and determinism
+//!
+//! Hot-path updates touch only a fixed-size thread-local [`Cell`]
+//! slot — no lock, no hashing, no allocation — so instrumented kernels
+//! stay allocation-free (the `accel` alloc sanitizer runs with metrics
+//! enabled). Each worker thread merges its shard into the global
+//! registry at a *join point* ([`flush_thread`], called by
+//! `accel::sim::evaluate` workers when their shard completes), and
+//! [`discard_thread`] throws a shard away (the `catch_unwind` retry
+//! path, so a retried worker never double-counts). Because counter
+//! merging is `u64` addition, totals are independent of merge order
+//! and thread count: totals always equal what a sequential run would
+//! have counted. Timings are wall-clock and *not* deterministic — they
+//! never feed back into any seeded computation (see `clock`).
+//!
+//! [`Cell`]: std::cell::Cell
+//!
+//! # Zero overhead when disabled
+//!
+//! Everything here is gated on this crate's `enabled` feature (off by
+//! default). Disabled, every type is zero-sized and every function an
+//! empty `#[inline]` stub: consumer crates call the API
+//! unconditionally and the optimizer erases it.
+//!
+//! # Example
+//!
+//! ```
+//! // Instrument: a span around work, a counter inside it.
+//! fn decode_all(blocks: &[u32]) -> u64 {
+//!     let _span = obs::span!("decode");
+//!     let mut sum = 0;
+//!     for b in blocks {
+//!         obs::counter!(blocks_decoded).incr();
+//!         sum += u64::from(*b);
+//!     }
+//!     sum
+//! }
+//!
+//! decode_all(&[1, 2, 3]);
+//! // At a join point, merge this thread's shard and snapshot:
+//! let snap = obs::snapshot();
+//! let text = snap.to_prometheus_text();
+//! if obs::enabled() {
+//!     assert!(text.contains("blocks_decoded 3"));
+//! } else {
+//!     assert!(text.is_empty()); // compiled to a no-op
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+pub mod events;
+mod metrics;
+pub mod schema;
+mod types;
+
+pub use clock::now_ns;
+pub use events::Event;
+pub use metrics::{
+    counter_value, discard_thread, enabled, flush_thread, reset, snapshot, span_total_ns, Counter,
+    Histogram, SpanGuard, SpanSeries,
+};
+pub use types::{CounterStat, SeriesKind, SeriesStat, Snapshot};
+
+/// Declares (once, statically) and returns a named [`Counter`].
+///
+/// The name is the bare identifier: `counter!(ecc_corrected)` registers
+/// a counter named `"ecc_corrected"`. Two call sites using the same
+/// identifier are merged by name in snapshots.
+///
+/// ```
+/// obs::counter!(widgets_made).add(2);
+/// obs::counter!(widgets_made).incr();
+/// ```
+#[macro_export]
+macro_rules! counter {
+    ($name:ident) => {{
+        static __OBS_COUNTER: $crate::Counter = $crate::Counter::new(stringify!($name));
+        &__OBS_COUNTER
+    }};
+}
+
+/// Declares (once, statically) and returns a named [`Histogram`].
+///
+/// ```
+/// obs::histogram!(lane_error_magnitude).record(17);
+/// ```
+#[macro_export]
+macro_rules! histogram {
+    ($name:ident) => {{
+        static __OBS_HISTOGRAM: $crate::Histogram = $crate::Histogram::new(stringify!($name));
+        &__OBS_HISTOGRAM
+    }};
+}
+
+/// Starts a named span; the returned guard records elapsed monotonic
+/// nanoseconds when dropped. Bind it (`let _span = …`) so the scope is
+/// what you mean to time.
+///
+/// ```
+/// let _outer = obs::span!("program");
+/// {
+///     let _inner = obs::span!("mvm"); // nested: both scopes are timed
+/// }
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {{
+        static __OBS_SPAN: $crate::SpanSeries = $crate::SpanSeries::new($name);
+        $crate::SpanGuard::enter(&__OBS_SPAN)
+    }};
+}

@@ -1,0 +1,573 @@
+//! Counters, histograms and spans: thread-sharded hot path, merged
+//! into a global registry at join points.
+//!
+//! # How a metric flows
+//!
+//! 1. A macro (`counter!` / `histogram!` / `span!`) declares a static
+//!    handle holding the name and an atomic *slot token*.
+//! 2. The first `add`/`record`/`enter` on any thread registers the
+//!    name in the global registry (one short lock, one possible
+//!    allocation — this is why the alloc-sanitizer protocol warms the
+//!    kernel up before arming the guard). Handles with the same name
+//!    — even in different crates — resolve to the same slot, so they
+//!    are merged by construction.
+//! 3. Steady-state updates write only to a fixed-size thread-local
+//!    `Cell` array: no lock, no hash, no allocation.
+//! 4. At a join point the worker calls [`flush_thread`] (merge shard
+//!    into the registry totals, zero the shard) or [`discard_thread`]
+//!    (zero the shard without merging — the retry path after
+//!    `catch_unwind`, so an abandoned partial shard never
+//!    double-counts).
+//!
+//! Counter merging is `u64` addition and series merging is
+//! count/sum/min/max/bucket addition, so totals are independent of
+//! merge order and thread count: after all workers flush, the registry
+//! holds exactly what a sequential run would have counted.
+//!
+//! # Capacity
+//!
+//! The shard arrays are fixed-size ([`MAX_COUNTERS`] / [`MAX_SERIES`]).
+//! If registration would overflow them the handle is marked dead and
+//! silently drops its updates — instrumentation must never turn into a
+//! crash or an allocation in someone's hot loop. The workspace uses
+//! well under half of each budget; `snapshot()` exposes everything that
+//! did register, so a dropped metric is visible by its absence.
+
+#[cfg(feature = "enabled")]
+pub use imp::*;
+#[cfg(not(feature = "enabled"))]
+pub use noop::*;
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use crate::clock::now_ns;
+    use crate::types::{CounterStat, SeriesKind, SeriesStat, Snapshot};
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Maximum distinct counter names in one process.
+    pub const MAX_COUNTERS: usize = 64;
+    /// Maximum distinct span/histogram names in one process.
+    pub const MAX_SERIES: usize = 32;
+    /// Power-of-two log buckets: index = bit length of the value,
+    /// i.e. `64 - v.leading_zeros()`, so index 0 holds only zeros and
+    /// index i (1..=64) holds values in `[2^(i-1), 2^i)`.
+    const BUCKETS: usize = 65;
+
+    /// Slot token meaning "not registered yet".
+    const UNREGISTERED: usize = 0;
+    /// Slot token meaning "registry full, updates dropped".
+    const DEAD: usize = usize::MAX;
+
+    // ---- global registry -------------------------------------------------
+
+    struct SeriesTotal {
+        kind: SeriesKind,
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+        buckets: [u64; BUCKETS],
+    }
+
+    impl SeriesTotal {
+        fn new(kind: SeriesKind) -> Self {
+            SeriesTotal {
+                kind,
+                count: 0,
+                sum: 0,
+                min: u64::MAX,
+                max: 0,
+                buckets: [0; BUCKETS],
+            }
+        }
+    }
+
+    struct Registry {
+        counter_names: Vec<&'static str>,
+        counter_totals: Vec<u64>,
+        series_names: Vec<&'static str>,
+        series_totals: Vec<SeriesTotal>,
+    }
+
+    static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
+        counter_names: Vec::new(),
+        counter_totals: Vec::new(),
+        series_names: Vec::new(),
+        series_totals: Vec::new(),
+    });
+
+    fn lock() -> MutexGuard<'static, Registry> {
+        // A panic while holding the registry lock cannot corrupt the
+        // counters (plain adds), so recover from poison rather than
+        // propagate it into the instrumented program.
+        REGISTRY.lock().unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    // ---- thread-local shards ---------------------------------------------
+
+    struct SeriesCell {
+        count: Cell<u64>,
+        sum: Cell<u64>,
+        min: Cell<u64>,
+        max: Cell<u64>,
+        buckets: [Cell<u64>; BUCKETS],
+    }
+
+    impl SeriesCell {
+        const fn new() -> Self {
+            SeriesCell {
+                count: Cell::new(0),
+                sum: Cell::new(0),
+                min: Cell::new(u64::MAX),
+                max: Cell::new(0),
+                buckets: [const { Cell::new(0) }; BUCKETS],
+            }
+        }
+
+        fn clear(&self) {
+            self.count.set(0);
+            self.sum.set(0);
+            self.min.set(u64::MAX);
+            self.max.set(0);
+            for b in &self.buckets {
+                b.set(0);
+            }
+        }
+    }
+
+    thread_local! {
+        // `const` initializers: no lazy-init branch that could allocate
+        // and (plain-data contents) no TLS destructor registration, so
+        // shard access stays allocation-free on the MVM hot path.
+        static COUNTER_SHARD: [Cell<u64>; MAX_COUNTERS] =
+            const { [const { Cell::new(0) }; MAX_COUNTERS] };
+        static SERIES_SHARD: [SeriesCell; MAX_SERIES] =
+            const { [const { SeriesCell::new() }; MAX_SERIES] };
+    }
+
+    #[inline]
+    fn bucket_index(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    fn series_record(idx: usize, v: u64) {
+        SERIES_SHARD.with(|shard| {
+            let s = &shard[idx];
+            s.count.set(s.count.get().wrapping_add(1));
+            s.sum.set(s.sum.get().wrapping_add(v));
+            if v < s.min.get() {
+                s.min.set(v);
+            }
+            if v > s.max.get() {
+                s.max.set(v);
+            }
+            let b = &s.buckets[bucket_index(v)];
+            b.set(b.get().wrapping_add(1));
+        });
+    }
+
+    // ---- handles ----------------------------------------------------------
+
+    /// A named monotonically increasing counter (see [`crate::counter!`]).
+    pub struct Counter {
+        name: &'static str,
+        slot: AtomicUsize,
+    }
+
+    impl Counter {
+        /// Creates an unregistered handle; use via the
+        /// [`crate::counter!`] macro rather than directly.
+        pub const fn new(name: &'static str) -> Self {
+            Counter {
+                name,
+                slot: AtomicUsize::new(UNREGISTERED),
+            }
+        }
+
+        /// Adds 1.
+        #[inline]
+        pub fn incr(&self) {
+            self.add(1);
+        }
+
+        /// Adds `n` to this thread's shard slot.
+        #[inline]
+        pub fn add(&self, n: u64) {
+            let mut token = self.slot.load(Ordering::Relaxed);
+            if token == UNREGISTERED {
+                token = self.register();
+            }
+            if token == DEAD {
+                return;
+            }
+            COUNTER_SHARD.with(|shard| {
+                let c = &shard[token - 1];
+                c.set(c.get().wrapping_add(n));
+            });
+        }
+
+        #[cold]
+        fn register(&self) -> usize {
+            let mut reg = lock();
+            let idx = match reg.counter_names.iter().position(|n| *n == self.name) {
+                Some(i) => i,
+                None if reg.counter_names.len() < MAX_COUNTERS => {
+                    reg.counter_names.push(self.name);
+                    reg.counter_totals.push(0);
+                    reg.counter_names.len() - 1
+                }
+                None => {
+                    self.slot.store(DEAD, Ordering::Relaxed);
+                    return DEAD;
+                }
+            };
+            self.slot.store(idx + 1, Ordering::Relaxed);
+            idx + 1
+        }
+    }
+
+    /// A named value-distribution series (see [`crate::histogram!`]).
+    pub struct Histogram {
+        name: &'static str,
+        slot: AtomicUsize,
+    }
+
+    impl Histogram {
+        /// Creates an unregistered handle; use via the
+        /// [`crate::histogram!`] macro rather than directly.
+        pub const fn new(name: &'static str) -> Self {
+            Histogram {
+                name,
+                slot: AtomicUsize::new(UNREGISTERED),
+            }
+        }
+
+        /// Records one observation into this thread's shard.
+        #[inline]
+        pub fn record(&self, v: u64) {
+            let mut token = self.slot.load(Ordering::Relaxed);
+            if token == UNREGISTERED {
+                token = register_series(&self.slot, self.name, SeriesKind::Histogram);
+            }
+            if token == DEAD {
+                return;
+            }
+            series_record(token - 1, v);
+        }
+    }
+
+    /// The static series behind a [`crate::span!`] site.
+    pub struct SpanSeries {
+        name: &'static str,
+        slot: AtomicUsize,
+    }
+
+    impl SpanSeries {
+        /// Creates an unregistered handle; use via the
+        /// [`crate::span!`] macro rather than directly.
+        pub const fn new(name: &'static str) -> Self {
+            SpanSeries {
+                name,
+                slot: AtomicUsize::new(UNREGISTERED),
+            }
+        }
+    }
+
+    #[cold]
+    fn register_series(slot: &AtomicUsize, name: &'static str, kind: SeriesKind) -> usize {
+        let mut reg = lock();
+        let idx = match reg.series_names.iter().position(|n| *n == name) {
+            Some(i) => i,
+            None if reg.series_names.len() < MAX_SERIES => {
+                reg.series_names.push(name);
+                reg.series_totals.push(SeriesTotal::new(kind));
+                reg.series_names.len() - 1
+            }
+            None => {
+                slot.store(DEAD, Ordering::Relaxed);
+                return DEAD;
+            }
+        };
+        slot.store(idx + 1, Ordering::Relaxed);
+        idx + 1
+    }
+
+    /// Scope guard returned by [`crate::span!`]; records elapsed
+    /// monotonic nanoseconds into the span's series when dropped.
+    pub struct SpanGuard {
+        token: usize,
+        start: u64,
+    }
+
+    impl SpanGuard {
+        /// Starts timing a scope against `series`.
+        #[inline]
+        pub fn enter(series: &SpanSeries) -> SpanGuard {
+            let mut token = series.slot.load(Ordering::Relaxed);
+            if token == UNREGISTERED {
+                token = register_series(&series.slot, series.name, SeriesKind::Span);
+            }
+            SpanGuard {
+                token,
+                start: now_ns(),
+            }
+        }
+    }
+
+    impl Drop for SpanGuard {
+        #[inline]
+        fn drop(&mut self) {
+            if self.token == DEAD {
+                return;
+            }
+            let elapsed = now_ns().saturating_sub(self.start);
+            series_record(self.token - 1, elapsed);
+        }
+    }
+
+    // ---- join points and queries ------------------------------------------
+
+    /// Merges the calling thread's shard into the global registry and
+    /// zeroes the shard. Workers call this once when their shard of
+    /// work completes (the join point); cheap enough to call freely.
+    pub fn flush_thread() {
+        let mut reg = lock();
+        COUNTER_SHARD.with(|shard| {
+            for (idx, total) in reg.counter_totals.iter_mut().enumerate() {
+                let c = &shard[idx];
+                *total = total.wrapping_add(c.get());
+                c.set(0);
+            }
+        });
+        SERIES_SHARD.with(|shard| {
+            for (idx, total) in reg.series_totals.iter_mut().enumerate() {
+                let s = &shard[idx];
+                if s.count.get() == 0 {
+                    continue;
+                }
+                total.count = total.count.wrapping_add(s.count.get());
+                total.sum = total.sum.wrapping_add(s.sum.get());
+                total.min = total.min.min(s.min.get());
+                total.max = total.max.max(s.max.get());
+                for (b, tb) in s.buckets.iter().zip(total.buckets.iter_mut()) {
+                    *tb = tb.wrapping_add(b.get());
+                }
+                s.clear();
+            }
+        });
+    }
+
+    /// Zeroes the calling thread's shard **without** merging it.
+    ///
+    /// This is the abandonment path: when a worker's shard is retried
+    /// after `catch_unwind`, the partial updates from the failed
+    /// attempt must not leak into the totals, or counters would stop
+    /// matching the values the retried computation returns.
+    pub fn discard_thread() {
+        COUNTER_SHARD.with(|shard| {
+            for c in shard {
+                c.set(0);
+            }
+        });
+        SERIES_SHARD.with(|shard| {
+            for s in shard {
+                s.clear();
+            }
+        });
+    }
+
+    fn quantile(total: &SeriesTotal, q_num: u64, q_den: u64) -> u64 {
+        // Upper bound of the bucket where the cumulative count crosses
+        // ceil(count * q): index 0 -> 0, index i -> 2^i - 1.
+        let threshold = (total.count.saturating_mul(q_num)).div_ceil(q_den).max(1);
+        let mut seen = 0u64;
+        for (i, b) in total.buckets.iter().enumerate() {
+            seen = seen.saturating_add(*b);
+            if seen >= threshold {
+                return match i {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => (1u64 << i) - 1,
+                };
+            }
+        }
+        total.max
+    }
+
+    /// Flushes the calling thread, then returns a copy of the registry
+    /// sorted by name. Other threads' unflushed shards are *not*
+    /// included — flush at join points before snapshotting.
+    pub fn snapshot() -> Snapshot {
+        flush_thread();
+        let reg = lock();
+        let mut counters: Vec<CounterStat> = reg
+            .counter_names
+            .iter()
+            .zip(reg.counter_totals.iter())
+            .map(|(name, value)| CounterStat {
+                name,
+                value: *value,
+            })
+            .collect();
+        counters.sort_by_key(|c| c.name);
+        let mut series: Vec<SeriesStat> = reg
+            .series_names
+            .iter()
+            .zip(reg.series_totals.iter())
+            .map(|(name, t)| SeriesStat {
+                name,
+                kind: t.kind,
+                count: t.count,
+                sum: t.sum,
+                min: if t.count == 0 { 0 } else { t.min },
+                max: t.max,
+                p50: quantile(t, 1, 2),
+                p99: quantile(t, 99, 100),
+            })
+            .collect();
+        series.sort_by_key(|s| s.name);
+        Snapshot { counters, series }
+    }
+
+    /// Flushes the calling thread, then returns the merged total for
+    /// one counter (0 if it never registered).
+    pub fn counter_value(name: &str) -> u64 {
+        flush_thread();
+        let reg = lock();
+        reg.counter_names
+            .iter()
+            .position(|n| *n == name)
+            .map_or(0, |i| reg.counter_totals[i])
+    }
+
+    /// Flushes the calling thread, then returns the summed duration
+    /// (nanoseconds) recorded under one span/histogram name (0 if it
+    /// never registered).
+    pub fn span_total_ns(name: &str) -> u64 {
+        flush_thread();
+        let reg = lock();
+        reg.series_names
+            .iter()
+            .position(|n| *n == name)
+            .map_or(0, |i| reg.series_totals[i].sum)
+    }
+
+    /// Discards the calling thread's shard and zeroes every registered
+    /// total (names stay registered, so live handles remain valid).
+    /// Test support: lets one process run independent measurement
+    /// windows.
+    pub fn reset() {
+        discard_thread();
+        let mut reg = lock();
+        for total in reg.counter_totals.iter_mut() {
+            *total = 0;
+        }
+        for t in reg.series_totals.iter_mut() {
+            let kind = t.kind;
+            *t = SeriesTotal::new(kind);
+        }
+    }
+
+    /// `true`: this build carries live metrics (`enabled` feature on).
+    pub const fn enabled() -> bool {
+        true
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod noop {
+    use crate::types::Snapshot;
+
+    /// A named monotonically increasing counter (disabled build:
+    /// zero-sized, every method an empty inline stub).
+    pub struct Counter(());
+
+    impl Counter {
+        /// Creates a handle; use via the [`crate::counter!`] macro.
+        pub const fn new(_name: &'static str) -> Self {
+            Counter(())
+        }
+
+        /// Adds 1 (no-op).
+        #[inline(always)]
+        pub fn incr(&self) {}
+
+        /// Adds `n` (no-op).
+        #[inline(always)]
+        pub fn add(&self, _n: u64) {}
+    }
+
+    /// A named value-distribution series (disabled build: zero-sized).
+    pub struct Histogram(());
+
+    impl Histogram {
+        /// Creates a handle; use via the [`crate::histogram!`] macro.
+        pub const fn new(_name: &'static str) -> Self {
+            Histogram(())
+        }
+
+        /// Records one observation (no-op).
+        #[inline(always)]
+        pub fn record(&self, _v: u64) {}
+    }
+
+    /// The static series behind a [`crate::span!`] site (disabled
+    /// build: zero-sized).
+    pub struct SpanSeries(());
+
+    impl SpanSeries {
+        /// Creates a handle; use via the [`crate::span!`] macro.
+        pub const fn new(_name: &'static str) -> Self {
+            SpanSeries(())
+        }
+    }
+
+    /// Scope guard returned by [`crate::span!`] (disabled build:
+    /// zero-sized, records nothing on drop).
+    pub struct SpanGuard(());
+
+    impl SpanGuard {
+        /// Starts timing a scope (no-op).
+        #[inline(always)]
+        pub fn enter(_series: &SpanSeries) -> SpanGuard {
+            SpanGuard(())
+        }
+    }
+
+    /// Merges the calling thread's shard (no-op).
+    #[inline(always)]
+    pub fn flush_thread() {}
+
+    /// Zeroes the calling thread's shard without merging (no-op).
+    #[inline(always)]
+    pub fn discard_thread() {}
+
+    /// Returns an empty snapshot (disabled build records nothing).
+    #[inline(always)]
+    pub fn snapshot() -> Snapshot {
+        Snapshot::default()
+    }
+
+    /// Returns 0: no counter exists in a disabled build.
+    #[inline(always)]
+    pub fn counter_value(_name: &str) -> u64 {
+        0
+    }
+
+    /// Returns 0: no series exists in a disabled build.
+    #[inline(always)]
+    pub fn span_total_ns(_name: &str) -> u64 {
+        0
+    }
+
+    /// Resets nothing (no-op).
+    #[inline(always)]
+    pub fn reset() {}
+
+    /// `false`: this build compiled metrics out.
+    pub const fn enabled() -> bool {
+        false
+    }
+}

@@ -1,0 +1,139 @@
+//! The versioned JSONL event schema, as machine-readable data.
+//!
+//! DESIGN.md §8 documents this schema in prose; this module *is* the
+//! schema, and tests validate emitted event logs against it so the
+//! documentation cannot drift from the code. Compiled identically in
+//! enabled and disabled builds (it is pure data).
+//!
+//! # Versioning
+//!
+//! Every line carries `"v":` [`VERSION`]. The version bumps when a
+//! field is removed, renamed, or changes type/meaning; *adding* a new
+//! event type or appending a new field to an existing type is
+//! backwards-compatible and does not bump it. Consumers should ignore
+//! unknown keys and unknown event types.
+//!
+//! # Common fields
+//!
+//! Every event line carries, before its per-type fields:
+//!
+//! - `v` (u64) — schema version;
+//! - `ts_ns` (u64) — monotonic nanoseconds since the process's first
+//!   clock read ([`crate::now_ns`]); process-relative, comparable
+//!   within one log, not across runs;
+//! - `type` (string) — one of the [`EVENTS`] entries below.
+//!
+//! All per-type fields are required: a producer emits every field of
+//! its type on every line.
+
+/// Current schema version, written as `"v"` on every line.
+pub const VERSION: u64 = 1;
+
+/// JSON type of one event field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldKind {
+    /// JSON integer, kept below 2^53 by producers so double-based
+    /// parsers round-trip it exactly.
+    U64,
+    /// JSON number (finite; a non-finite value would render `null`,
+    /// and no producer emits one).
+    F64,
+    /// JSON string.
+    Str,
+    /// JSON `true`/`false`.
+    Bool,
+}
+
+/// One named, typed field of an event type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldSpec {
+    /// Field key as it appears on the JSON line.
+    pub name: &'static str,
+    /// Required JSON type of the value.
+    pub kind: FieldKind,
+}
+
+/// One event type: its `"type"` tag and its required fields (beyond
+/// the common `v`/`ts_ns`/`type`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventSpec {
+    /// Value of the line's `"type"` key.
+    pub event_type: &'static str,
+    /// Required per-type fields, in canonical emission order.
+    pub fields: &'static [FieldSpec],
+}
+
+const U64: FieldKind = FieldKind::U64;
+const F64: FieldKind = FieldKind::F64;
+const STR: FieldKind = FieldKind::Str;
+
+const fn field(name: &'static str, kind: FieldKind) -> FieldSpec {
+    FieldSpec { name, kind }
+}
+
+/// Every event type the workspace emits, in schema version
+/// [`VERSION`].
+///
+/// - `campaign_epoch` — one line per evaluated epoch of
+///   `accel::campaign::run` / `resume`: the epoch's position on the
+///   lifetime axis (`writes`, `fault_rate` = stuck-cell fraction),
+///   accuracy (`misclassification`, `top5_misclassification`,
+///   `flip_rate`, `samples`), the ECC decode tallies
+///   (`clean`…`uncoded`, matching `accel::DecodeStats`), and wall
+///   timings (`eval_ns`, `program_ns` = re-program + A-search time
+///   inside the evaluation, `checkpoint_ns` = checkpoint write
+///   latency, 0 when no checkpoint was due).
+/// - `shard_done` — one line per completed Monte-Carlo worker shard in
+///   `accel::sim::evaluate`: sample range `[lo, hi)` and the shard's
+///   wall duration.
+/// - `shard_retry` — one line per shard retry on the `catch_unwind`
+///   path: the shard that panicked, the seed it reuses, and the
+///   attempt number being started (1 = first retry).
+pub const EVENTS: &[EventSpec] = &[
+    EventSpec {
+        event_type: "campaign_epoch",
+        fields: &[
+            field("scheme", STR),
+            field("epoch", U64),
+            field("writes", F64),
+            field("fault_rate", F64),
+            field("misclassification", F64),
+            field("top5_misclassification", F64),
+            field("flip_rate", F64),
+            field("samples", U64),
+            field("clean", U64),
+            field("corrected", U64),
+            field("uncorrectable", U64),
+            field("miscorrected", U64),
+            field("silent_a", U64),
+            field("retries", U64),
+            field("uncoded", U64),
+            field("eval_ns", U64),
+            field("program_ns", U64),
+            field("checkpoint_ns", U64),
+        ],
+    },
+    EventSpec {
+        event_type: "shard_done",
+        fields: &[
+            field("shard", U64),
+            field("lo", U64),
+            field("hi", U64),
+            field("duration_ns", U64),
+        ],
+    },
+    EventSpec {
+        event_type: "shard_retry",
+        fields: &[
+            field("shard", U64),
+            field("seed", U64),
+            field("attempt", U64),
+        ],
+    },
+];
+
+/// Looks up the spec for an event type tag, if it is part of this
+/// schema version.
+pub fn spec_for(event_type: &str) -> Option<&'static EventSpec> {
+    EVENTS.iter().find(|spec| spec.event_type == event_type)
+}

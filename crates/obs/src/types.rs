@@ -1,0 +1,143 @@
+//! Snapshot types shared by the enabled and disabled builds.
+//!
+//! These are plain data: a [`Snapshot`] is what [`crate::snapshot`]
+//! returns after merging the calling thread's shard into the global
+//! registry. In the disabled build the registry does not exist and
+//! `snapshot()` returns `Snapshot::default()` (both renderers then
+//! produce an empty string / an empty document).
+
+use std::fmt::Write as _;
+
+/// Which kind of series a [`SeriesStat`] came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// A timed scope; values are monotonic nanoseconds.
+    Span,
+    /// A value distribution recorded with `histogram!`.
+    Histogram,
+}
+
+impl SeriesKind {
+    /// Lower-case label used in the JSON rendering.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SeriesKind::Span => "span",
+            SeriesKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// A named monotonically increasing total.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterStat {
+    /// Counter name as declared at the `counter!` site.
+    pub name: &'static str,
+    /// Merged total across every flushed thread shard.
+    pub value: u64,
+}
+
+/// Aggregated statistics for one span or histogram series.
+///
+/// `p50`/`p99` are approximate: values are bucketed into power-of-two
+/// log buckets (bucket `i` holds values whose bit length is `i`), and a
+/// quantile reports the *upper bound* of the bucket where the
+/// cumulative count crosses it. The error is therefore at most 2x,
+/// which is plenty for "where does the time go" questions; `sum`,
+/// `min`, `max` and `count` are exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeriesStat {
+    /// Series name as declared at the `span!`/`histogram!` site.
+    pub name: &'static str,
+    /// Span or histogram.
+    pub kind: SeriesKind,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Exact sum of recorded values (nanoseconds for spans).
+    pub sum: u64,
+    /// Smallest recorded value (0 if `count == 0`).
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Approximate median (upper bucket bound).
+    pub p50: u64,
+    /// Approximate 99th percentile (upper bucket bound).
+    pub p99: u64,
+}
+
+/// A point-in-time copy of the metric registry, sorted by name.
+///
+/// Obtained from [`crate::snapshot`]; render with
+/// [`to_prometheus_text`](Snapshot::to_prometheus_text) or
+/// [`to_json`](Snapshot::to_json). An empty snapshot (the disabled
+/// build, or no metrics recorded yet) renders to an empty Prometheus
+/// document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// All registered counters, sorted by name.
+    pub counters: Vec<CounterStat>,
+    /// All registered span/histogram series, sorted by name.
+    pub series: Vec<SeriesStat>,
+}
+
+impl Snapshot {
+    /// Renders the snapshot in the Prometheus text exposition style.
+    ///
+    /// Counters become `# TYPE name counter` / `name value` pairs;
+    /// series become summary-style lines (`name{quantile="0.5"}`,
+    /// `name_sum`, `name_count`) plus `name_min`/`name_max` gauges.
+    /// Returns an empty string when the snapshot holds no metrics.
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for c in &self.counters {
+            let _ = writeln!(out, "# TYPE {} counter", c.name);
+            let _ = writeln!(out, "{} {}", c.name, c.value);
+        }
+        for s in &self.series {
+            let _ = writeln!(out, "# TYPE {} summary", s.name);
+            let _ = writeln!(out, "{}{{quantile=\"0.5\"}} {}", s.name, s.p50);
+            let _ = writeln!(out, "{}{{quantile=\"0.99\"}} {}", s.name, s.p99);
+            let _ = writeln!(out, "{}_sum {}", s.name, s.sum);
+            let _ = writeln!(out, "{}_count {}", s.name, s.count);
+            let _ = writeln!(out, "{}_min {}", s.name, s.min);
+            let _ = writeln!(out, "{}_max {}", s.name, s.max);
+        }
+        out
+    }
+
+    /// Renders the snapshot as a single JSON object:
+    /// `{"v":1,"counters":[{"name":…,"value":…},…],"series":[…]}`.
+    ///
+    /// Hand-rolled (this crate has no dependencies); all numbers are
+    /// unsigned integers, so any JSON parser whose number type is an
+    /// IEEE double reads them back exactly as long as they stay below
+    /// 2^53 — counter totals and nanosecond sums in realistic runs do.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"v\":1,\"counters\":[");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"name\":\"{}\",\"value\":{}}}", c.name, c.value);
+        }
+        out.push_str("],\"series\":[");
+        for (i, s) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"kind\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p99\":{}}}",
+                s.name,
+                s.kind.as_str(),
+                s.count,
+                s.sum,
+                s.min,
+                s.max,
+                s.p50,
+                s.p99
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}

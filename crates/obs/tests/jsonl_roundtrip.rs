@@ -1,0 +1,127 @@
+//! Property test: every JSONL line the hand-rolled event renderer
+//! produces parses back — via the vendored `serde_json` stub, whose
+//! number type is an IEEE double — to exactly the values that went in.
+//!
+//! This is the contract that keeps the event log consumable by any
+//! JSON tooling: u64 fields stay below 2^53 (the producers guarantee
+//! it; the generator enforces it here), f64 fields are finite and use
+//! shortest-round-trip formatting, strings survive escaping.
+
+#![cfg(feature = "enabled")]
+
+use proptest::prelude::*;
+use serde::Value;
+
+/// `serde_json::from_str` needs a `Deserialize` target; echo the raw
+/// value tree (the vendored stub's `Value` has no own impl).
+struct Echo(Value);
+
+impl serde::Deserialize for Echo {
+    fn from_value(value: &Value) -> Result<Echo, String> {
+        Ok(Echo(value.clone()))
+    }
+}
+
+/// The event sink is process-global; serialize test bodies.
+static GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Field keys must be `&'static str`; draw them from a fixed pool.
+const KEYS: [&str; 8] = [
+    "epoch", "writes", "scheme", "flip_rate", "shard", "label", "ok", "duration_ns",
+];
+
+#[derive(Debug, Clone)]
+enum FieldValue {
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Bool(bool),
+}
+
+fn field_value() -> impl Strategy<Value = FieldValue> {
+    // The vendored proptest has no `prop_oneof`; pick a variant by tag.
+    // Char codes up to 0x250 deliberately cover the escaped range
+    // (quotes, backslash, control characters) plus some non-ASCII.
+    (
+        0usize..4,
+        0u64..(1u64 << 53),
+        -1.0e12f64..1.0e12,
+        collection::vec(0u32..0x250, 0..12),
+    )
+        .prop_map(|(tag, u, f, chars)| match tag {
+            0 => FieldValue::U64(u),
+            1 => FieldValue::F64(f),
+            2 => FieldValue::Bool(u & 1 == 1),
+            _ => FieldValue::Str(chars.into_iter().filter_map(char::from_u32).collect()),
+        })
+}
+
+/// A subset of the key pool (distinct keys), each with a value.
+fn entries() -> impl Strategy<Value = Vec<(usize, FieldValue)>> {
+    (any::<[bool; 8]>(), collection::vec(field_value(), 8)).prop_map(|(mask, values)| {
+        mask.into_iter()
+            .zip(values)
+            .enumerate()
+            .filter(|(_, (keep, _))| *keep)
+            .map(|(i, (_, v))| (i, v))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn emitted_lines_round_trip_through_double_based_json(entries in entries()) {
+        let _g = GUARD.lock().unwrap_or_else(|p| p.into_inner());
+        obs::events::log_to_memory();
+        let mut event = obs::Event::new("roundtrip_probe");
+        for (key_idx, value) in &entries {
+            let key = KEYS[*key_idx];
+            event = match value {
+                FieldValue::U64(v) => event.u64(key, *v),
+                FieldValue::F64(v) => event.f64(key, *v),
+                FieldValue::Str(v) => event.str(key, v),
+                FieldValue::Bool(v) => event.bool(key, *v),
+            };
+        }
+        obs::events::emit(event);
+        let lines = obs::events::take_memory();
+        obs::events::stop_logging();
+        prop_assert_eq!(lines.len(), 1);
+
+        let parsed = serde_json::from_str::<Echo>(&lines[0]);
+        prop_assert!(parsed.is_ok(), "unparseable line: {}", &lines[0]);
+        let parsed = parsed.map(|e| e.0).unwrap_or(Value::Null);
+        prop_assert_eq!(parsed.get("v"), Some(&Value::Number(1.0)));
+        prop_assert_eq!(
+            parsed.get("type"),
+            Some(&Value::String("roundtrip_probe".to_string()))
+        );
+        let ts_ok = match parsed.get("ts_ns") {
+            Some(&Value::Number(n)) => n >= 0.0 && n.fract() == 0.0,
+            _ => false,
+        };
+        prop_assert!(ts_ok, "bad ts_ns in {}", &lines[0]);
+        for (key_idx, value) in &entries {
+            let key = KEYS[*key_idx];
+            let got = parsed.get(key);
+            match value {
+                FieldValue::U64(v) => {
+                    // Exact: every u64 below 2^53 is a double.
+                    prop_assert_eq!(got, Some(&Value::Number(*v as f64)), "key {}", key);
+                }
+                FieldValue::F64(v) => {
+                    // Exact: shortest-round-trip Display.
+                    prop_assert_eq!(got, Some(&Value::Number(*v)), "key {}", key);
+                }
+                FieldValue::Str(v) => {
+                    prop_assert_eq!(got, Some(&Value::String(v.clone())), "key {}", key);
+                }
+                FieldValue::Bool(v) => {
+                    prop_assert_eq!(got, Some(&Value::Bool(*v)), "key {}", key);
+                }
+            }
+        }
+    }
+}

@@ -363,6 +363,7 @@ impl CrossbarArray {
     /// (row-major, one uniform per cell when the trap probability is
     /// nonzero), so the two are interchangeable under a fixed seed.
     pub fn sample_rtn_into<R: Rng + ?Sized>(&self, rng: &mut R, snapshot: &mut RtnSnapshot) {
+        obs::counter!(xbar_rtn_snapshots).incr();
         let p = self.params.rtn_state_probability;
         snapshot.traps.clear();
         snapshot.traps.extend(self.rows.iter().map(|row| {
@@ -433,6 +434,7 @@ impl CrossbarArray {
         rng: &mut R,
         out: &mut Vec<u64>,
     ) {
+        obs::counter!(xbar_row_reads).add(self.rows.len() as u64);
         out.clear();
         let thermal_factor =
             4.0 * crate::device::K_B * self.params.temperature * self.params.bandwidth;

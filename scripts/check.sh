@@ -35,6 +35,45 @@ echo "=== allocation sanitizer (MVM hot path) ==="
 # zero heap allocations in steady state for NoECC, Static16 and ABN-9.
 cargo test -q -p accel --features alloc-count --test alloc_free
 
+echo "=== allocation sanitizer (metrics enabled) ==="
+# The observability layer must not reintroduce allocations: counters,
+# histograms and spans are thread-local Cell slots (DESIGN.md §8), so
+# the same zero-allocation proof must hold with live metrics.
+cargo test -q -p accel --features alloc-count,obs --test alloc_free
+
+echo "=== obs overhead gate (metrics-enabled MVM bench vs baseline) ==="
+# Runs the engine bench with live metrics and compares the ABN-9 MVM
+# mean against the recorded uninstrumented baseline (BENCH_engine.json,
+# regenerated on this machine by scripts/bench_baseline.sh). More than
+# 5% regression fails: the per-MVM instrumentation is a handful of
+# thread-local counter bumps and must stay in the noise. Scheduler
+# noise on a shared machine only ever *inflates* a run, so the gate
+# takes the best of up to three attempts before failing.
+base_ns="$(awk -F'"mean_ns":' '/"mvm_16x128_ABN-9"/ {split($2, a, ","); print a[1]}' BENCH_engine.json)"
+obs_gate_ok=""
+for attempt in 1 2 3; do
+  obs_json="$(mktemp)"
+  CRITERION_JSON="$obs_json" cargo bench -q -p bench --features obs --bench engine > /dev/null
+  obs_ns="$(awk -F'"mean_ns":' '/"mvm_16x128_ABN-9"/ {split($2, a, ","); print a[1]}' "$obs_json")"
+  rm -f "$obs_json"
+  if awk -v base="$base_ns" -v with="$obs_ns" -v attempt="$attempt" 'BEGIN {
+    if (base == "" || with == "") {
+      print "FAIL: missing mvm_16x128_ABN-9 result (baseline or metrics run)" > "/dev/stderr"
+      exit 1
+    }
+    printf "mvm_16x128_ABN-9 attempt %s: baseline %.0f ns, with metrics %.0f ns (%+.1f%%)\n",
+           attempt, base, with, (with / base - 1) * 100
+    exit !(with <= base * 1.05)
+  }'; then
+    obs_gate_ok=1
+    break
+  fi
+done
+if [ -z "$obs_gate_ok" ]; then
+  echo "FAIL: metrics-enabled MVM regressed more than 5% vs BENCH_engine.json on 3 attempts" >&2
+  exit 1
+fi
+
 echo "=== campaign smoke run (2 epochs, tiny net) ==="
 smoke_out="$(mktemp -d)/campaign-NoECC.json"
 cargo run --release --quiet -p reram-ecc -- campaign NoECC 2 \
