@@ -16,15 +16,42 @@
 //!
 //! # Crash safety
 //!
-//! Campaigns are resumable: after each epoch (subject to
-//! [`CampaignConfig::checkpoint_every`]) the full state serializes to a
-//! JSON checkpoint, written atomically (temp file + rename) so a kill
-//! mid-write never corrupts the previous checkpoint. [`Campaign::resume`]
-//! validates that the checkpoint was recorded under the same campaign
-//! parameters and continues from the first missing epoch. Because every
-//! epoch is a pure function of `(seed, epoch, config, test set)`, a
-//! resumed campaign's final state is **byte-identical** to an
-//! uninterrupted run — tested in this module.
+//! Campaigns are resumable, and the recovery path is hardened against
+//! everything the `chaos` crate can throw at it:
+//!
+//! - **A/B generation slots.** After each epoch (subject to
+//!   [`CampaignConfig::checkpoint_every`]) the full state serializes
+//!   into a checkpoint *slot*: `<path>.a` for even generations,
+//!   `<path>.b` for odd, where the generation is the completed-epoch
+//!   count. Each slot is written atomically (temp file + rename) and
+//!   carries a one-line envelope header with the payload length and a
+//!   CRC-32 checksum, so a torn or bit-flipped slot is *detected*, not
+//!   silently resumed from. Because writes alternate slots, the
+//!   previous generation always survives a failed write.
+//! - **Self-healing resume.** [`Campaign::resume`] examines both slots
+//!   plus the plain final file and recovers from the newest artifact
+//!   that verifies (CRC + parse + version); every corrupt candidate is
+//!   surfaced as a `checkpoint_fallback` obs event. Only when *no*
+//!   artifact verifies does resume fail.
+//! - **Non-fatal periodic saves.** A periodic slot write that fails
+//!   every retry ([`Campaign::with_write_retries`]) emits
+//!   `checkpoint_write_failed` and the campaign continues — losing a
+//!   checkpoint costs re-computation, not results. Only the *final*
+//!   plain-JSON write on completion is load-bearing and fails the run;
+//!   because that file carries no CRC envelope, it is read back and
+//!   verified after every apparently-successful write (a silent bit
+//!   flip burns a retry instead of shipping corrupt results).
+//! - **Deterministic chaos.** [`Campaign::with_chaos`] installs a
+//!   [`chaos::ChaosSchedule`] that injects seeded faults at every seam
+//!   (checkpoint writes/reads, the final write, worker shards), so the
+//!   whole recovery machinery is exercised reproducibly in tests.
+//!
+//! [`Campaign::resume`] validates that the checkpoint was recorded
+//! under the same campaign parameters and continues from the first
+//! missing epoch. Because every epoch is a pure function of
+//! `(seed, epoch, config, test set)`, a resumed campaign's final state
+//! is **byte-identical** to an uninterrupted run — tested in this
+//! module and in `tests/chaos_soak.rs`.
 //!
 //! Wall-clock timing is deliberately excluded from the state: it would
 //! break byte-identical resume. Drivers that want harness-overhead
@@ -33,15 +60,19 @@
 
 use std::path::{Path, PathBuf};
 
+use chaos::{ChaosSchedule, IoFault, Seam};
 use neural::{QuantizedNetwork, Tensor};
 use serde::{Deserialize, Serialize};
 use xbar::endurance::EnduranceParams;
 
-use crate::sim::{evaluate, SimResult};
+use crate::sim::{evaluate, ShardGap, SimResult};
 use crate::{AccelConfig, AccelError, ProtectionScheme};
 
 /// Checkpoint format version, bumped on incompatible schema changes.
-pub const CHECKPOINT_VERSION: u64 = 1;
+/// Version 2 added graceful-degradation fields (`lost_samples`,
+/// `gaps`) to epoch records and moved periodic checkpoints into
+/// CRC-protected A/B generation slots.
+pub const CHECKPOINT_VERSION: u64 = 2;
 
 /// Per-epoch seed stride: the 64-bit golden-ratio constant also used
 /// for per-matrix seeds, so epoch streams never overlap worker streams.
@@ -162,6 +193,12 @@ pub struct EpochRecord {
     pub retries: u64,
     /// Group-cycles evaluated without any code.
     pub uncoded: u64,
+    /// Samples dropped by graceful degradation (`max_lost_shards`);
+    /// the epoch's rates are over `samples - lost_samples`.
+    pub lost_samples: u64,
+    /// Sample ranges the dropped shards would have evaluated — the
+    /// explicit record of what this epoch's numbers do *not* cover.
+    pub gaps: Vec<ShardGap>,
 }
 
 impl EpochRecord {
@@ -181,6 +218,8 @@ impl EpochRecord {
             silent_a: r.stats.silent_a,
             retries: r.stats.retries,
             uncoded: r.stats.uncoded,
+            lost_samples: r.lost_samples as u64,
+            gaps: r.gaps.clone(),
         }
     }
 }
@@ -286,6 +325,96 @@ pub struct Campaign {
     config: CampaignConfig,
     state: CampaignState,
     checkpoint: Option<PathBuf>,
+    /// Deterministic fault-injection schedule; `None` (the default)
+    /// means every I/O seam and shard runs clean.
+    chaos: Option<ChaosSchedule>,
+    /// Retries after a failed checkpoint/final write (so a write gets
+    /// `write_retries + 1` attempts).
+    write_retries: u32,
+    /// Per-seam operation counters feeding the chaos schedule
+    /// (indexed by `Seam`; process-local, deliberately not part of the
+    /// serialized state — chaos decisions replay from the seed and
+    /// these indices, which restart at 0 per `Campaign` value).
+    io_index: [u64; 4],
+}
+
+/// The checkpoint-slot envelope header: the first line of a slot file,
+/// ahead of the pretty-printed [`CampaignState`] payload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct SlotHeader {
+    /// Envelope format version (equals [`CHECKPOINT_VERSION`]).
+    ckpt: u64,
+    /// Completed-epoch count at write time; resume picks the highest
+    /// generation that verifies.
+    generation: u64,
+    /// Byte length of the state payload after the header line.
+    len: u64,
+    /// CRC-32 (IEEE) of the state payload bytes.
+    crc32: u64,
+}
+
+/// Path of the A/B slot for a generation: `<path>.a` for even
+/// generations, `<path>.b` for odd. Alternating means a failed or torn
+/// write can only damage the slot being replaced, never the newest
+/// surviving generation.
+fn slot_path(path: &Path, generation: u64) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let suffix = if generation % 2 == 0 { "a" } else { "b" };
+    path.with_file_name(format!("{name}.{suffix}"))
+}
+
+/// Renders a slot file: header line, newline, state JSON.
+fn render_slot(state_json: &str, generation: u64) -> Vec<u8> {
+    let body = state_json.as_bytes();
+    let mut out = format!(
+        "{{\"ckpt\":{CHECKPOINT_VERSION},\"generation\":{generation},\"len\":{},\"crc32\":{}}}\n",
+        body.len(),
+        chaos::crc::crc32(body)
+    )
+    .into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// Parses and verifies a slot file: header shape, payload length,
+/// CRC-32, then the state JSON itself. Any failure returns a short
+/// reason string (surfaced in `checkpoint_fallback` events).
+fn parse_slot(bytes: &[u8]) -> Result<(u64, CampaignState), String> {
+    let nl = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or("no envelope header line")?;
+    let header_text =
+        std::str::from_utf8(&bytes[..nl]).map_err(|_| "envelope header is not UTF-8")?;
+    let header: SlotHeader =
+        serde_json::from_str(header_text).map_err(|e| format!("bad envelope header: {e:?}"))?;
+    if header.ckpt != CHECKPOINT_VERSION {
+        return Err(format!(
+            "envelope version {} but this binary writes {CHECKPOINT_VERSION}",
+            header.ckpt
+        ));
+    }
+    let body = &bytes[nl + 1..];
+    if body.len() as u64 != header.len {
+        return Err(format!(
+            "payload is {} bytes but the header promises {} (torn write)",
+            body.len(),
+            header.len
+        ));
+    }
+    let crc = u64::from(chaos::crc::crc32(body));
+    if crc != header.crc32 {
+        return Err(format!(
+            "payload CRC-32 {crc:#010x} does not match header {:#010x} (corruption)",
+            header.crc32
+        ));
+    }
+    let text = std::str::from_utf8(body).map_err(|_| "payload is not UTF-8")?;
+    let state = CampaignState::from_json(text).map_err(|e| e.to_string())?;
+    Ok((header.generation, state))
 }
 
 impl Campaign {
@@ -317,25 +446,108 @@ impl Campaign {
             config,
             state,
             checkpoint: None,
+            chaos: None,
+            write_retries: 2,
+            io_index: [0; 4],
         })
     }
 
-    /// Resumes a campaign from a checkpoint file, validating that the
+    /// Resumes a campaign from a checkpoint path, validating that the
     /// checkpoint was recorded under `config`.
+    ///
+    /// Recovery examines up to three artifacts — the `.a` and `.b`
+    /// generation slots and the plain final file at `path` — and
+    /// proceeds from the newest one that verifies (envelope, CRC-32,
+    /// parse). Each corrupt or torn candidate is reported as a
+    /// `checkpoint_fallback` obs event rather than failing the resume;
+    /// only when no artifact verifies is the error surfaced.
     ///
     /// # Errors
     ///
-    /// Returns [`AccelError::Checkpoint`] when the file cannot be read
-    /// or parsed, and [`AccelError::ResumeMismatch`] when any campaign
-    /// parameter (scheme, cell bits, remap, epoch schedule, endurance
-    /// range, seed, threads) differs from the checkpoint's.
+    /// Returns [`AccelError::Checkpoint`] when no artifact can be read
+    /// and verified, and [`AccelError::ResumeMismatch`] when any
+    /// campaign parameter (scheme, cell bits, remap, epoch schedule,
+    /// endurance range, seed, threads) differs from the checkpoint's.
     pub fn resume(config: CampaignConfig, path: &Path) -> Result<Campaign, AccelError> {
-        let json = std::fs::read_to_string(path).map_err(|e| AccelError::Checkpoint {
-            path: path.display().to_string(),
-            message: e.to_string(),
-        })?;
-        let state = CampaignState::from_json(&json)?;
+        Self::resume_with_chaos(config, path, None)
+    }
+
+    /// [`resume`](Campaign::resume) with a chaos schedule installed
+    /// *before* the checkpoint artifacts are read, so the read seam
+    /// ([`chaos::Seam::CheckpointRead`]) is under injection too.
+    pub fn resume_with_chaos(
+        config: CampaignConfig,
+        path: &Path,
+        chaos: Option<ChaosSchedule>,
+    ) -> Result<Campaign, AccelError> {
         let mut campaign = Campaign::new(config)?;
+        campaign.chaos = chaos;
+
+        // Collect every candidate artifact: the two generation slots
+        // and the plain final/pre-slot file. A missing file is simply
+        // not a candidate; a present-but-invalid one is a fallback.
+        let mut best: Option<(u64, CampaignState)> = None;
+        let mut failures: Vec<(String, String)> = Vec::new();
+        let mut consider = |campaign: &mut Campaign, candidate: &Path, slotted: bool| {
+            if !candidate.exists() {
+                return;
+            }
+            let fault = campaign.io_fault(Seam::CheckpointRead);
+            let parsed = chaos::fs::read(candidate, fault)
+                .map_err(|e| e.to_string())
+                .and_then(|bytes| {
+                    if slotted {
+                        parse_slot(&bytes)
+                    } else {
+                        // The plain file has no envelope; its
+                        // generation is its completed-epoch count.
+                        let text = std::str::from_utf8(&bytes)
+                            .map_err(|_| "payload is not UTF-8".to_string())?;
+                        let state =
+                            CampaignState::from_json(text).map_err(|e| e.to_string())?;
+                        Ok((state.completed.len() as u64, state))
+                    }
+                });
+            match parsed {
+                Ok((generation, state)) => {
+                    if best.as_ref().map_or(true, |(g, _)| generation > *g) {
+                        best = Some((generation, state));
+                    }
+                }
+                Err(reason) => failures.push((candidate.display().to_string(), reason)),
+            }
+        };
+        consider(&mut campaign, &slot_path(path, 0), true);
+        consider(&mut campaign, &slot_path(path, 1), true);
+        consider(&mut campaign, path, false);
+
+        let Some((generation, state)) = best else {
+            let message = if failures.is_empty() {
+                "no checkpoint artifact found (checked .a/.b slots and the final file)"
+                    .to_string()
+            } else {
+                let mut m = String::from("every checkpoint artifact failed verification:");
+                for (p, reason) in &failures {
+                    m.push_str(&format!(" [{p}: {reason}]"));
+                }
+                m
+            };
+            return Err(AccelError::Checkpoint {
+                path: path.display().to_string(),
+                message,
+            });
+        };
+        // Surface each rejected artifact: recovery happened, and the
+        // event log should say so (and from which generation).
+        for (p, reason) in &failures {
+            obs::events::emit(
+                obs::Event::new("checkpoint_fallback")
+                    .str("path", p)
+                    .str("reason", reason)
+                    .u64("used_generation", generation),
+            );
+        }
+
         let expected = &campaign.state;
         let mismatch = |field: &str, want: &dyn std::fmt::Debug, got: &dyn std::fmt::Debug| {
             Err(AccelError::ResumeMismatch(format!(
@@ -403,6 +615,51 @@ impl Campaign {
         self
     }
 
+    /// Installs a deterministic chaos schedule: seeded faults at the
+    /// checkpoint/final-write I/O seams and (unless the base config
+    /// already sets explicit [`chaos::ShardChaos`]) per-epoch worker
+    /// shard chaos. Testing support — results under chaos must equal
+    /// the clean run (see `tests/chaos_soak.rs`).
+    #[must_use]
+    pub fn with_chaos(mut self, schedule: ChaosSchedule) -> Campaign {
+        self.chaos = Some(schedule);
+        self
+    }
+
+    /// Sets how many times a failed checkpoint/final write is retried
+    /// (default 2, i.e. three attempts per write).
+    #[must_use]
+    pub fn with_write_retries(mut self, retries: u32) -> Campaign {
+        self.write_retries = retries;
+        self
+    }
+
+    /// Rolls the chaos schedule (if any) for the next operation on an
+    /// I/O seam, advancing that seam's operation index. An injected
+    /// fault is announced as a `chaos_fault` obs event, so chaos runs
+    /// are self-documenting.
+    fn io_fault(&mut self, seam: Seam) -> Option<IoFault> {
+        let schedule = self.chaos?;
+        let slot = match seam {
+            Seam::CheckpointWrite => 0,
+            Seam::CheckpointRead => 1,
+            Seam::FinalWrite => 2,
+            Seam::EventWrite => 3,
+        };
+        let index = self.io_index[slot];
+        self.io_index[slot] += 1;
+        let fault = schedule.io_fault(seam, index);
+        if let Some(f) = &fault {
+            obs::events::emit(
+                obs::Event::new("chaos_fault")
+                    .str("seam", seam.label())
+                    .u64("index", index)
+                    .str("fault", f.label()),
+            );
+        }
+        fault
+    }
+
     /// The campaign state accumulated so far.
     pub fn state(&self) -> &CampaignState {
         &self.state
@@ -464,7 +721,19 @@ impl Campaign {
             let epoch = self.completed_epochs();
             let writes = self.config.writes_at(epoch);
             let fault_rate = self.config.fault_rate_at(epoch);
-            let config = self.config.base.clone().with_fault_rate(fault_rate);
+            let mut config = self.config.base.clone().with_fault_rate(fault_rate);
+            // The base config's `max_lost_shards` is a *campaign-wide*
+            // degradation budget: each epoch may spend only what the
+            // completed epochs have not already spent.
+            let lost_so_far: usize = self.state.completed.iter().map(|r| r.gaps.len()).sum();
+            config.max_lost_shards = self.config.base.max_lost_shards.saturating_sub(lost_so_far);
+            // Shard chaos comes from the schedule per epoch unless the
+            // base config pinned an explicit hook (tests do).
+            if let Some(schedule) = self.chaos {
+                if matches!(config.shard_chaos, chaos::ShardChaos::Off) {
+                    config.shard_chaos = schedule.shard_chaos(epoch);
+                }
+            }
             // Wall timings live only in the event log, never in
             // `CampaignState`: checkpoints must stay byte-identical
             // across re-runs. `span_total_ns("program")` deltas isolate
@@ -491,7 +760,25 @@ impl Campaign {
             let mut checkpoint_ns = 0u64;
             if due || self.is_complete() {
                 let ckpt_start_ns = obs::now_ns();
-                self.save_checkpoint()?;
+                if let Err(e) = self.save_checkpoint() {
+                    // A lost periodic checkpoint costs re-computation
+                    // on resume, never results: report it and keep
+                    // going. The newest surviving generation remains
+                    // the recovery point.
+                    obs::events::emit(
+                        obs::Event::new("checkpoint_write_failed")
+                            .str(
+                                "path",
+                                &self
+                                    .checkpoint
+                                    .as_ref()
+                                    .map(|p| p.display().to_string())
+                                    .unwrap_or_default(),
+                            )
+                            .u64("attempts", u64::from(self.write_retries) + 1)
+                            .str("error", &e.to_string()),
+                    );
+                }
                 // Only report a write latency when a checkpoint was
                 // actually written; with no path configured the save is
                 // a no-op and the field stays 0.
@@ -518,37 +805,111 @@ impl Campaign {
                     .u64("uncoded", record.uncoded)
                     .u64("eval_ns", eval_ns)
                     .u64("program_ns", program_ns)
-                    .u64("checkpoint_ns", checkpoint_ns),
+                    .u64("checkpoint_ns", checkpoint_ns)
+                    .u64("lost_samples", record.lost_samples),
             );
+            if self.is_complete() {
+                // The final results file is load-bearing (it is what
+                // BENCH_campaign curves and downstream tooling read),
+                // so unlike the periodic slots its failure fails the
+                // run. Written plain (no envelope) and atomically, so
+                // completed campaigns keep the stable byte-identical
+                // JSON format.
+                self.write_final()?;
+            }
         }
         Ok(&self.state)
     }
 
-    /// Writes the current state to the configured checkpoint path (a
-    /// no-op if none is set), atomically: the JSON goes to a temporary
-    /// sibling file which is then renamed over the target, so a kill
-    /// mid-write leaves the previous checkpoint intact.
+    /// Writes the current state into its generation slot (a no-op if
+    /// no checkpoint path is set), atomically: the envelope + JSON go
+    /// to a temporary sibling file which is then renamed over the
+    /// slot. Generations alternate between the `.a` and `.b` slots, so
+    /// the previous checkpoint survives any failure here.
     ///
     /// # Errors
     ///
-    /// Returns [`AccelError::Checkpoint`] on I/O failure.
-    pub fn save_checkpoint(&self) -> Result<(), AccelError> {
-        let Some(path) = &self.checkpoint else {
+    /// Returns [`AccelError::Checkpoint`] when every attempt
+    /// (`1 + write_retries`) fails. Callers inside the epoch loop
+    /// treat that as non-fatal; the CLI's partial-result dump path
+    /// propagates it.
+    pub fn save_checkpoint(&mut self) -> Result<(), AccelError> {
+        let Some(path) = self.checkpoint.clone() else {
             return Ok(());
         };
         let json = self.state.to_json()?;
-        let io_err = |e: std::io::Error| AccelError::Checkpoint {
-            path: path.display().to_string(),
-            message: e.to_string(),
-        };
-        if let Some(dir) = path.parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir).map_err(io_err)?;
+        let generation = self.state.completed.len() as u64;
+        let slot = slot_path(&path, generation);
+        let payload = render_slot(&json, generation);
+        self.ensure_parent_dir(&path)?;
+        let mut last_err: Option<std::io::Error> = None;
+        for _ in 0..=self.write_retries {
+            let fault = self.io_fault(Seam::CheckpointWrite);
+            match chaos::fs::write_atomic(&slot, &payload, fault) {
+                Ok(()) => return Ok(()),
+                Err(e) => last_err = Some(e),
             }
         }
-        let tmp = path.with_extension("json.tmp");
-        std::fs::write(&tmp, json).map_err(io_err)?;
-        std::fs::rename(&tmp, path).map_err(io_err)?;
+        Err(AccelError::Checkpoint {
+            path: slot.display().to_string(),
+            message: last_err
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "write failed".into()),
+        })
+    }
+
+    /// Writes the plain final-results JSON to the checkpoint path
+    /// itself (no envelope — the stable format every consumer reads),
+    /// atomically and with retries. A no-op without a checkpoint path.
+    ///
+    /// Unlike the slots, the final file carries no CRC envelope, so a
+    /// silently corrupted write (one flipped bit, `Ok` returned) would
+    /// ship bad results to every consumer. Each apparently-successful
+    /// write is therefore **read back and compared** against the
+    /// payload; a mismatch burns a retry like any hard failure. One
+    /// extra read per campaign buys end-to-end integrity for the one
+    /// artifact nothing downstream re-verifies.
+    fn write_final(&mut self) -> Result<(), AccelError> {
+        let Some(path) = self.checkpoint.clone() else {
+            return Ok(());
+        };
+        let json = self.state.to_json()?;
+        self.ensure_parent_dir(&path)?;
+        let mut last_err: Option<std::io::Error> = None;
+        for _ in 0..=self.write_retries {
+            let fault = self.io_fault(Seam::FinalWrite);
+            match chaos::fs::write_atomic(&path, json.as_bytes(), fault) {
+                Ok(()) => match std::fs::read(&path) {
+                    Ok(bytes) if bytes == json.as_bytes() => return Ok(()),
+                    Ok(_) => {
+                        last_err = Some(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            "read-back verification found corrupted bytes",
+                        ));
+                    }
+                    Err(e) => last_err = Some(e),
+                },
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(AccelError::Checkpoint {
+            path: path.display().to_string(),
+            message: format!(
+                "final results write failed every attempt: {}",
+                last_err.map(|e| e.to_string()).unwrap_or_default()
+            ),
+        })
+    }
+
+    fn ensure_parent_dir(&self, path: &Path) -> Result<(), AccelError> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).map_err(|e| AccelError::Checkpoint {
+                    path: path.display().to_string(),
+                    message: e.to_string(),
+                })?;
+            }
+        }
         Ok(())
     }
 }
@@ -731,30 +1092,201 @@ mod tests {
         }
     }
 
+    #[test]
+    fn slot_paths_alternate_a_and_b() {
+        let base = Path::new("/tmp/x/out.json");
+        assert_eq!(slot_path(base, 0), Path::new("/tmp/x/out.json.a"));
+        assert_eq!(slot_path(base, 1), Path::new("/tmp/x/out.json.b"));
+        assert_eq!(slot_path(base, 2), Path::new("/tmp/x/out.json.a"));
+        assert_eq!(slot_path(base, 7), Path::new("/tmp/x/out.json.b"));
+    }
+
+    #[test]
+    fn slot_envelope_roundtrips_and_detects_damage() {
+        let config = small_campaign(ProtectionScheme::None, 4);
+        let state = config.fresh_state();
+        let json = state.to_json().expect("json");
+        let bytes = render_slot(&json, 3);
+
+        let (generation, back) = parse_slot(&bytes).expect("intact slot parses");
+        assert_eq!(generation, 3);
+        assert_eq!(back, state);
+
+        // A torn write (strict prefix) is caught by the length check.
+        let torn = parse_slot(&bytes[..bytes.len() - 7]).expect_err("torn");
+        assert!(torn.contains("torn write"), "reason: {torn}");
+
+        // A single flipped payload bit is caught by the CRC.
+        let mut flipped = bytes.clone();
+        let mid = bytes.len() / 2;
+        flipped[mid] ^= 0x10;
+        let corrupt = parse_slot(&flipped).expect_err("bitflip");
+        assert!(corrupt.contains("CRC-32"), "reason: {corrupt}");
+
+        // A foreign envelope version is refused before the payload is
+        // trusted.
+        let old = String::from_utf8(bytes.clone())
+            .expect("utf8")
+            .replacen("\"ckpt\":2", "\"ckpt\":1", 1);
+        let version = parse_slot(old.as_bytes()).expect_err("version");
+        assert!(version.contains("envelope version 1"), "reason: {version}");
+
+        // No header line at all.
+        assert!(parse_slot(b"not a slot file").is_err());
+    }
+
+    #[test]
+    fn resume_falls_back_to_previous_generation_on_corrupt_slot() {
+        let (qnet, images, labels) = tiny_problem();
+        let config = small_campaign(ProtectionScheme::None, 4);
+
+        // Uninterrupted reference run.
+        let mut reference = Campaign::new(config.clone()).expect("campaign");
+        reference.run(&qnet, &images, &labels).expect("run");
+        let reference_json = reference.state().to_json().expect("json");
+
+        // Interrupted run: 3 of 4 epochs leaves generation 3 in the
+        // `.b` slot and generation 2 in `.a`.
+        let path = temp_path("fallback");
+        let mut interrupted = Campaign::new(config.clone())
+            .expect("campaign")
+            .with_checkpoint(path.clone());
+        interrupted
+            .run_epochs(&qnet, &images, &labels, 3)
+            .expect("partial run");
+        drop(interrupted);
+        let newest = slot_path(&path, 3);
+        let older = slot_path(&path, 2);
+        assert!(newest.exists() && older.exists());
+
+        // Flip one payload bit in the newest slot: resume must detect
+        // the damage and recover from generation 2 instead.
+        let mut bytes = std::fs::read(&newest).expect("read slot");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&newest, &bytes).expect("corrupt slot");
+
+        let mut resumed = Campaign::resume(config, &path).expect("resume");
+        assert_eq!(
+            resumed.completed_epochs(),
+            2,
+            "resume should fall back to generation 2"
+        );
+        resumed.run(&qnet, &images, &labels).expect("resumed run");
+        assert_eq!(resumed.state().to_json().expect("json"), reference_json);
+        let on_disk = std::fs::read_to_string(&path).expect("read final");
+        assert_eq!(on_disk, reference_json);
+        for p in [&path, &newest, &older] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    /// Both slots *and* the plain file corrupt: resume reports every
+    /// failed artifact instead of picking one arbitrarily.
+    #[test]
+    fn resume_with_no_valid_artifact_lists_every_failure() {
+        let config = small_campaign(ProtectionScheme::None, 2);
+        let path = temp_path("allbad");
+        std::fs::write(&path, "{ not json").expect("write");
+        std::fs::write(slot_path(&path, 0), "garbage without a header").expect("write");
+        match Campaign::resume(config, &path) {
+            Err(AccelError::Checkpoint { message, .. }) => {
+                assert!(
+                    message.contains("every checkpoint artifact failed verification"),
+                    "message: {message}"
+                );
+                assert!(message.contains(".a"), "message should name the slot: {message}");
+            }
+            other => panic!("expected Checkpoint error, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(slot_path(&path, 0));
+    }
+
+    /// A checkpoint-write seam that always fails must not fail the
+    /// campaign: periodic saves are best-effort, and the final write
+    /// (a different seam) still lands the results.
+    #[test]
+    fn hopeless_checkpoint_seam_degrades_to_final_write() {
+        let (qnet, images, labels) = tiny_problem();
+        let config = small_campaign(ProtectionScheme::None, 2);
+
+        let mut reference = Campaign::new(config.clone()).expect("campaign");
+        reference.run(&qnet, &images, &labels).expect("run");
+        let reference_json = reference.state().to_json().expect("json");
+
+        let always_fail = ChaosSchedule::new(
+            3,
+            chaos::ChaosConfig {
+                write_error_permille: 1000,
+                ..chaos::ChaosConfig::default()
+            },
+        );
+        let path = temp_path("hopeless");
+        let mut campaign = Campaign::new(config)
+            .expect("campaign")
+            .with_checkpoint(path.clone())
+            .with_chaos(always_fail)
+            .with_write_retries(0);
+        let result = campaign.run(&qnet, &images, &labels);
+        // Every write (periodic and final) fails: periodic failures
+        // are swallowed, the final write's failure is the one error.
+        match result {
+            Err(AccelError::Checkpoint { message, .. }) => {
+                assert!(
+                    message.contains("final results write failed"),
+                    "message: {message}"
+                );
+            }
+            other => panic!("expected final-write Checkpoint error, got {other:?}"),
+        }
+        // All epochs still completed in memory — partial results are
+        // dumpable even when the disk is gone.
+        assert_eq!(campaign.completed_epochs(), 2);
+        assert_eq!(campaign.state().to_json().expect("json"), reference_json);
+        for g in 0..2 {
+            let _ = std::fs::remove_file(slot_path(&path, g));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn arb_gap() -> impl Strategy<Value = ShardGap> {
+        (0u64..8, 0u64..1_000, 1u64..200).prop_map(|(shard, lo, width)| ShardGap {
+            shard,
+            lo,
+            hi: lo + width,
+        })
+    }
+
     fn arb_record() -> impl Strategy<Value = EpochRecord> {
         (
             (0u64..100, 0.0f64..1e12, 0.0f64..1.0, 0.0f64..1.0),
             (0.0f64..1.0, 0.0f64..1.0, 0u64..10_000),
             proptest::collection::vec(0u64..1_000_000, 7),
+            (0u64..200, proptest::collection::vec(arb_gap(), 0..3)),
         )
-            .prop_map(|((epoch, writes, fault, mis), (top5, flip, samples), counts)| {
-                EpochRecord {
-                    epoch,
-                    writes,
-                    fault_rate: fault,
-                    misclassification: mis,
-                    top5_misclassification: top5,
-                    flip_rate: flip,
-                    samples,
-                    clean: counts[0],
-                    corrected: counts[1],
-                    uncorrectable: counts[2],
-                    miscorrected: counts[3],
-                    silent_a: counts[4],
-                    retries: counts[5],
-                    uncoded: counts[6],
-                }
-            })
+            .prop_map(
+                |((epoch, writes, fault, mis), (top5, flip, samples), counts, (lost, gaps))| {
+                    EpochRecord {
+                        epoch,
+                        writes,
+                        fault_rate: fault,
+                        misclassification: mis,
+                        top5_misclassification: top5,
+                        flip_rate: flip,
+                        samples,
+                        clean: counts[0],
+                        corrected: counts[1],
+                        uncorrectable: counts[2],
+                        miscorrected: counts[3],
+                        silent_a: counts[4],
+                        retries: counts[5],
+                        uncoded: counts[6],
+                        lost_samples: lost,
+                        gaps,
+                    }
+                },
+            )
     }
 
     proptest! {

@@ -605,6 +605,54 @@ mod tests {
         );
     }
 
+    /// The retry policy's *accounting*, pinned. At a fixed noise seed
+    /// the decode statistics are a pure function of the retry budget,
+    /// so these exact values lock the retry loop's behavior: how many
+    /// re-reads fire and how many group-cycles stay untrusted
+    /// (uncorrectable / miscorrected) for `max_retries` of 0, 1, and 2.
+    /// A change to the retry loop's RNG
+    /// draw order, its trust predicate, or its stat bookkeeping moves
+    /// these numbers and fails here.
+    #[test]
+    fn retry_stats_pinned_across_retry_budgets() {
+        let m = quantized(8, 64, 8);
+        let input: Vec<u16> = (0..64).map(|i| (65535 - i * 13) as u16).collect();
+        let mut config = AccelConfig::new(ProtectionScheme::data_aware(7)).with_fault_rate(0.0);
+        // The same high-noise regime as the test above: untrusted
+        // decodes are common, so every retry budget is exercised.
+        config.device.rtn_state_probability = 0.4;
+
+        let run = |retries: u32| {
+            let mut c = config.clone();
+            c.max_retries = retries;
+            let provider = CrossbarProvider::new(c, 21);
+            let mut engine = provider.build(&m);
+            for _ in 0..2 {
+                engine.mvm(&input);
+            }
+            provider.stats()
+        };
+
+        let pinned: [(u32, u64, u64, u64); 3] = [
+            // (max_retries, retries, uncorrectable, miscorrected)
+            (0, 0, 0, 11),
+            (1, 13, 0, 11),
+            (2, 19, 0, 9),
+        ];
+        let mut prev_retries = 0u64;
+        for (budget, want_retries, want_uncorrectable, want_miscorrected) in pinned {
+            let stats = run(budget);
+            assert_eq!(
+                (stats.retries, stats.uncorrectable, stats.miscorrected),
+                (want_retries, want_uncorrectable, want_miscorrected),
+                "max_retries={budget}: {stats:?}"
+            );
+            // Shape: a larger budget can only add re-reads.
+            assert!(stats.retries >= prev_retries, "max_retries={budget}");
+            prev_retries = stats.retries;
+        }
+    }
+
     /// Golden outputs captured from the original per-call-allocating
     /// kernel under realistic noise, before the scratch-buffer refactor.
     ///

@@ -40,8 +40,9 @@ pub enum AccelError {
     InvalidConfig(String),
     /// Code construction / A-search failed while mapping a matrix.
     Code(CodeError),
-    /// A Monte-Carlo worker panicked twice on the same shard (the
-    /// deterministic retry also failed), so the run cannot complete.
+    /// A Monte-Carlo worker shard failed every allowed seed-stable
+    /// retry (panic or watchdog timeout) and no graceful-degradation
+    /// budget remained, so the run cannot complete.
     WorkerPanic {
         /// Index of the failed shard (worker thread).
         shard: usize,
@@ -49,6 +50,12 @@ pub enum AccelError {
         seed: u64,
         /// Panic payload, when it was a string.
         message: String,
+    },
+    /// Graceful degradation (`max_lost_shards`) dropped *every* shard,
+    /// leaving no evaluated samples to compute rates over.
+    AllShardsLost {
+        /// Samples dropped with the lost shards.
+        lost: usize,
     },
     /// Reading or writing a campaign checkpoint failed.
     Checkpoint {
@@ -82,6 +89,10 @@ impl std::fmt::Display for AccelError {
             } => write!(
                 f,
                 "worker shard {shard} (seed {seed}) panicked twice: {message}"
+            ),
+            AccelError::AllShardsLost { lost } => write!(
+                f,
+                "graceful degradation dropped every shard ({lost} samples); no results to report"
             ),
             AccelError::Checkpoint { path, message } => {
                 write!(f, "checkpoint {path}: {message}")

@@ -82,4 +82,7 @@ pub mod sim;
 
 pub use engine::{CrossbarEngine, CrossbarProvider, DecodeStats};
 pub use error::AccelError;
-pub use scheme::{AccelConfig, ProtectionScheme, WorkerPanicHook};
+pub use scheme::{AccelConfig, ProtectionScheme};
+// Re-exported so downstream code can parameterize worker fault
+// injection without naming the chaos crate separately.
+pub use chaos::ShardChaos;

@@ -123,36 +123,6 @@ pub(crate) fn static128_code(cell_bits: u32) -> AbnCode {
     AbnCode::from_table(a, ProtectionScheme::B, table, 128).expect("static code is valid")
 }
 
-/// Test-only fault injection for the Monte-Carlo worker pool.
-///
-/// Lives on [`AccelConfig`] rather than in global state so that
-/// parallel test binaries cannot race on it. Production code always
-/// uses [`WorkerPanicHook::Never`] (the `Default`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum WorkerPanicHook {
-    /// Never inject a panic (the production setting).
-    #[default]
-    Never,
-    /// Panic the given shard on its first attempt only; the
-    /// deterministic retry then succeeds. Exercises the recovery path.
-    Once(usize),
-    /// Panic the given shard on every attempt, so the retry also fails
-    /// and `evaluate` must return a `WorkerPanic` error.
-    Always(usize),
-}
-
-impl WorkerPanicHook {
-    /// Whether the given shard should panic on the given attempt
-    /// (0 = first try, 1 = retry).
-    pub fn should_panic(&self, shard: usize, attempt: u32) -> bool {
-        match *self {
-            WorkerPanicHook::Never => false,
-            WorkerPanicHook::Once(s) => s == shard && attempt == 0,
-            WorkerPanicHook::Always(s) => s == shard,
-        }
-    }
-}
-
 /// Full accelerator configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AccelConfig {
@@ -177,10 +147,28 @@ pub struct AccelConfig {
     /// Remap logical rows away from faulty cells before programming
     /// (the Xia-et-al. composition of [`crate::remap`]).
     pub remap: bool,
-    /// Test-only worker panic injection; always
-    /// [`WorkerPanicHook::Never`] outside tests.
-    #[doc(hidden)]
-    pub worker_panic_hook: WorkerPanicHook,
+    /// Worker-shard fault injection ([`chaos::ShardChaos`]): panics and
+    /// stalls at deterministic `(shard, attempt)` points. Always
+    /// [`chaos::ShardChaos::Off`] outside chaos runs and tests.
+    pub shard_chaos: chaos::ShardChaos,
+    /// Per-shard watchdog deadline in nanoseconds (0 disables). A shard
+    /// exceeding it aborts at the next sample boundary and is retried
+    /// from its fixed seed, so a fired watchdog never changes results —
+    /// it only costs one of the bounded retries.
+    pub watchdog_ns: u64,
+    /// Seed-stable retries allowed per failing shard (panic or watchdog)
+    /// before the shard counts as failed. 1 reproduces the classic
+    /// single-retry behavior.
+    pub shard_retries: u32,
+    /// Backoff slept before shard retry `k` (1-based):
+    /// `retry_backoff_ms << (k - 1)`, exponent capped at 6. 0 disables.
+    pub retry_backoff_ms: u64,
+    /// Graceful degradation: up to this many shards may fail all their
+    /// retries and be dropped — recorded as explicit
+    /// [`ShardGap`](crate::sim::ShardGap)s with rates computed over the
+    /// samples actually evaluated — instead of failing the run. 0 (the
+    /// default) keeps the strict abort-on-persistent-failure behavior.
+    pub max_lost_shards: usize,
 }
 
 impl AccelConfig {
@@ -197,7 +185,11 @@ impl AccelConfig {
             input_bits: 16,
             error_list: crate::mapping::mapping_error_list_config(),
             remap: false,
-            worker_panic_hook: WorkerPanicHook::Never,
+            shard_chaos: chaos::ShardChaos::Off,
+            watchdog_ns: 0,
+            shard_retries: 1,
+            retry_backoff_ms: 0,
+            max_lost_shards: 0,
         }
     }
 
@@ -340,12 +332,13 @@ mod tests {
     }
 
     #[test]
-    fn panic_hook_targets_shard_and_attempt() {
-        assert!(!WorkerPanicHook::Never.should_panic(0, 0));
-        assert!(WorkerPanicHook::Once(2).should_panic(2, 0));
-        assert!(!WorkerPanicHook::Once(2).should_panic(2, 1));
-        assert!(!WorkerPanicHook::Once(2).should_panic(1, 0));
-        assert!(WorkerPanicHook::Always(2).should_panic(2, 1));
+    fn chaos_and_durability_default_off() {
+        let c = AccelConfig::new(ProtectionScheme::None);
+        assert_eq!(c.shard_chaos, chaos::ShardChaos::Off);
+        assert_eq!(c.watchdog_ns, 0);
+        assert_eq!(c.shard_retries, 1);
+        assert_eq!(c.retry_backoff_ms, 0);
+        assert_eq!(c.max_lost_shards, 0);
     }
 
     #[test]

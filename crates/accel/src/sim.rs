@@ -8,24 +8,54 @@
 //!
 //! # Crash safety
 //!
-//! Workers run under [`std::panic::catch_unwind`]. A panicking shard is
-//! retried **once** from its original seed — a shard is a pure function
-//! of `(seed, sample range, config)`, so the retry reproduces the
-//! original draw sequence bit-for-bit and a successful retry yields
-//! results identical to a run that never panicked. A shard that panics
-//! twice surfaces as [`AccelError::WorkerPanic`] naming the shard and
-//! seed, instead of aborting the whole process mid-campaign.
+//! Workers run under [`std::panic::catch_unwind`]. A failing shard is
+//! retried from its original seed — a shard is a pure function of
+//! `(seed, sample range, config)`, so a retry reproduces the original
+//! draw sequence bit-for-bit and a successful retry yields results
+//! identical to a run that never failed. The failure envelope is
+//! configurable on [`AccelConfig`]:
+//!
+//! - `shard_retries` bounds the seed-stable retries per shard (default
+//!   1, the classic single retry), with optional exponential backoff
+//!   (`retry_backoff_ms`) between attempts;
+//! - `watchdog_ns` sets a deadline on each shard's evaluation loop
+//!   (armed after crossbar programming, where the cooperative checks
+//!   live): a shard that exceeds it aborts at the next sample boundary
+//!   and is retried like a panic — a fired watchdog only costs a
+//!   retry, never changes results;
+//! - `max_lost_shards` opts into graceful degradation: shards that
+//!   exhaust their retries are dropped and recorded as [`ShardGap`]s
+//!   (rates then cover only the evaluated samples) instead of failing
+//!   the run with [`AccelError::WorkerPanic`];
+//! - `shard_chaos` injects deterministic panics/stalls mid-shard
+//!   ([`chaos::ShardChaos`]) so all of the above is testable.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use serde::{Deserialize, Serialize};
 
 use neural::{QuantizedNetwork, Tensor};
 
 use crate::{AccelConfig, AccelError, CrossbarProvider, DecodeStats};
 
+/// A shard dropped under graceful degradation: its sample range was
+/// never evaluated and is recorded explicitly rather than silently
+/// folded into the rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardGap {
+    /// Index of the dropped shard (worker thread).
+    pub shard: u64,
+    /// First sample index of the unevaluated range.
+    pub lo: u64,
+    /// One past the last sample index of the unevaluated range.
+    pub hi: u64,
+}
+
 /// The outcome of one accuracy evaluation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
-    /// Top-1 misclassification rate.
+    /// Top-1 misclassification rate (over the evaluated samples).
     pub misclassification: f64,
     /// Top-5 misclassification rate (1.0-capped; equals top-1 for tasks
     /// with ≤ 5 classes).
@@ -35,8 +65,15 @@ pub struct SimResult {
     /// (zero when the analog path is error-free, regardless of how hard
     /// the task is).
     pub flip_rate: f64,
-    /// Number of evaluated examples.
+    /// Number of requested examples (evaluated = `samples -
+    /// lost_samples`).
     pub samples: usize,
+    /// Samples dropped with lost shards under graceful degradation
+    /// (`max_lost_shards`); 0 unless degradation was opted into.
+    pub lost_samples: usize,
+    /// The dropped shards, as explicit unevaluated sample ranges.
+    /// Empty in a fault-free or strict run.
+    pub gaps: Vec<ShardGap>,
     /// Aggregate ECU statistics over the run.
     pub stats: DecodeStats,
 }
@@ -68,6 +105,19 @@ fn run_shard(
     let provider = CrossbarProvider::new(config.clone(), shard_seed);
     let mut engines = qnet.build_engines(&provider);
     let mut exact_engines = qnet.build_engines(&neural::ExactProvider);
+    // Watchdog epoch: armed once per attempt, *after* crossbar
+    // programming, because elapsed time is only checked cooperatively
+    // at the sample boundaries below — a deadline covering the
+    // (uncheckable, debug-build-expensive) programming phase could
+    // trip spuriously without ever detecting a hang there. The clock
+    // is read only when a deadline is armed, and its reading flows
+    // only into the abort decision — never into seeded computation —
+    // so results are bit-identical whether or not the watchdog trips.
+    let watchdog_start_ns = if config.watchdog_ns != 0 {
+        chaos::clock::now_ns()
+    } else {
+        0
+    };
     // Per-worker reusable buffers: after the first example
     // grows them to the network's high-water mark, the loop
     // body performs no heap allocation.
@@ -78,10 +128,28 @@ fn run_shard(
     let mut top5_errors = 0usize;
     let mut flips = 0usize;
     for i in lo..hi {
-        // Test-only fault injection, mid-shard so a retry must also
-        // discard the partial tallies accumulated before the panic.
-        if i == lo + (hi - lo) / 2 && config.worker_panic_hook.should_panic(shard, attempt) {
-            panic!("injected worker panic (shard {shard}, attempt {attempt})");
+        if config.watchdog_ns != 0
+            && chaos::clock::now_ns().saturating_sub(watchdog_start_ns) > config.watchdog_ns
+        {
+            // lint: allow(panic_in_harness, the watchdog's abort channel: caught by evaluate's catch_unwind and converted into a seed-stable retry)
+            panic!(
+                "watchdog: shard {shard} exceeded its {} ms deadline (attempt {attempt})",
+                config.watchdog_ns / 1_000_000
+            );
+        }
+        // Chaos injection, mid-shard so a retry must also discard the
+        // partial tallies accumulated before the fault.
+        if i == lo + (hi - lo) / 2 {
+            match config.shard_chaos.decide(shard as u64, attempt) {
+                Some(chaos::ExecFault::Panic) => {
+                    // lint: allow(panic_in_harness, deterministic fault injection: caught by evaluate's catch_unwind, which is the path under test)
+                    panic!("chaos: injected worker panic (shard {shard}, attempt {attempt})")
+                }
+                Some(chaos::ExecFault::Stall { ms }) => {
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }
+                None => {}
+            }
         }
         let image = &images_data[i * per_image..(i + 1) * per_image];
         let logits = qnet.run_with(image, &mut engines, &mut scratch);
@@ -119,10 +187,12 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// is per-example). `threads` bounds the worker count; each worker
 /// programs its own engines with a seed derived from `seed`.
 ///
-/// Worker panics are caught; the failing shard is re-run once from its
-/// original seed (bit-identical to a run that never panicked, since a
-/// shard is a pure function of seed + range + config) before the error
-/// is surfaced.
+/// Worker panics (and watchdog timeouts) are caught; the failing shard
+/// is re-run from its original seed (bit-identical to a run that never
+/// panicked, since a shard is a pure function of seed + range +
+/// config) up to `config.shard_retries` times before the error is
+/// surfaced — or, with `config.max_lost_shards > 0`, dropped and
+/// recorded as a [`ShardGap`].
 ///
 /// # Examples
 ///
@@ -175,7 +245,9 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// Returns [`AccelError::EmptyTestSet`] for zero labels,
 /// [`AccelError::ShapeMismatch`] when `images` does not hold one sample
 /// per label, [`AccelError::InvalidConfig`] for an inconsistent
-/// `config`, and [`AccelError::WorkerPanic`] when a shard panics twice.
+/// `config`, [`AccelError::WorkerPanic`] when a shard fails every
+/// allowed retry with no degradation budget left, and
+/// [`AccelError::AllShardsLost`] when degradation dropped every shard.
 pub fn evaluate(
     qnet: &QuantizedNetwork,
     images: &Tensor,
@@ -199,7 +271,14 @@ pub fn evaluate(
     let threads = threads.clamp(1, n);
 
     let chunk = n.div_ceil(threads);
-    let mut results: Vec<Result<ShardTallies, AccelError>> = Vec::new();
+    let mut results: Vec<Result<ShardOutcome, AccelError>> = Vec::new();
+    // Shared graceful-degradation budget: shards claim a slot with a
+    // fetch_add so at most `max_lost_shards` are ever dropped, however
+    // the thread interleaving falls out. Which shards are *candidates*
+    // for dropping is deterministic (shards are pure functions of their
+    // seed), so with a budget at least as large as the failing-shard
+    // count the recorded gaps are deterministic too.
+    let lost_budget = AtomicUsize::new(0);
 
     let scope_result = crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
@@ -210,8 +289,10 @@ pub fn evaluate(
                 break;
             }
             let images_data = images.data();
+            let lost_budget = &lost_budget;
             let handle = scope.spawn(move |_| {
                 let shard_seed = seed.wrapping_add(t as u64);
+                let max_attempts = config.shard_retries.saturating_add(1);
                 let mut attempt = 0u32;
                 loop {
                     let start_ns = obs::now_ns();
@@ -242,34 +323,75 @@ pub fn evaluate(
                             // shard before the thread ends, so totals
                             // are complete when `evaluate` returns.
                             obs::flush_thread();
-                            return Ok(tallies);
-                        }
-                        Err(payload) if attempt == 0 => {
-                            // Deterministic retry: the shard restarts
-                            // from `shard_seed`, discarding all partial
-                            // state, so a success here is bit-identical
-                            // to a first-try success. The partial metric
-                            // shard is discarded for the same reason —
-                            // counters must match what the successful
-                            // attempt actually counted.
-                            let _ = payload;
-                            obs::discard_thread();
-                            obs::counter!(shard_retries).incr();
-                            attempt = 1;
-                            obs::events::emit(
-                                obs::Event::new("shard_retry")
-                                    .u64("shard", t as u64)
-                                    .u64("seed", shard_seed)
-                                    .u64("attempt", u64::from(attempt)),
-                            );
+                            return Ok(ShardOutcome::Done(tallies));
                         }
                         Err(payload) => {
+                            // Discard the partial metric shard first:
+                            // counters must match what a successful
+                            // attempt actually counted, never a mix of
+                            // abandoned attempts.
                             obs::discard_thread();
-                            return Err(AccelError::WorkerPanic {
-                                shard: t,
-                                seed: shard_seed,
-                                message: panic_message(payload.as_ref()),
-                            });
+                            let message = panic_message(payload.as_ref());
+                            let reason = if message.starts_with("watchdog:") {
+                                "watchdog"
+                            } else {
+                                "panic"
+                            };
+                            if attempt + 1 < max_attempts {
+                                // Deterministic retry: the shard
+                                // restarts from `shard_seed`, so a
+                                // success here is bit-identical to a
+                                // first-try success. Flush immediately
+                                // so the retry bookkeeping survives the
+                                // next attempt's discard.
+                                obs::counter!(shard_retries).incr();
+                                attempt += 1;
+                                // The shard seed spans the full u64
+                                // range (epoch seeds are wrapping
+                                // golden-ratio offsets), wider than
+                                // JSON's exact-integer window — emit
+                                // it as a decimal string.
+                                obs::events::emit(
+                                    obs::Event::new("shard_retry")
+                                        .u64("shard", t as u64)
+                                        .str("seed", &shard_seed.to_string())
+                                        .u64("attempt", u64::from(attempt))
+                                        .str("reason", reason),
+                                );
+                                obs::flush_thread();
+                                if config.retry_backoff_ms != 0 {
+                                    let shift = (attempt - 1).min(6);
+                                    std::thread::sleep(std::time::Duration::from_millis(
+                                        config.retry_backoff_ms << shift,
+                                    ));
+                                }
+                            } else if lost_budget.fetch_add(1, Ordering::SeqCst)
+                                < config.max_lost_shards
+                            {
+                                // Graceful degradation: drop the shard,
+                                // record the gap, keep the run alive.
+                                obs::counter!(shards_lost).incr();
+                                obs::events::emit(
+                                    obs::Event::new("shard_lost")
+                                        .u64("shard", t as u64)
+                                        .u64("lo", lo as u64)
+                                        .u64("hi", hi as u64)
+                                        .u64("attempts", u64::from(max_attempts))
+                                        .str("reason", reason),
+                                );
+                                obs::flush_thread();
+                                return Ok(ShardOutcome::Lost {
+                                    shard: t as u64,
+                                    lo: lo as u64,
+                                    hi: hi as u64,
+                                });
+                            } else {
+                                return Err(AccelError::WorkerPanic {
+                                    shard: t,
+                                    seed: shard_seed,
+                                    message,
+                                });
+                            }
                         }
                     }
                 }
@@ -300,20 +422,42 @@ pub fn evaluate(
     let mut top1 = 0usize;
     let mut top5 = 0usize;
     let mut flips = 0usize;
+    let mut lost = 0usize;
+    let mut gaps = Vec::new();
     for shard in results {
-        let (t1, t5, f, s) = shard?;
-        top1 += t1;
-        top5 += t5;
-        flips += f;
-        stats = merge(stats, s);
+        match shard? {
+            ShardOutcome::Done((t1, t5, f, s)) => {
+                top1 += t1;
+                top5 += t5;
+                flips += f;
+                stats = merge(stats, s);
+            }
+            ShardOutcome::Lost { shard, lo, hi } => {
+                lost += (hi - lo) as usize;
+                gaps.push(ShardGap { shard, lo, hi });
+            }
+        }
+    }
+    let evaluated = n - lost;
+    if evaluated == 0 {
+        return Err(AccelError::AllShardsLost { lost });
     }
     Ok(SimResult {
-        misclassification: top1 as f64 / n as f64,
-        top5_misclassification: top5 as f64 / n as f64,
-        flip_rate: flips as f64 / n as f64,
+        misclassification: top1 as f64 / evaluated as f64,
+        top5_misclassification: top5 as f64 / evaluated as f64,
+        flip_rate: flips as f64 / evaluated as f64,
         samples: n,
+        lost_samples: lost,
+        gaps,
         stats,
     })
+}
+
+/// What one worker shard ultimately produced: its tallies, or — under
+/// graceful degradation — an explicit gap.
+enum ShardOutcome {
+    Done(ShardTallies),
+    Lost { shard: u64, lo: u64, hi: u64 },
 }
 
 /// Evaluates the float software baseline on the same test set (the
@@ -528,16 +672,110 @@ mod tests {
         // Shard 1 panics mid-shard on its first attempt; the retry
         // restarts it from its original seed, so the final results must
         // be bit-identical to the panic-free run.
-        config.worker_panic_hook = crate::WorkerPanicHook::Once(1);
+        config.shard_chaos = chaos::ShardChaos::PanicOn { shard: 1, attempts: 1 };
         let retried = evaluate(&qnet, &images, &labels, &config, 11, 2).expect("retried run");
         assert_eq!(clean, retried);
+    }
+
+    #[test]
+    fn bounded_retries_extend_the_failure_envelope() {
+        let (qnet, images, labels) = tiny_problem();
+        let mut config = AccelConfig::new(ProtectionScheme::None).with_fault_rate(0.0);
+        let clean = evaluate(&qnet, &images, &labels, &config, 11, 2).expect("clean run");
+        // Three straight panics exceed the default single retry but not
+        // a 3-retry budget; the eventual success is bit-identical.
+        config.shard_chaos = chaos::ShardChaos::PanicOn { shard: 1, attempts: 3 };
+        assert!(matches!(
+            evaluate(&qnet, &images, &labels, &config, 11, 2),
+            Err(crate::AccelError::WorkerPanic { shard: 1, .. })
+        ));
+        config.shard_retries = 3;
+        let retried = evaluate(&qnet, &images, &labels, &config, 11, 2).expect("3-retry run");
+        assert_eq!(clean, retried);
+    }
+
+    #[test]
+    fn watchdog_timeout_is_retried_to_identical_results() {
+        let (qnet, images, labels) = tiny_problem();
+        // Small and single-threaded so the un-stalled attempt finishes
+        // well inside the deadline even on a loaded debug-build host.
+        let samples = 4;
+        let per = images.len() / labels.len();
+        let images = Tensor::from_vec(
+            vec![samples, 1, 28, 28],
+            images.data()[..samples * per].to_vec(),
+        );
+        let labels = &labels[..samples];
+        let mut config = AccelConfig::new(ProtectionScheme::None).with_fault_rate(0.0);
+        config.device.rtn_state_probability = 0.0;
+        config.device.programming_tolerance = 0.0;
+        config.device.bandwidth = 0.0;
+        let clean = evaluate(&qnet, &images, labels, &config, 11, 1).expect("clean run");
+        // Attempt 0 stalls 6 s mid-shard; the 2.5 s watchdog notices at
+        // the next sample boundary and aborts into a seed-stable retry,
+        // which does not stall and must reproduce the clean results.
+        // The deadline is wall-clock, so keep a wide margin over the
+        // un-stalled shard's nominal run time (tens of ms) and a retry
+        // budget: when the whole test suite loads the host, a clean
+        // attempt over the deadline just retries to identical results.
+        config.shard_chaos = chaos::ShardChaos::StallOn { shard: 0, ms: 6_000, attempts: 1 };
+        config.watchdog_ns = 2_500_000_000;
+        config.shard_retries = 3;
+        let retried = evaluate(&qnet, &images, labels, &config, 11, 1).expect("watchdog run");
+        assert_eq!(clean, retried);
+    }
+
+    #[test]
+    fn lost_shards_become_explicit_gaps() {
+        let (qnet, images, labels) = tiny_problem();
+        let mut config = AccelConfig::new(ProtectionScheme::None).with_fault_rate(0.0);
+        config.device.rtn_state_probability = 0.0;
+        config.device.programming_tolerance = 0.0;
+        config.device.bandwidth = 0.0;
+        config.shard_chaos = chaos::ShardChaos::PanicOn { shard: 1, attempts: u32::MAX };
+        config.max_lost_shards = 1;
+        let degraded = evaluate(&qnet, &images, &labels, &config, 11, 2).expect("degraded run");
+        let n = labels.len();
+        let chunk = n.div_ceil(2);
+        assert_eq!(
+            degraded.gaps,
+            vec![ShardGap { shard: 1, lo: chunk as u64, hi: n as u64 }]
+        );
+        assert_eq!(degraded.lost_samples, n - chunk);
+        assert_eq!(degraded.samples, n);
+        // Rates cover only the evaluated samples: they must match the
+        // surviving shard evaluated on its own.
+        let images_kept = Tensor::from_vec(
+            vec![chunk, 1, 28, 28],
+            images.data()[..chunk * (images.len() / n)].to_vec(),
+        );
+        let mut solo_config = config.clone();
+        solo_config.shard_chaos = chaos::ShardChaos::Off;
+        solo_config.max_lost_shards = 0;
+        let solo =
+            evaluate(&qnet, &images_kept, &labels[..chunk], &solo_config, 11, 1).expect("solo");
+        assert_eq!(degraded.misclassification, solo.misclassification);
+        assert_eq!(degraded.flip_rate, solo.flip_rate);
+        assert_eq!(degraded.stats, solo.stats);
+    }
+
+    #[test]
+    fn losing_every_shard_is_a_typed_error() {
+        let (qnet, images, labels) = tiny_problem();
+        let mut config = AccelConfig::new(ProtectionScheme::None).with_fault_rate(0.0);
+        config.shard_chaos = chaos::ShardChaos::PanicOn { shard: 0, attempts: u32::MAX };
+        config.max_lost_shards = 1;
+        assert_eq!(
+            evaluate(&qnet, &images, &labels, &config, 11, 1),
+            Err(crate::AccelError::AllShardsLost { lost: labels.len() })
+        );
     }
 
     #[test]
     fn persistent_panic_surfaces_shard_and_seed() {
         let (qnet, images, labels) = tiny_problem();
         let mut config = AccelConfig::new(ProtectionScheme::None).with_fault_rate(0.0);
-        config.worker_panic_hook = crate::WorkerPanicHook::Always(1);
+        config.shard_chaos = chaos::ShardChaos::PanicOn { shard: 1, attempts: u32::MAX };
         match evaluate(&qnet, &images, &labels, &config, 11, 2) {
             Err(crate::AccelError::WorkerPanic {
                 shard,

@@ -13,7 +13,7 @@
 
 use accel::campaign::{Campaign, CampaignConfig};
 use accel::sim::evaluate;
-use accel::{AccelConfig, ProtectionScheme, WorkerPanicHook};
+use accel::{AccelConfig, ProtectionScheme, ShardChaos};
 use neural::{QuantizedNetwork, Tensor};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -202,7 +202,7 @@ fn campaign_event_log_matches_schema_and_records() {
     let mut base = AccelConfig::new(ProtectionScheme::data_aware(9));
     // Shard 1 panics once per evaluation (mid-shard, after partial
     // tallies and partial metric updates exist), then succeeds.
-    base.worker_panic_hook = WorkerPanicHook::Once(1);
+    base.shard_chaos = ShardChaos::PanicOn { shard: 1, attempts: 1 };
     let mut config = CampaignConfig::new(base, 3, 11);
     config.threads = 2;
     config.writes_per_epoch = 4e5;

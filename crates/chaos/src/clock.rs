@@ -1,0 +1,37 @@
+//! The watchdog's monotonic clock — one of the workspace's two audited
+//! wall-clock boundaries (the other is `obs::clock`).
+//!
+//! The per-shard watchdog in `accel::sim` needs elapsed real time even
+//! when metrics are disabled (`obs::clock::now_ns` returns 0 then), so
+//! it reads this clock instead. Timing read here flows only into the
+//! *abort* decision for a stalled shard — never into seeded
+//! computation — and an aborted shard is retried from its fixed seed,
+//! so results stay bit-identical whether or not a watchdog fired. The
+//! `repro-lint` `nondeterminism` lint covers this crate so no other
+//! `Instant` can appear.
+
+use std::sync::OnceLock;
+
+// lint: allow(nondeterminism, audited clock boundary: anchors only the watchdog deadline, which triggers seed-stable retries and never feeds seeded computation)
+static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+
+/// Monotonic nanoseconds since the process's first read of this clock.
+///
+/// Never decreases within a thread; the first call returns 0.
+/// Saturates at `u64::MAX` (≈584 years of uptime).
+#[inline]
+pub fn now_ns() -> u64 {
+    // lint: allow(nondeterminism, the watchdog's single Instant::now site; see module docs)
+    let epoch = EPOCH.get_or_init(std::time::Instant::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn monotonic_within_a_thread() {
+        let a = super::now_ns();
+        let b = super::now_ns();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,216 @@
+//! The atomic-rename writer and its fault-injecting twin.
+//!
+//! [`write_atomic`] is the workspace's one sanctioned way to put a
+//! durability-critical file on disk (the `repro-lint` `raw_file_write`
+//! lint rejects direct `File::create`/`fs::write` in the hardened
+//! paths): bytes land in a `.tmp` sibling first and reach the final
+//! path only through `rename`, so readers never observe a half-written
+//! file *from a crash*. The `fault` parameter then simulates the
+//! failures rename cannot rule out — the write erroring outright, a
+//! torn prefix landing at the final path, a bit flipping silently —
+//! which is exactly the space the checkpoint CRC + generation fallback
+//! must cover.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::schedule::{IoErrorKind, IoFault};
+
+fn simulated(kind: IoErrorKind) -> io::Error {
+    let msg = match kind {
+        IoErrorKind::Eio => "chaos: simulated I/O error (EIO)",
+        IoErrorKind::Enospc => "chaos: simulated out-of-space (ENOSPC)",
+    };
+    io::Error::new(io::ErrorKind::Other, msg)
+}
+
+/// The `.tmp` sibling `write_atomic` stages into: same directory (so
+/// the rename stays within one filesystem), name suffixed with `.tmp`.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// How many prefix bytes a torn operation lets through: a strict
+/// prefix (never the full buffer, so the damage is always real), and
+/// never the empty one for non-trivial payloads (an empty file is too
+/// easy to detect — mid-byte truncation is the nasty case).
+fn torn_len(len: usize, roll: u64) -> usize {
+    if len <= 1 {
+        return 0;
+    }
+    1 + (roll % (len as u64 - 1)) as usize
+}
+
+fn flip_bit(bytes: &mut [u8], roll: u64) {
+    if bytes.is_empty() {
+        return;
+    }
+    let bit = (roll % (bytes.len() as u64 * 8)) as usize;
+    bytes[bit / 8] ^= 1 << (bit % 8);
+}
+
+/// Write `bytes` to `path` via temp-file + atomic rename, optionally
+/// applying an injected fault.
+///
+/// Fault semantics (what a reader can later observe):
+///
+/// - `None` — production path: full payload lands atomically.
+/// - `Error(_)` — returns the simulated OS error; the destination is
+///   left exactly as it was (the temp file never renames).
+/// - `Torn { .. }` — a strict prefix of the payload lands **at the
+///   final path** and the error is returned: models the write that
+///   died after partially flushing. The previous good content is gone.
+/// - `BitFlip { .. }` — the full payload lands with one bit flipped
+///   and `Ok` is returned: silent corruption only a checksum catches.
+///
+/// # Example
+///
+/// ```
+/// let dir = std::env::temp_dir().join(format!("chaos-doc-{}", std::process::id()));
+/// std::fs::create_dir_all(&dir).unwrap();
+/// let target = dir.join("state.json");
+/// chaos::fs::write_atomic(&target, b"{\"epoch\":1}", None).unwrap();
+/// assert_eq!(std::fs::read(&target).unwrap(), b"{\"epoch\":1}");
+/// # std::fs::remove_dir_all(&dir).unwrap();
+/// ```
+pub fn write_atomic(path: &Path, bytes: &[u8], fault: Option<IoFault>) -> io::Result<()> {
+    let tmp = tmp_sibling(path);
+    match fault {
+        None => {
+            std::fs::write(&tmp, bytes)?;
+            std::fs::rename(&tmp, path)
+        }
+        Some(IoFault::Error(kind)) => {
+            // Fail before anything reaches the temp file; clean up any
+            // stale sibling so the error leaves no debris behind.
+            let _ = std::fs::remove_file(&tmp);
+            Err(simulated(kind))
+        }
+        Some(IoFault::Torn { roll }) => {
+            let keep = torn_len(bytes.len(), roll);
+            std::fs::write(&tmp, &bytes[..keep])?;
+            std::fs::rename(&tmp, path)?;
+            Err(io::Error::new(
+                io::ErrorKind::Other,
+                format!("chaos: torn write ({keep} of {} bytes landed)", bytes.len()),
+            ))
+        }
+        Some(IoFault::BitFlip { roll }) => {
+            let mut corrupt = bytes.to_vec();
+            flip_bit(&mut corrupt, roll);
+            std::fs::write(&tmp, &corrupt)?;
+            std::fs::rename(&tmp, path)
+        }
+    }
+}
+
+/// Read `path` fully, optionally applying an injected fault: `Error`
+/// fails before reading, `Torn` silently returns a strict prefix (a
+/// truncated file), `BitFlip` silently corrupts one bit.
+pub fn read(path: &Path, fault: Option<IoFault>) -> io::Result<Vec<u8>> {
+    if let Some(IoFault::Error(kind)) = fault {
+        return Err(simulated(kind));
+    }
+    let mut bytes = std::fs::read(path)?;
+    match fault {
+        Some(IoFault::Torn { roll }) => {
+            bytes.truncate(torn_len(bytes.len(), roll));
+        }
+        Some(IoFault::BitFlip { roll }) => flip_bit(&mut bytes, roll),
+        _ => {}
+    }
+    Ok(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("chaos-fs-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn clean_write_is_atomic_and_leaves_no_temp() {
+        let dir = scratch("clean");
+        let target = dir.join("out.json.a");
+        write_atomic(&target, b"payload-one", None).expect("write");
+        assert_eq!(std::fs::read(&target).expect("read"), b"payload-one");
+        write_atomic(&target, b"payload-two", None).expect("overwrite");
+        assert_eq!(std::fs::read(&target).expect("read"), b"payload-two");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("dir")
+            .map(|e| e.expect("entry").file_name())
+            .collect();
+        assert_eq!(leftovers, vec![std::ffi::OsString::from("out.json.a")]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn error_fault_leaves_previous_content_untouched() {
+        let dir = scratch("error");
+        let target = dir.join("state.json");
+        write_atomic(&target, b"good generation", None).expect("seed write");
+        let err = write_atomic(
+            &target,
+            b"next generation",
+            Some(IoFault::Error(IoErrorKind::Enospc)),
+        )
+        .expect_err("fault must surface");
+        assert!(err.to_string().contains("ENOSPC"), "{err}");
+        assert_eq!(std::fs::read(&target).expect("read"), b"good generation");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_lands_a_strict_prefix_and_errors() {
+        let dir = scratch("torn");
+        let target = dir.join("state.json");
+        let payload = b"{\"generation\":7,\"crc32\":12345}";
+        for roll in [0u64, 3, 1_000_003] {
+            let err = write_atomic(&target, payload, Some(IoFault::Torn { roll }))
+                .expect_err("torn write must error");
+            assert!(err.to_string().contains("torn"), "{err}");
+            let on_disk = std::fs::read(&target).expect("read");
+            assert!(!on_disk.is_empty() && on_disk.len() < payload.len());
+            assert_eq!(&payload[..on_disk.len()], &on_disk[..]);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bitflip_succeeds_with_exactly_one_bit_changed() {
+        let dir = scratch("flip");
+        let target = dir.join("state.json");
+        let payload = b"all bytes accounted for";
+        write_atomic(&target, payload, Some(IoFault::BitFlip { roll: 41 })).expect("silent");
+        let on_disk = std::fs::read(&target).expect("read");
+        assert_eq!(on_disk.len(), payload.len());
+        let flipped: u32 = payload
+            .iter()
+            .zip(&on_disk)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1, "expected exactly one flipped bit");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faulted_reads_truncate_or_corrupt() {
+        let dir = scratch("read");
+        let target = dir.join("state.json");
+        std::fs::write(&target, b"0123456789").expect("seed");
+        let torn = read(&target, Some(IoFault::Torn { roll: 4 })).expect("torn read");
+        assert!(!torn.is_empty() && torn.len() < 10);
+        let flipped = read(&target, Some(IoFault::BitFlip { roll: 9 })).expect("flip read");
+        assert_ne!(flipped, b"0123456789");
+        read(&target, Some(IoFault::Error(IoErrorKind::Eio))).expect_err("eio");
+        assert_eq!(read(&target, None).expect("clean"), b"0123456789");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -69,11 +69,29 @@ usage:
              [--threads T] [--cell-bits B] [--writes-per-epoch W]
              [--initial-writes W] [--checkpoint-every K] [--remap]
              [--out PATH] [--resume] [--metrics PATH] [--events PATH]
+             [--chaos-seed S] [--max-lost-shards N] [--watchdog-ms MS]
+             [--shard-retries N] [--retry-backoff-ms MS]
 
 campaign observability (see DESIGN.md §8):
   --metrics PATH  write a final metric snapshot (Prometheus text, or
                   JSON when PATH ends in .json)
   --events PATH   stream per-epoch/per-shard JSONL events to PATH
+                  (with --resume, appends after truncating any line a
+                  crash left incomplete)
+
+campaign durability (see DESIGN.md, failure model & recovery):
+  --chaos-seed S       inject the standard deterministic fault mix at
+                       every I/O and worker seam, seeded by S; the
+                       final results must still match a clean run
+  --max-lost-shards N  graceful degradation: drop at most N failed
+                       worker shards campaign-wide, recording their
+                       sample ranges as explicit gaps (default 0)
+  --watchdog-ms MS     deadline on each shard's evaluation loop; a
+                       shard over it is killed at the next sample
+                       boundary and retried seed-stable (default: no
+                       deadline)
+  --shard-retries N    seed-stable retries per failed shard (default 1)
+  --retry-backoff-ms MS  backoff before retry k, doubling per attempt
 ";
 
 fn parse<T: std::str::FromStr>(args: &[String], i: usize, name: &str) -> Result<T, String> {
@@ -241,6 +259,11 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     let mut out: Option<String> = None;
     let mut metrics: Option<String> = None;
     let mut events: Option<String> = None;
+    let mut chaos_seed: Option<u64> = None;
+    let mut max_lost_shards = 0usize;
+    let mut watchdog_ms = 0u64;
+    let mut shard_retries = 1u32;
+    let mut retry_backoff_ms = 0u64;
 
     let mut i = 2;
     while i < args.len() {
@@ -267,6 +290,19 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
             "--out" => out = Some(value("--out")?.clone()),
             "--metrics" => metrics = Some(value("--metrics")?.clone()),
             "--events" => events = Some(value("--events")?.clone()),
+            "--chaos-seed" => {
+                chaos_seed = Some(parsed(value("--chaos-seed")?, "chaos-seed")?);
+            }
+            "--max-lost-shards" => {
+                max_lost_shards = parsed(value("--max-lost-shards")?, "max-lost-shards")?;
+            }
+            "--watchdog-ms" => watchdog_ms = parsed(value("--watchdog-ms")?, "watchdog-ms")?,
+            "--shard-retries" => {
+                shard_retries = parsed(value("--shard-retries")?, "shard-retries")?;
+            }
+            "--retry-backoff-ms" => {
+                retry_backoff_ms = parsed(value("--retry-backoff-ms")?, "retry-backoff-ms")?;
+            }
             "--remap" => {
                 remap = true;
                 i += 1;
@@ -287,9 +323,30 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     if !obs::enabled() && (metrics.is_some() || events.is_some()) {
         eprintln!("[campaign] note: this binary was built without metrics; --metrics/--events will record nothing");
     }
+    let chaos = chaos_seed.map(chaos::ChaosSchedule::standard);
     if let Some(path) = &events {
-        obs::events::log_to_file(std::path::Path::new(path))
-            .map_err(|e| format!("cannot open event log {path}: {e}"))?;
+        let p = std::path::Path::new(path);
+        // On resume, append to the interrupted run's log (truncating a
+        // line a crash left incomplete) instead of clobbering it.
+        let opened = if resume {
+            obs::events::log_to_file_resume(p)
+        } else {
+            obs::events::log_to_file(p)
+        };
+        opened.map_err(|e| format!("cannot open event log {path}: {e}"))?;
+        if let Some(schedule) = chaos {
+            // Chaos covers the event-log seam too: inject line-write
+            // faults from the same deterministic schedule.
+            obs::events::set_write_fault_hook(Some(Box::new(move |index| {
+                match schedule.io_fault(chaos::Seam::EventWrite, index) {
+                    Some(chaos::IoFault::Error(_)) => Some(obs::events::WriteFault::Error),
+                    Some(chaos::IoFault::Torn { roll }) => {
+                        Some(obs::events::WriteFault::Torn { roll })
+                    }
+                    Some(chaos::IoFault::BitFlip { .. }) | None => None,
+                }
+            })));
+        }
     }
 
     // A small trained workload keeps the CLI demo fast; the bench
@@ -307,6 +364,10 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
 
     let mut base = AccelConfig::new(scheme).with_cell_bits(cell_bits);
     base.remap = remap;
+    base.watchdog_ns = watchdog_ms.saturating_mul(1_000_000);
+    base.shard_retries = shard_retries;
+    base.retry_backoff_ms = retry_backoff_ms;
+    base.max_lost_shards = max_lost_shards;
     let mut config = CampaignConfig::new(base, epochs, seed);
     config.threads = threads;
     config.writes_per_epoch = writes_per_epoch;
@@ -316,11 +377,15 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     let out_path =
         PathBuf::from(out.unwrap_or_else(|| format!("results/campaign-{scheme_label}.json")));
     let mut campaign = if resume {
-        Campaign::resume(config, &out_path).map_err(|e| e.to_string())?
+        Campaign::resume_with_chaos(config, &out_path, chaos).map_err(|e| e.to_string())?
     } else {
-        Campaign::new(config)
+        let mut fresh = Campaign::new(config)
             .map_err(|e| e.to_string())?
-            .with_checkpoint(out_path.clone())
+            .with_checkpoint(out_path.clone());
+        if let Some(schedule) = chaos {
+            fresh = fresh.with_chaos(schedule);
+        }
+        fresh
     };
     if campaign.completed_epochs() > 0 {
         eprintln!(
@@ -337,7 +402,8 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         write_metrics_snapshot(metrics.as_deref());
         obs::events::stop_logging();
         eprintln!(
-            "[campaign] failed after {} completed epochs; partial results in {}",
+            "[campaign] failed after {} completed epochs; partial results in the \
+             checkpoint slots next to {} (rerun with --resume)",
             campaign.completed_epochs(),
             out_path.display()
         );
@@ -358,6 +424,14 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
             r.flip_rate * 100.0,
             r.corrected,
             r.uncorrectable
+        );
+    }
+    let lost_samples: u64 = campaign.state().completed.iter().map(|r| r.lost_samples).sum();
+    if lost_samples > 0 {
+        let gap_count: usize = campaign.state().completed.iter().map(|r| r.gaps.len()).sum();
+        println!(
+            "graceful degradation: {lost_samples} samples dropped across {gap_count} \
+             lost shard(s); per-epoch gaps are recorded in the checkpoint"
         );
     }
     println!("checkpoint: {}", out_path.display());

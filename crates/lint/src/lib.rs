@@ -12,8 +12,9 @@
 //! |------|--------|-------|
 //! | `panic_in_harness` | `.unwrap()` / `.expect(` / `panic!` / `unreachable!` | `accel`, `cli`, `neural::quant`, `xbar::array` |
 //! | `lossy_cast` | narrowing / precision-losing `as` casts | `wideint`, `core` |
-//! | `nondeterminism` | `HashMap`/`HashSet`, `Instant`/`SystemTime` | `core`, `xbar`, `accel::{sim,campaign}` |
+//! | `nondeterminism` | `HashMap`/`HashSet`, `Instant`/`SystemTime` | `core`, `xbar`, `obs`, `chaos`, `accel::{sim,campaign}` |
 //! | `float_eq` | `==`/`!=` against float literals | whole workspace |
+//! | `raw_file_write` | `File::create` / `fs::write` instead of the atomic-rename writer | `accel::campaign`, `obs::events` |
 //!
 //! Test code (`#[cfg(test)]` regions, `tests/` directories) is exempt.
 //! Pre-existing violations live in `lint-baseline.toml` (see

@@ -27,6 +27,10 @@ pub enum LintId {
     Nondeterminism,
     /// L4: float `==` / `!=` comparisons outside tests.
     FloatEq,
+    /// L5: direct `File::create` / `fs::write` in the crash-safe
+    /// persistence paths, which must use the atomic temp-file +
+    /// rename writer so a crash never leaves a half-written artifact.
+    RawFileWrite,
     /// Meta: a `lint: allow(...)` comment without a reason.
     BareAllow,
 }
@@ -40,17 +44,19 @@ impl LintId {
             LintId::LossyCast => "lossy_cast",
             LintId::Nondeterminism => "nondeterminism",
             LintId::FloatEq => "float_eq",
+            LintId::RawFileWrite => "raw_file_write",
             LintId::BareAllow => "bare_allow",
         }
     }
 
     /// All lints, in report order.
-    pub fn all() -> [LintId; 5] {
+    pub fn all() -> [LintId; 6] {
         [
             LintId::PanicInHarness,
             LintId::LossyCast,
             LintId::Nondeterminism,
             LintId::FloatEq,
+            LintId::RawFileWrite,
             LintId::BareAllow,
         ]
     }
@@ -106,8 +112,19 @@ fn in_determinism_scope(path: &str) -> bool {
     path.starts_with("crates/core/src/")
         || path.starts_with("crates/xbar/src/")
         || path.starts_with("crates/obs/src/")
+        || path.starts_with("crates/chaos/src/")
         || path == "crates/accel/src/sim.rs"
         || path == "crates/accel/src/campaign.rs"
+}
+
+/// Files guarded by L5 (`raw_file_write`): the persistence seams whose
+/// crash-safety contract (checkpoint A/B slots, resumable event log)
+/// depends on every durable artifact landing via temp-file +
+/// atomic-rename. A direct `File::create` or `fs::write` here can be
+/// torn by a crash into a half-written file that a resume then
+/// misparses.
+fn in_atomic_write_scope(path: &str) -> bool {
+    path == "crates/accel/src/campaign.rs" || path == "crates/obs/src/events.rs"
 }
 
 /// Cast targets L2 considers potentially lossy. Casts to `u128`/`i128`
@@ -132,6 +149,9 @@ pub fn check_file(path: &str, lexed: &Lexed) -> Vec<Violation> {
     }
     if in_determinism_scope(path) {
         lint_nondeterminism(path, tokens, &mut out);
+    }
+    if in_atomic_write_scope(path) {
+        lint_raw_file_writes(path, tokens, &mut out);
     }
     lint_float_eq(path, tokens, &mut out);
     lint_bare_allows(path, lexed, &mut out);
@@ -222,6 +242,45 @@ fn lint_nondeterminism(path: &str, tokens: &[Token], out: &mut Vec<Violation>) {
             line: t.line,
             message: format!("{} in a deterministic simulation path: {reason}", t.text),
         });
+    }
+}
+
+/// L5: direct truncating writes in the crash-safe persistence paths.
+///
+/// Flags the two token shapes `File::create` and `fs::write` in
+/// non-test code. Both clobber their target in place; the guarded
+/// files must route durable artifacts through the atomic temp-file +
+/// rename writer (`chaos::fs::write_atomic`) instead. Append-mode
+/// sites where rename semantics cannot apply (a live JSONL stream)
+/// carry a baseline entry or a reasoned allow.
+fn lint_raw_file_writes(path: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.in_test || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let sep_is_path = tokens
+            .get(i + 1)
+            .map_or(false, |n| n.kind == TokenKind::Punct && n.text == "::");
+        if !sep_is_path {
+            continue;
+        }
+        let method = tokens.get(i + 2).map(|n| n.text.as_str());
+        let construct = match (t.text.as_str(), method) {
+            ("File", Some("create")) => Some("File::create"),
+            ("fs", Some("write")) => Some("fs::write"),
+            _ => None,
+        };
+        if let Some(construct) = construct {
+            out.push(Violation {
+                lint: LintId::RawFileWrite,
+                file: path.to_string(),
+                line: t.line,
+                message: format!(
+                    "{construct} truncates in place; route durable artifacts through the \
+                     atomic temp-file + rename writer (chaos::fs::write_atomic)"
+                ),
+            });
+        }
     }
 }
 
@@ -426,6 +485,53 @@ mod tests {
         assert!(hits.iter().all(|v| v.lint == LintId::FloatEq));
         // Integer comparisons never fire.
         assert!(run("crates/bench/src/lib.rs", "fn g(n: u32) -> bool { n == 0 }").is_empty());
+    }
+
+    #[test]
+    fn raw_write_lint_flags_truncating_writes_in_persistence_files() {
+        let src = "fn f() {\n\
+                   let a = File::create(p);\n\
+                   std::fs::write(p, b);\n\
+                   let _ = (a, std::fs::read(p));\n\
+                   }";
+        for path in ["crates/accel/src/campaign.rs", "crates/obs/src/events.rs"] {
+            let hits: Vec<_> = run(path, src)
+                .into_iter()
+                .filter(|v| v.lint == LintId::RawFileWrite)
+                .collect();
+            let lines: Vec<u32> = hits.iter().map(|v| v.line).collect();
+            assert_eq!(lines, [2, 3], "in {path}");
+        }
+        // Out of scope (even inside the same crates) and test code:
+        // silent.
+        assert!(run("crates/accel/src/sim.rs", src)
+            .iter()
+            .all(|v| v.lint != LintId::RawFileWrite));
+        let in_test = "#[cfg(test)]\nmod t { fn g() { std::fs::write(p, b); } }";
+        assert!(run("crates/accel/src/campaign.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn raw_write_lint_ignores_lookalikes_and_honours_allow() {
+        // The atomic writer itself, reads, and unrelated `write` idents
+        // never fire.
+        let src = "fn f() {\n\
+                   chaos::fs::write_atomic(p, b, None);\n\
+                   let _ = std::fs::read_to_string(p);\n\
+                   writeln!(out, \"x\");\n\
+                   }";
+        assert!(run("crates/accel/src/campaign.rs", src).is_empty());
+        let allowed = "// lint: allow(raw_file_write, append-only JSONL stream; rename \
+                       semantics cannot apply)\nfn f() { let f = File::create(p); let _ = f; }";
+        assert!(run("crates/obs/src/events.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn nondeterminism_scope_covers_chaos_crate() {
+        let src = "use std::collections::HashMap;\nfn f() {}";
+        let hits = run("crates/chaos/src/schedule.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].lint, LintId::Nondeterminism);
     }
 
     #[test]

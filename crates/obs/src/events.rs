@@ -12,7 +12,7 @@
 //! Each line is a flat JSON object:
 //!
 //! ```json
-//! {"v":1,"ts_ns":123456,"type":"shard_retry","shard":2,"seed":13,"attempt":1}
+//! {"v":2,"ts_ns":123456,"type":"shard_retry","shard":2,"seed":"13","attempt":1,"reason":"panic"}
 //! ```
 //!
 //! - `v` — schema version, [`crate::schema::VERSION`];
@@ -36,6 +36,11 @@
 //! disabled build ([`crate::enabled`]` == false`) all of this
 //! compiles to no-ops and no file is ever created.
 
+/// The largest integer an IEEE-double-based JSON parser round-trips
+/// exactly (2^53 − 1). [`Event::u64`] enforces this bound for every
+/// producer: debug builds assert, release builds saturate to it.
+pub const MAX_JSON_INT: u64 = (1u64 << 53) - 1;
+
 #[cfg(feature = "enabled")]
 pub use imp::*;
 #[cfg(not(feature = "enabled"))]
@@ -46,17 +51,52 @@ mod imp {
     use crate::clock::now_ns;
     use std::fmt::Write as _;
     use std::fs::File;
-    use std::io::{self, Write as _};
+    use std::io::{self, Read as _, Seek as _, Write as _};
     use std::path::Path;
+    use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::{Mutex, MutexGuard};
+
+    /// A simulated failure of one event-line write (chaos testing; see
+    /// [`set_write_fault_hook`]).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum WriteFault {
+        /// The line write fails outright; the line is lost but framing
+        /// stays intact.
+        Error,
+        /// Only a prefix of the line reaches the file (torn mid-line);
+        /// `roll` selects the cut. The sink restores framing with a
+        /// newline, leaving one unparseable line behind.
+        Torn {
+            /// Entropy selecting the truncation point.
+            roll: u64,
+        },
+    }
+
+    /// Decides the fault (if any) for the `n`-th line written since the
+    /// hook was installed.
+    type FaultHook = Box<dyn FnMut(u64) -> Option<WriteFault> + Send>;
 
     enum SinkState {
         Off,
-        File(File),
+        File {
+            file: File,
+            hook: Option<FaultHook>,
+            /// Lines attempted since this sink was installed (the
+            /// hook's operation index).
+            index: u64,
+            /// A previous write left the file without a trailing
+            /// newline; emit a bare `\n` before the next line to
+            /// restore framing.
+            pending_newline: bool,
+        },
         Memory(Vec<String>),
     }
 
     static SINK: Mutex<SinkState> = Mutex::new(SinkState::Off);
+
+    /// Event lines lost or mangled by real or injected write failures
+    /// since process start (see [`write_failures`]).
+    static WRITE_FAILURES: AtomicU64 = AtomicU64::new(0);
 
     fn lock() -> MutexGuard<'static, SinkState> {
         SINK.lock().unwrap_or_else(|poison| poison.into_inner())
@@ -86,10 +126,23 @@ mod imp {
             }
         }
 
-        /// Appends an unsigned-integer field. Keep values below 2^53
-        /// so double-based JSON parsers round-trip them exactly.
+        /// Appends an unsigned-integer field.
+        ///
+        /// Values are bounded at [`MAX_JSON_INT`](super::MAX_JSON_INT)
+        /// (2^53 − 1) so double-based JSON parsers round-trip them
+        /// exactly — the builder enforces this, so callers need no
+        /// checks of their own: debug builds panic on a violation,
+        /// release builds saturate to the bound. Fields that can
+        /// legitimately span the full u64 range (64-bit seeds) go
+        /// through [`Event::str`] as decimal strings instead.
         #[must_use]
         pub fn u64(mut self, key: &'static str, value: u64) -> Event {
+            debug_assert!(
+                value <= super::MAX_JSON_INT,
+                "event field {key}={value} exceeds 2^53-1 and would not \
+                 round-trip through an f64-based JSON parser"
+            );
+            let value = value.min(super::MAX_JSON_INT);
             self.fields.push((key, FieldValue::U64(value)));
             self
         }
@@ -167,17 +220,58 @@ mod imp {
     }
 
     /// Writes one event line to the active sink; a cheap early return
-    /// when no sink is active. Write errors are swallowed: the event
-    /// log is diagnostic output and must never fail the run it
-    /// observes.
+    /// when no sink is active. Write errors — real or injected through
+    /// [`set_write_fault_hook`] — are swallowed after being counted
+    /// ([`write_failures`]): the event log is diagnostic output and
+    /// must never fail the run it observes. A torn line is repaired by
+    /// prefixing the *next* line with a bare newline, so one fault
+    /// mangles at most one line and framing recovers by itself.
     pub fn emit(event: Event) {
         let mut sink = lock();
         match &mut *sink {
             SinkState::Off => {}
-            SinkState::File(file) => {
+            SinkState::File {
+                file,
+                hook,
+                index,
+                pending_newline,
+            } => {
+                let fault = hook.as_mut().and_then(|h| h(*index));
+                *index += 1;
+                if *pending_newline {
+                    // Restore framing after an earlier torn/failed
+                    // write before appending this line.
+                    if file.write_all(b"\n").is_err() {
+                        WRITE_FAILURES.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    *pending_newline = false;
+                }
                 let mut line = event.render();
                 line.push('\n');
-                let _ = file.write_all(line.as_bytes());
+                let bytes = line.as_bytes();
+                match fault {
+                    Some(WriteFault::Error) => {
+                        // The whole line is lost; framing is intact.
+                        WRITE_FAILURES.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Some(WriteFault::Torn { roll }) => {
+                        // A strict prefix (without the newline) lands;
+                        // the next emit repairs framing.
+                        let keep = 1 + (roll as usize) % (bytes.len() - 1);
+                        let _ = file.write_all(&bytes[..keep]);
+                        WRITE_FAILURES.fetch_add(1, Ordering::Relaxed);
+                        *pending_newline = true;
+                    }
+                    None => {
+                        if file.write_all(bytes).is_err() {
+                            // A real failure may have written any
+                            // prefix; assume framing is broken.
+                            WRITE_FAILURES.fetch_add(1, Ordering::Relaxed);
+                            *pending_newline = true;
+                        }
+                    }
+                }
             }
             SinkState::Memory(lines) => lines.push(event.render()),
         }
@@ -187,8 +281,69 @@ mod imp {
     /// Replaces any previously active sink.
     pub fn log_to_file(path: &Path) -> io::Result<()> {
         let file = File::create(path)?;
-        *lock() = SinkState::File(file);
+        *lock() = SinkState::File {
+            file,
+            hook: None,
+            index: 0,
+            pending_newline: false,
+        };
         Ok(())
+    }
+
+    /// Starts logging events to `path`, *appending* to an existing log
+    /// instead of truncating it — the resume twin of [`log_to_file`].
+    ///
+    /// A crash (or an injected torn write) can leave the file's last
+    /// line incomplete; that partial line is truncated away first, so
+    /// the reopened log is valid JSONL from byte 0 and every complete
+    /// line of the interrupted run is preserved. Replaces any
+    /// previously active sink.
+    pub fn log_to_file_resume(path: &Path) -> io::Result<()> {
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        // Keep everything up to (and including) the last newline; a
+        // trailing partial line is dropped.
+        let keep = match bytes.iter().rposition(|&b| b == b'\n') {
+            Some(pos) => (pos + 1) as u64,
+            None => 0,
+        };
+        file.set_len(keep)?;
+        file.seek(io::SeekFrom::End(0))?;
+        *lock() = SinkState::File {
+            file,
+            hook: None,
+            index: 0,
+            pending_newline: false,
+        };
+        Ok(())
+    }
+
+    /// Installs (or clears, with `None`) the write-fault hook on the
+    /// active file sink. The hook is called with the index of each
+    /// line about to be written (0-based, counted since the sink was
+    /// installed) and returns the fault to inject, if any. No-op on a
+    /// non-file sink. Chaos-testing support; the `repro-chaos` crate
+    /// and DESIGN.md's failure-model section describe the seams.
+    pub fn set_write_fault_hook(hook: Option<Box<dyn FnMut(u64) -> Option<WriteFault> + Send>>) {
+        if let SinkState::File {
+            hook: slot, index, ..
+        } = &mut *lock()
+        {
+            *slot = hook;
+            *index = 0;
+        }
+    }
+
+    /// Event lines lost or mangled by write failures (real or
+    /// injected) since process start. Monotonic; never reset.
+    pub fn write_failures() -> u64 {
+        WRITE_FAILURES.load(Ordering::Relaxed)
     }
 
     /// Starts logging events to an in-memory buffer (test support).
@@ -217,6 +372,19 @@ mod imp {
 mod noop {
     use std::io;
     use std::path::Path;
+
+    /// A simulated write failure (disabled build: carried by the no-op
+    /// hook signature only).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum WriteFault {
+        /// The line write fails outright.
+        Error,
+        /// Only a prefix of the line reaches the file.
+        Torn {
+            /// Entropy selecting the truncation point.
+            roll: u64,
+        },
+    }
 
     /// One structured event (disabled build: zero-sized, the builder
     /// records nothing).
@@ -262,6 +430,26 @@ mod noop {
     #[inline(always)]
     pub fn log_to_file(_path: &Path) -> io::Result<()> {
         Ok(())
+    }
+
+    /// Resumes logging to a file (disabled build: returns `Ok` without
+    /// creating or touching any file).
+    #[inline(always)]
+    pub fn log_to_file_resume(_path: &Path) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Installs the write-fault hook (no-op: there is no sink).
+    #[inline(always)]
+    pub fn set_write_fault_hook(
+        _hook: Option<Box<dyn FnMut(u64) -> Option<WriteFault> + Send>>,
+    ) {
+    }
+
+    /// Write-failure count (disabled build: always 0).
+    #[inline(always)]
+    pub fn write_failures() -> u64 {
+        0
     }
 
     /// Starts logging to memory (no-op).

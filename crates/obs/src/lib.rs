@@ -79,7 +79,7 @@ pub use clock::now_ns;
 pub use events::Event;
 pub use metrics::{
     counter_value, discard_thread, enabled, flush_thread, reset, snapshot, span_total_ns, Counter,
-    Histogram, SpanGuard, SpanSeries,
+    Histogram, SpanGuard, SpanSeries, DROPPED_REGISTRATIONS_COUNTER, MAX_COUNTERS, MAX_SERIES,
 };
 pub use types::{CounterStat, SeriesKind, SeriesStat, Snapshot};
 

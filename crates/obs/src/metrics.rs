@@ -28,10 +28,13 @@
 //!
 //! The shard arrays are fixed-size ([`MAX_COUNTERS`] / [`MAX_SERIES`]).
 //! If registration would overflow them the handle is marked dead and
-//! silently drops its updates — instrumentation must never turn into a
-//! crash or an allocation in someone's hot loop. The workspace uses
-//! well under half of each budget; `snapshot()` exposes everything that
-//! did register, so a dropped metric is visible by its absence.
+//! drops its updates — instrumentation must never turn into a crash or
+//! an allocation in someone's hot loop. A dropped registration is
+//! *loud*, though: the first overflow prints a one-time `stderr`
+//! warning, and every overflow increments the synthetic
+//! `obs_dropped_registrations` counter, which `snapshot()` and
+//! [`counter_value`] report alongside the real counters. The workspace
+//! uses well under half of each budget.
 
 #[cfg(feature = "enabled")]
 pub use imp::*;
@@ -43,7 +46,7 @@ mod imp {
     use crate::clock::now_ns;
     use crate::types::{CounterStat, SeriesKind, SeriesStat, Snapshot};
     use std::cell::Cell;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
     use std::sync::{Mutex, MutexGuard};
 
     /// Maximum distinct counter names in one process.
@@ -103,6 +106,31 @@ mod imp {
         // counters (plain adds), so recover from poison rather than
         // propagate it into the instrumented program.
         REGISTRY.lock().unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Name of the synthetic counter counting registrations refused
+    /// because [`MAX_COUNTERS`] / [`MAX_SERIES`] was already reached.
+    pub const DROPPED_REGISTRATIONS_COUNTER: &str = "obs_dropped_registrations";
+
+    /// Registrations refused for lack of capacity, process-lifetime
+    /// (a `reset()` does not clear it — the dead handles stay dead).
+    static DROPPED_REGISTRATIONS: AtomicU64 = AtomicU64::new(0);
+    static DROPPED_WARNED: AtomicBool = AtomicBool::new(false);
+
+    #[cold]
+    fn note_dropped_registration(what: &str, name: &str, cap: usize) {
+        DROPPED_REGISTRATIONS.fetch_add(1, Ordering::Relaxed);
+        if !DROPPED_WARNED.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "obs: {what} registry full ({cap} names); dropping \
+                 {what} {name:?} and any further overflow (counted in \
+                 {DROPPED_REGISTRATIONS_COUNTER}; this warning prints once)"
+            );
+        }
+    }
+
+    fn dropped_registrations() -> u64 {
+        DROPPED_REGISTRATIONS.load(Ordering::Relaxed)
     }
 
     // ---- thread-local shards ---------------------------------------------
@@ -220,6 +248,7 @@ mod imp {
                 }
                 None => {
                     self.slot.store(DEAD, Ordering::Relaxed);
+                    note_dropped_registration("counter", self.name, MAX_COUNTERS);
                     return DEAD;
                 }
             };
@@ -287,6 +316,7 @@ mod imp {
             }
             None => {
                 slot.store(DEAD, Ordering::Relaxed);
+                note_dropped_registration("series", name, MAX_SERIES);
                 return DEAD;
             }
         };
@@ -398,7 +428,9 @@ mod imp {
 
     /// Flushes the calling thread, then returns a copy of the registry
     /// sorted by name. Other threads' unflushed shards are *not*
-    /// included — flush at join points before snapshotting.
+    /// included — flush at join points before snapshotting. If any
+    /// registration was ever refused for capacity, the synthetic
+    /// [`DROPPED_REGISTRATIONS_COUNTER`] appears among the counters.
     pub fn snapshot() -> Snapshot {
         flush_thread();
         let reg = lock();
@@ -411,6 +443,13 @@ mod imp {
                 value: *value,
             })
             .collect();
+        let dropped = dropped_registrations();
+        if dropped > 0 {
+            counters.push(CounterStat {
+                name: DROPPED_REGISTRATIONS_COUNTER,
+                value: dropped,
+            });
+        }
         counters.sort_by_key(|c| c.name);
         let mut series: Vec<SeriesStat> = reg
             .series_names
@@ -432,8 +471,12 @@ mod imp {
     }
 
     /// Flushes the calling thread, then returns the merged total for
-    /// one counter (0 if it never registered).
+    /// one counter (0 if it never registered). The synthetic
+    /// [`DROPPED_REGISTRATIONS_COUNTER`] is readable here too.
     pub fn counter_value(name: &str) -> u64 {
+        if name == DROPPED_REGISTRATIONS_COUNTER {
+            return dropped_registrations();
+        }
         flush_thread();
         let reg = lock();
         reg.counter_names
@@ -479,6 +522,17 @@ mod imp {
 #[cfg(not(feature = "enabled"))]
 mod noop {
     use crate::types::Snapshot;
+
+    /// Name of the synthetic dropped-registrations counter (disabled
+    /// build: nothing registers, so it never appears anywhere).
+    pub const DROPPED_REGISTRATIONS_COUNTER: &str = "obs_dropped_registrations";
+
+    /// Maximum distinct counter names (disabled build: nothing
+    /// registers, the cap is nominal).
+    pub const MAX_COUNTERS: usize = 64;
+    /// Maximum distinct span/histogram names (disabled build: nothing
+    /// registers, the cap is nominal).
+    pub const MAX_SERIES: usize = 32;
 
     /// A named monotonically increasing counter (disabled build:
     /// zero-sized, every method an empty inline stub).

@@ -27,7 +27,13 @@
 //! its type on every line.
 
 /// Current schema version, written as `"v"` on every line.
-pub const VERSION: u64 = 1;
+///
+/// v2: `shard_retry.seed` re-typed u64 → string. Derived shard seeds
+/// span the full u64 range (epoch seeds are wrapping golden-ratio
+/// offsets from the campaign seed), which exceeds the 2^53 exact-
+/// integer window JSON numbers guarantee; a decimal string carries
+/// the exact value at any width.
+pub const VERSION: u64 = 2;
 
 /// JSON type of one event field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,8 +93,26 @@ const fn field(name: &'static str, kind: FieldKind) -> FieldSpec {
 ///   `accel::sim::evaluate`: sample range `[lo, hi)` and the shard's
 ///   wall duration.
 /// - `shard_retry` — one line per shard retry on the `catch_unwind`
-///   path: the shard that panicked, the seed it reuses, and the
-///   attempt number being started (1 = first retry).
+///   path: the shard that failed, the seed it reuses (a decimal
+///   *string*: derived shard seeds span the full u64 range, wider
+///   than JSON's exact-integer window), the attempt number being
+///   started (1 = first retry), and the failure `reason` (`"panic"`
+///   or `"watchdog"`).
+/// - `shard_lost` — one line per shard dropped under graceful
+///   degradation (`max_lost_shards`): the unevaluated sample range
+///   `[lo, hi)`, how many attempts were burned, and the final failure
+///   reason. The campaign records the same range as a gap.
+/// - `checkpoint_write_failed` — a periodic checkpoint write failed
+///   every retry and the campaign continued without it (the previous
+///   generation remains the recovery point).
+/// - `checkpoint_fallback` — resume found a corrupt/torn checkpoint
+///   artifact (CRC or parse failure) and fell back to the newest
+///   generation that verified; `used_generation` is the epoch count
+///   recovery actually proceeds from.
+/// - `chaos_fault` — a `chaos::ChaosSchedule` injected a fault at an
+///   I/O seam: where (`seam`), which operation (`index`), and what
+///   (`fault`: `eio`/`enospc`/`torn`/`bitflip`). Emitted by the seam
+///   owner so chaos runs are self-documenting.
 pub const EVENTS: &[EventSpec] = &[
     EventSpec {
         event_type: "campaign_epoch",
@@ -111,6 +135,7 @@ pub const EVENTS: &[EventSpec] = &[
             field("eval_ns", U64),
             field("program_ns", U64),
             field("checkpoint_ns", U64),
+            field("lost_samples", U64),
         ],
     },
     EventSpec {
@@ -126,8 +151,43 @@ pub const EVENTS: &[EventSpec] = &[
         event_type: "shard_retry",
         fields: &[
             field("shard", U64),
-            field("seed", U64),
+            field("seed", STR),
             field("attempt", U64),
+            field("reason", STR),
+        ],
+    },
+    EventSpec {
+        event_type: "shard_lost",
+        fields: &[
+            field("shard", U64),
+            field("lo", U64),
+            field("hi", U64),
+            field("attempts", U64),
+            field("reason", STR),
+        ],
+    },
+    EventSpec {
+        event_type: "checkpoint_write_failed",
+        fields: &[
+            field("path", STR),
+            field("attempts", U64),
+            field("error", STR),
+        ],
+    },
+    EventSpec {
+        event_type: "checkpoint_fallback",
+        fields: &[
+            field("path", STR),
+            field("reason", STR),
+            field("used_generation", U64),
+        ],
+    },
+    EventSpec {
+        event_type: "chaos_fault",
+        fields: &[
+            field("seam", STR),
+            field("index", U64),
+            field("fault", STR),
         ],
     },
 ];

@@ -1,0 +1,71 @@
+//! Capacity-overflow diagnostics: registering more counter / series
+//! names than the fixed shard arrays hold must not crash or allocate
+//! in callers' hot loops — but it must be *visible*. Every refused
+//! registration increments the synthetic `obs_dropped_registrations`
+//! counter, which `snapshot()` and `counter_value` report alongside
+//! the real metrics (plus a one-time stderr warning).
+//!
+//! This lives in its own test binary on purpose: it deliberately
+//! exhausts the process-global registries, which would starve every
+//! other obs-using test sharing the process of registration slots.
+
+#![cfg(feature = "enabled")]
+
+#[test]
+fn overflowing_the_registries_is_counted_not_silent() {
+    assert_eq!(obs::counter_value(obs::DROPPED_REGISTRATIONS_COUNTER), 0);
+
+    // Fill the counter registry past its cap. Handle names must be
+    // 'static, so leak them (bounded count, test process).
+    let extra_counters = 3usize;
+    let mut counters = Vec::new();
+    for i in 0..obs::MAX_COUNTERS + extra_counters {
+        let name: &'static str = Box::leak(format!("cap_counter_{i:03}").into_boxed_str());
+        let counter: &'static obs::Counter = Box::leak(Box::new(obs::Counter::new(name)));
+        counter.incr();
+        counters.push((name, counter));
+    }
+
+    // And the series registry (histograms and spans share it).
+    let extra_series = 2usize;
+    for i in 0..obs::MAX_SERIES + extra_series {
+        let name: &'static str = Box::leak(format!("cap_series_{i:03}").into_boxed_str());
+        let hist: &'static obs::Histogram = Box::leak(Box::new(obs::Histogram::new(name)));
+        hist.record(7);
+    }
+
+    let dropped = (extra_counters + extra_series) as u64;
+    assert_eq!(
+        obs::counter_value(obs::DROPPED_REGISTRATIONS_COUNTER),
+        dropped
+    );
+
+    // The synthetic counter rides along in snapshots, sorted like any
+    // other.
+    let snap = obs::snapshot();
+    let stat = snap
+        .counters
+        .iter()
+        .find(|c| c.name == obs::DROPPED_REGISTRATIONS_COUNTER)
+        .expect("synthetic counter in snapshot");
+    assert_eq!(stat.value, dropped);
+    let names: Vec<&str> = snap.counters.iter().map(|c| c.name).collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted);
+
+    // Registered handles keep counting; dead handles stay usable (no
+    // panic) but contribute nothing.
+    let (first_name, first) = counters[0];
+    let (dead_name, dead) = counters[counters.len() - 1];
+    first.add(9);
+    dead.add(100);
+    assert_eq!(obs::counter_value(first_name), 10);
+    assert_eq!(obs::counter_value(dead_name), 0);
+    // Re-using a dead handle does not inflate the drop count — only
+    // the refused registration does.
+    assert_eq!(
+        obs::counter_value(obs::DROPPED_REGISTRATIONS_COUNTER),
+        dropped
+    );
+}

@@ -1,0 +1,147 @@
+//! Event-log durability: the JSON-safe integer bound enforced by the
+//! builder, crash-tolerant resume (partial trailing line truncation),
+//! and injected write faults (the chaos seam behind
+//! `obs::events::set_write_fault_hook`).
+//!
+//! The event sink is process-global; every test holds `GUARD`.
+
+#![cfg(feature = "enabled")]
+
+use obs::events::{self, WriteFault, MAX_JSON_INT};
+
+static GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn guard() -> std::sync::MutexGuard<'static, ()> {
+    GUARD.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("obs_events_durability");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+/// The exact boundary value renders as an exact JSON integer — the
+/// largest one an IEEE-double parser round-trips.
+#[test]
+fn u64_boundary_renders_exactly() {
+    let _g = guard();
+    events::log_to_memory();
+    events::emit(obs::Event::new("bound_probe").u64("x", MAX_JSON_INT));
+    let lines = events::take_memory();
+    events::stop_logging();
+    assert_eq!(lines.len(), 1);
+    assert!(
+        lines[0].contains("\"x\":9007199254740991"),
+        "line: {}",
+        lines[0]
+    );
+}
+
+/// Debug builds refuse an out-of-bound integer at the builder — the
+/// producer bug is caught at the emit site, not in a downstream
+/// parser.
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "exceeds 2^53-1")]
+fn u64_over_bound_panics_in_debug() {
+    let _ = obs::Event::new("bound_probe").u64("x", MAX_JSON_INT + 1);
+}
+
+/// Release builds saturate instead: the log line stays parseable and
+/// the run is not aborted over a diagnostic.
+#[cfg(not(debug_assertions))]
+#[test]
+fn u64_over_bound_saturates_in_release() {
+    let _g = guard();
+    events::log_to_memory();
+    events::emit(obs::Event::new("bound_probe").u64("x", u64::MAX));
+    let lines = events::take_memory();
+    events::stop_logging();
+    assert!(
+        lines[0].contains("\"x\":9007199254740991"),
+        "line: {}",
+        lines[0]
+    );
+}
+
+/// Resuming onto a log whose last line was torn by a crash truncates
+/// the partial line and appends after the last complete one.
+#[test]
+fn resume_truncates_partial_trailing_line() {
+    let _g = guard();
+    let path = temp_path("resume.jsonl");
+    let intact = "{\"v\":1,\"ts_ns\":5,\"type\":\"shard_done\",\"shard\":0}\n";
+    let partial = "{\"v\":1,\"ts_ns\":9,\"type\":\"shard_d";
+    std::fs::write(&path, format!("{intact}{partial}")).expect("seed log");
+
+    events::log_to_file_resume(&path).expect("resume event log");
+    events::emit(obs::Event::new("resume_probe").u64("epoch", 3));
+    events::stop_logging();
+
+    let contents = std::fs::read_to_string(&path).expect("read log");
+    let lines: Vec<&str> = contents.lines().collect();
+    assert_eq!(lines.len(), 2, "contents: {contents:?}");
+    assert_eq!(format!("{}\n", lines[0]), intact);
+    assert!(lines[1].contains("\"type\":\"resume_probe\""));
+    assert!(lines[1].contains("\"epoch\":3"));
+    assert!(contents.ends_with('\n'));
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Resume on a missing file just creates it (first run and resumed
+/// run share one code path in the CLI).
+#[test]
+fn resume_creates_missing_file() {
+    let _g = guard();
+    let path = temp_path("resume_fresh.jsonl");
+    let _ = std::fs::remove_file(&path);
+    events::log_to_file_resume(&path).expect("resume event log");
+    events::emit(obs::Event::new("fresh_probe").u64("n", 1));
+    events::stop_logging();
+    let contents = std::fs::read_to_string(&path).expect("read log");
+    assert_eq!(contents.lines().count(), 1);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Injected write faults: an `Error` drops exactly one line, a `Torn`
+/// write mangles exactly one line and framing self-heals on the next
+/// emit. Failures are counted, never raised.
+#[test]
+fn write_faults_lose_at_most_one_line_each() {
+    let _g = guard();
+    let path = temp_path("faults.jsonl");
+    events::log_to_file(&path).expect("create event log");
+    let failures_before = events::write_failures();
+    // Line 0 fails outright, line 1 is torn mid-byte, the rest land.
+    events::set_write_fault_hook(Some(Box::new(|index| match index {
+        0 => Some(WriteFault::Error),
+        1 => Some(WriteFault::Torn { roll: 12345 }),
+        _ => None,
+    })));
+    for n in 0..4u64 {
+        events::emit(obs::Event::new("fault_probe").u64("n", n));
+    }
+    events::set_write_fault_hook(None);
+    events::stop_logging();
+
+    assert_eq!(events::write_failures() - failures_before, 2);
+    let contents = std::fs::read_to_string(&path).expect("read log");
+    let lines: Vec<&str> = contents.lines().collect();
+    // Line n=0 lost, n=1 torn (a strict prefix of the rendered line,
+    // re-framed by the next emit), n=2 and n=3 intact: 3 physical
+    // lines, and a parser skipping bad lines loses only the faulted
+    // ones.
+    assert_eq!(lines.len(), 3, "contents: {contents:?}");
+    let head = "{\"v\":1,";
+    assert!(
+        lines[0].starts_with(head) || head.starts_with(lines[0]),
+        "torn line: {:?}",
+        lines[0]
+    );
+    assert!(!lines[0].contains("\"n\":0"), "n=0 must be lost entirely");
+    assert!(lines[1].ends_with("\"n\":2}"), "line: {:?}", lines[1]);
+    assert!(lines[2].ends_with("\"n\":3}"), "line: {:?}", lines[2]);
+    assert!(contents.ends_with('\n'));
+    let _ = std::fs::remove_file(&path);
+}

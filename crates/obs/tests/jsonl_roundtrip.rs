@@ -93,7 +93,10 @@ proptest! {
         let parsed = serde_json::from_str::<Echo>(&lines[0]);
         prop_assert!(parsed.is_ok(), "unparseable line: {}", &lines[0]);
         let parsed = parsed.map(|e| e.0).unwrap_or(Value::Null);
-        prop_assert_eq!(parsed.get("v"), Some(&Value::Number(1.0)));
+        prop_assert_eq!(
+            parsed.get("v"),
+            Some(&Value::Number(obs::schema::VERSION as f64))
+        );
         prop_assert_eq!(
             parsed.get("type"),
             Some(&Value::String("roundtrip_probe".to_string()))

@@ -167,7 +167,7 @@ mod enabled {
         obs::events::emit(
             obs::Event::new("shard_retry")
                 .u64("shard", 2)
-                .u64("seed", 13)
+                .str("seed", "13")
                 .u64("attempt", 1),
         );
         obs::events::emit(
@@ -179,9 +179,9 @@ mod enabled {
         let lines = obs::events::take_memory();
         obs::events::stop_logging();
         assert_eq!(lines.len(), 2);
-        assert!(lines[0].starts_with("{\"v\":1,\"ts_ns\":"));
+        assert!(lines[0].starts_with("{\"v\":2,\"ts_ns\":"));
         assert!(lines[0].ends_with(
-            "\"type\":\"shard_retry\",\"shard\":2,\"seed\":13,\"attempt\":1}"
+            "\"type\":\"shard_retry\",\"shard\":2,\"seed\":\"13\",\"attempt\":1}"
         ));
         assert!(lines[1].contains("\"label\":\"quote\\\" slash\\\\ newline\\n\""));
         assert!(lines[1].contains("\"ratio\":0.25"));
@@ -214,7 +214,7 @@ mod enabled {
 
 #[test]
 fn schema_spec_lookup() {
-    assert_eq!(obs::schema::VERSION, 1);
+    assert_eq!(obs::schema::VERSION, 2);
     let spec = obs::schema::spec_for("campaign_epoch").expect("campaign_epoch in schema");
     assert!(spec.fields.iter().any(|f| f.name == "flip_rate"));
     assert!(spec

@@ -82,4 +82,25 @@ test -s "$smoke_out" || { echo "FAIL: campaign smoke wrote no checkpoint" >&2; e
 rm -f "$smoke_out"
 echo "campaign smoke run passed"
 
+echo "=== chaos smoke (fault-injected campaign must match the clean run) ==="
+# Deterministic chaos (see crates/chaos + DESIGN.md "Failure model &
+# recovery"): --chaos-seed injects seeded faults at every checkpoint /
+# final-write / event seam plus mid-shard worker panics. The durability
+# layer — CRC'd A/B checkpoint slots, retries, read-back-verified final
+# write, seed-stable shard retries — must absorb all of it without
+# changing one byte of the results. The seed is pinned, so the fault
+# script replays bit-for-bit and this stage never flakes. An injected
+# worker-panic message on stderr is expected — that IS the chaos; the
+# gate is the byte-for-byte cmp below.
+chaos_dir="$(mktemp -d)"
+cargo run --release --quiet -p reram-ecc -- campaign NoECC 2 \
+  --samples 3 --train 40 --out "$chaos_dir/clean.json" > /dev/null
+cargo run --release --quiet -p reram-ecc -- campaign NoECC 2 \
+  --samples 3 --train 40 --chaos-seed 7 --shard-retries 4 \
+  --out "$chaos_dir/chaos.json" > /dev/null
+cmp "$chaos_dir/clean.json" "$chaos_dir/chaos.json" \
+  || { echo "FAIL: chaos-injected campaign diverged from the clean run" >&2; exit 1; }
+rm -rf "$chaos_dir"
+echo "chaos smoke passed"
+
 echo "all checks passed"
