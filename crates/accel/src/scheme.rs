@@ -169,6 +169,13 @@ pub struct AccelConfig {
     /// samples actually evaluated — instead of failing the run. 0 (the
     /// default) keeps the strict abort-on-persistent-failure behavior.
     pub max_lost_shards: usize,
+    /// Input vectors evaluated per MVM pass. 1 (the default) runs the
+    /// original bit-serial kernel unchanged, draw-for-draw. Larger
+    /// batches take the amortized `mvm_batch_into` path on
+    /// [`CrossbarEngine`](crate::CrossbarEngine): one RTN snapshot and
+    /// one set of conductance planes per batch. Like `REPRO_THREADS`,
+    /// changing the batch changes the noise draws but not the estimator.
+    pub batch: usize,
 }
 
 impl AccelConfig {
@@ -190,6 +197,7 @@ impl AccelConfig {
             shard_retries: 1,
             retry_backoff_ms: 0,
             max_lost_shards: 0,
+            batch: 1,
         }
     }
 
@@ -224,6 +232,9 @@ impl AccelConfig {
         if self.input_bits == 0 || self.input_bits > 16 {
             return invalid(format!("input_bits must be 1-16, got {}", self.input_bits));
         }
+        if self.batch == 0 {
+            return invalid("batch must be at least 1".into());
+        }
         if let ProtectionScheme::DataAware { check_bits, .. } = self.scheme {
             if !(7..=10).contains(&check_bits) {
                 return invalid(format!(
@@ -245,6 +256,13 @@ impl AccelConfig {
     #[must_use]
     pub fn with_fault_rate(mut self, rate: f64) -> AccelConfig {
         self.device.fault_rate = rate;
+        self
+    }
+
+    /// Sets the number of input vectors evaluated per MVM pass.
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> AccelConfig {
+        self.batch = batch;
         self
     }
 }
@@ -329,6 +347,10 @@ mod tests {
         let mut c = AccelConfig::new(ProtectionScheme::None);
         c.max_columns = 0;
         assert!(c.validate().is_err());
+        assert!(AccelConfig::new(ProtectionScheme::None)
+            .with_batch(0)
+            .validate()
+            .is_err());
     }
 
     #[test]
@@ -339,6 +361,7 @@ mod tests {
         assert_eq!(c.shard_retries, 1);
         assert_eq!(c.retry_backoff_ms, 0);
         assert_eq!(c.max_lost_shards, 0);
+        assert_eq!(c.batch, 1);
     }
 
     #[test]

@@ -127,7 +127,15 @@ fn run_shard(
     let mut top1_errors = 0usize;
     let mut top5_errors = 0usize;
     let mut flips = 0usize;
-    for i in lo..hi {
+    let batch = config.batch.max(1);
+    // The cooperative control points — watchdog deadline and chaos
+    // injection — fire at submission boundaries: per image when
+    // `batch == 1`, per window otherwise. Chaos anchors on the legacy
+    // per-image midpoint so the same `ShardChaos` config faults the
+    // same logical position at every batch size.
+    let chaos_at = lo + (hi - lo) / 2;
+    let mut wlo = lo;
+    while wlo < hi {
         if config.watchdog_ns != 0
             && chaos::clock::now_ns().saturating_sub(watchdog_start_ns) > config.watchdog_ns
         {
@@ -137,9 +145,10 @@ fn run_shard(
                 config.watchdog_ns / 1_000_000
             );
         }
+        let wend = (wlo + batch).min(hi);
         // Chaos injection, mid-shard so a retry must also discard the
         // partial tallies accumulated before the fault.
-        if i == lo + (hi - lo) / 2 {
+        if (wlo..wend).contains(&chaos_at) {
             match config.shard_chaos.decide(shard as u64, attempt) {
                 Some(chaos::ExecFault::Panic) => {
                     // lint: allow(panic_in_harness, deterministic fault injection: caught by evaluate's catch_unwind, which is the path under test)
@@ -151,18 +160,40 @@ fn run_shard(
                 None => {}
             }
         }
-        let image = &images_data[i * per_image..(i + 1) * per_image];
-        let logits = qnet.run_with(image, &mut engines, &mut scratch);
-        top_k_into(logits, TOP_K.min(logits.len()), &mut top);
-        if top[0] != labels[i] {
-            top1_errors += 1;
+        let window = wend - wlo;
+        let logits_all = if window == 1 {
+            // Batch-of-1 (including a ragged final window of one) takes
+            // the original per-image path, draw-for-draw.
+            qnet.run_with(
+                &images_data[wlo * per_image..wend * per_image],
+                &mut engines,
+                &mut scratch,
+            )
+        } else {
+            qnet.run_batch_with(
+                &images_data[wlo * per_image..wend * per_image],
+                window,
+                &mut engines,
+                &mut scratch,
+            )
+        };
+        let out_dim = logits_all.len() / window;
+        for v in 0..window {
+            let i = wlo + v;
+            let logits = &logits_all[v * out_dim..(v + 1) * out_dim];
+            top_k_into(logits, TOP_K.min(out_dim), &mut top);
+            if top[0] != labels[i] {
+                top1_errors += 1;
+            }
+            if !top.contains(&labels[i]) {
+                top5_errors += 1;
+            }
+            let image = &images_data[i * per_image..(i + 1) * per_image];
+            if qnet.predict_with(image, &mut exact_engines, &mut exact_scratch) != top[0] {
+                flips += 1;
+            }
         }
-        if !top.contains(&labels[i]) {
-            top5_errors += 1;
-        }
-        if qnet.predict_with(image, &mut exact_engines, &mut exact_scratch) != top[0] {
-            flips += 1;
-        }
+        wlo = wend;
     }
     obs::counter!(prediction_flips).add(flips as u64);
     (top1_errors, top5_errors, flips, provider.stats())
@@ -182,10 +213,15 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// Evaluates a quantized network on the noisy accelerator over a test
 /// set.
 ///
-/// `images` is the `[n, ...]` test tensor; inference runs one image at
-/// a time (the accelerator pipeline is throughput-oriented, but accuracy
-/// is per-example). `threads` bounds the worker count; each worker
-/// programs its own engines with a seed derived from `seed`.
+/// `images` is the `[n, ...]` test tensor. With the default
+/// `config.batch == 1` inference runs one image at a time on the
+/// original bit-serial kernel; larger batches submit windows of
+/// `config.batch` images per MVM pass (the final window is ragged when
+/// the shard size is not a multiple, and a batch larger than the shard
+/// simply clamps to it), amortizing the per-pass RTN snapshot and row
+/// read-outs. Accuracy tallies stay per-example either way. `threads`
+/// bounds the worker count; each worker programs its own engines with a
+/// seed derived from `seed`.
 ///
 /// Worker panics (and watchdog timeouts) are caught; the failing shard
 /// is re-run from its original seed (bit-identical to a run that never
@@ -211,6 +247,29 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// let result = evaluate(&qnet, &images, &labels, &config, 42, 2)?;
 /// assert_eq!(result.samples, 3);
 /// assert!(result.misclassification <= 1.0);
+/// # Ok::<(), accel::AccelError>(())
+/// ```
+///
+/// Batched submission changes throughput, not the estimator — with
+/// noise disabled the results are identical at every batch size:
+///
+/// ```
+/// # use accel::{sim::evaluate, AccelConfig, ProtectionScheme};
+/// # use neural::{Dense, Network, QuantizedNetwork, Tensor};
+/// # use rand::SeedableRng;
+/// # let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// # let net = Network::new(vec![Box::new(Dense::new(8, 4, &mut rng))]);
+/// # let qnet = QuantizedNetwork::from_network(&net);
+/// # let images = Tensor::from_vec(vec![3, 8], vec![0.25; 24]);
+/// # let labels = vec![0usize, 1, 2];
+/// let mut config = AccelConfig::new(ProtectionScheme::None);
+/// config.device.rtn_state_probability = 0.0;
+/// config.device.programming_tolerance = 0.0;
+/// config.device.fault_rate = 0.0;
+/// config.device.bandwidth = 0.0;
+/// let one = evaluate(&qnet, &images, &labels, &config, 42, 1)?;
+/// let batched = evaluate(&qnet, &images, &labels, &config.with_batch(2), 42, 1)?;
+/// assert_eq!(one.misclassification, batched.misclassification);
 /// # Ok::<(), accel::AccelError>(())
 /// ```
 ///
@@ -609,6 +668,48 @@ mod tests {
             let second = evaluate(&qnet, &images, labels, &config, 9, threads).expect("second");
             assert_eq!(first, second, "{threads} threads");
         }
+    }
+
+    #[test]
+    fn batched_evaluate_matches_per_image_when_noiseless() {
+        // 20 examples: batch 7 leaves a ragged final window per shard,
+        // batch 64 exceeds the whole shard and clamps to it. Noise off,
+        // so every batch size must reproduce the per-image results and
+        // decode counters exactly.
+        let (qnet, images, labels) = tiny_problem();
+        let mut config = AccelConfig::new(ProtectionScheme::Static16);
+        config.device.rtn_state_probability = 0.0;
+        config.device.programming_tolerance = 0.0;
+        config.device.fault_rate = 0.0;
+        config.device.bandwidth = 0.0;
+        let per_image = evaluate(&qnet, &images, &labels, &config, 3, 2).expect("batch 1");
+        for batch in [2usize, 7, 64] {
+            let batched = evaluate(
+                &qnet,
+                &images,
+                &labels,
+                &config.clone().with_batch(batch),
+                3,
+                2,
+            )
+            .expect("batched");
+            assert_eq!(per_image, batched, "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn batched_shard_panic_is_retried_to_identical_results() {
+        // The retry contract holds on the windowed loop too: chaos fires
+        // at the legacy per-image midpoint's window, the retry restarts
+        // the shard from its seed, and results match the fault-free run.
+        let (qnet, images, labels) = tiny_problem();
+        let mut config = AccelConfig::new(ProtectionScheme::data_aware(9))
+            .with_fault_rate(0.002)
+            .with_batch(4);
+        let clean = evaluate(&qnet, &images, &labels, &config, 11, 2).expect("clean run");
+        config.shard_chaos = chaos::ShardChaos::PanicOn { shard: 1, attempts: 1 };
+        let retried = evaluate(&qnet, &images, &labels, &config, 11, 2).expect("retried run");
+        assert_eq!(clean, retried);
     }
 
     #[test]

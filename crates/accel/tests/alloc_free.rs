@@ -19,7 +19,7 @@
 
 use accel::alloc_count::CountingAllocator;
 use accel::{assert_no_alloc, AccelConfig, CrossbarProvider, ProtectionScheme};
-use neural::{MvmEngineProvider, QuantizedMatrix, Tensor};
+use neural::{MvmEngine, MvmEngineProvider, QuantizedMatrix, Tensor};
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator::new();
@@ -79,5 +79,41 @@ fn mvm_into_steady_state_is_allocation_free() {
         }
         // The engine still produces the full output vector.
         assert_eq!(out.len(), 12, "{label} output dimension");
+    }
+}
+
+#[test]
+fn mvm_batch_into_steady_state_is_allocation_free() {
+    // Same protocol for the batched kernel: an engine whose config
+    // declares the batch up front pre-sizes the batch-only scratch
+    // (mask planes, conductance planes, trap∩level words) at
+    // programming time, so batched steady state allocates nothing
+    // either.
+    let batch = 8usize;
+    let m = quantized(12, 128, 42);
+    let input: Vec<u16> = (0..batch as u64 * 128)
+        .map(|i| ((i * 2654435761) % 65536) as u16)
+        .collect();
+
+    for scheme in [
+        ProtectionScheme::None,
+        ProtectionScheme::Static16,
+        ProtectionScheme::data_aware(9),
+    ] {
+        let label = scheme.label();
+        let provider = CrossbarProvider::new(AccelConfig::new(scheme).with_batch(batch), 1234);
+        let mut engine = provider.build(&m);
+        let mut out = Vec::new();
+
+        engine.mvm_batch_into(&input, batch, &mut out);
+        engine.mvm_batch_into(&input, batch, &mut out);
+
+        for call in 0..3 {
+            assert_no_alloc!(
+                format_args!("{label} steady-state mvm_batch_into call {call}"),
+                engine.mvm_batch_into(&input, batch, &mut out)
+            );
+        }
+        assert_eq!(out.len(), batch * 12, "{label} output dimension");
     }
 }

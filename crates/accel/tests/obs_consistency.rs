@@ -119,6 +119,46 @@ fn counter_totals_equal_evaluate_returns() {
     }
 }
 
+/// Batched submission preserves the counter contract: at every batch
+/// size the merged counter totals still equal the returned stats, and
+/// the decode *total* — one decode per nonzero (vector, bit) mask,
+/// regardless of what the noise did — is batch-size independent even
+/// though the individual outcome classes (clean/corrected/…) shift
+/// with the reordered draws.
+#[test]
+fn batched_counter_totals_stay_consistent_and_invariant() {
+    let _g = guard();
+    let (qnet, images, labels) = tiny_problem();
+    let mut totals = Vec::new();
+    for batch in [1usize, 4, 32] {
+        obs::reset();
+        let config = AccelConfig::new(ProtectionScheme::data_aware(9)).with_batch(batch);
+        let result = evaluate(&qnet, &images, &labels, &config, 42, 2).expect("evaluate");
+        let label = format!("batch {batch}");
+        assert_eq!(obs::counter_value("ecc_clean"), result.stats.clean, "{label}");
+        assert_eq!(
+            obs::counter_value("ecc_corrected"),
+            result.stats.corrected,
+            "{label}"
+        );
+        assert_eq!(
+            obs::counter_value("ecc_uncorrectable"),
+            result.stats.uncorrectable,
+            "{label}"
+        );
+        assert_eq!(
+            obs::counter_value("ecc_retries"),
+            result.stats.retries,
+            "{label}"
+        );
+        totals.push(result.stats.total());
+    }
+    assert!(
+        totals.windows(2).all(|w| w[0] == w[1]),
+        "decode totals must not depend on batch size: {totals:?}"
+    );
+}
+
 /// Parses one JSONL line into the stub's `Value` tree.
 struct Echo(Value);
 

@@ -66,11 +66,18 @@ usage:
   reram-ecc overheads <check_bits>
   reram-ecc lifetime <rewrites_per_day> <target_fault_rate>
   reram-ecc campaign <scheme> <epochs> [--samples N] [--train N] [--seed S]
-             [--threads T] [--cell-bits B] [--writes-per-epoch W]
-             [--initial-writes W] [--checkpoint-every K] [--remap]
-             [--out PATH] [--resume] [--metrics PATH] [--events PATH]
-             [--chaos-seed S] [--max-lost-shards N] [--watchdog-ms MS]
+             [--threads T] [--batch N] [--cell-bits B]
+             [--writes-per-epoch W] [--initial-writes W]
+             [--checkpoint-every K] [--remap] [--out PATH] [--resume]
+             [--metrics PATH] [--events PATH] [--chaos-seed S]
+             [--max-lost-shards N] [--watchdog-ms MS]
              [--shard-retries N] [--retry-backoff-ms MS]
+
+campaign throughput:
+  --batch N       input vectors per MVM pass (default 1). Batching
+                  amortizes each stack's RTN snapshot and row read-outs
+                  across the batch; like --threads, it changes the
+                  noise draws but not the estimator
 
 campaign observability (see DESIGN.md §8):
   --metrics PATH  write a final metric snapshot (Prometheus text, or
@@ -250,6 +257,7 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     let mut train_n = 200usize;
     let mut seed = 7u64;
     let mut threads = 1usize;
+    let mut batch = 1usize;
     let mut cell_bits = 2u32;
     let mut writes_per_epoch = 2e5f64;
     let mut initial_writes = 1e6f64;
@@ -277,6 +285,7 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
             "--train" => train_n = parsed(value("--train")?, "train")?,
             "--seed" => seed = parsed(value("--seed")?, "seed")?,
             "--threads" => threads = parsed(value("--threads")?, "threads")?,
+            "--batch" => batch = parsed(value("--batch")?, "batch")?,
             "--cell-bits" => cell_bits = parsed(value("--cell-bits")?, "cell-bits")?,
             "--writes-per-epoch" => {
                 writes_per_epoch = parsed(value("--writes-per-epoch")?, "writes-per-epoch")?;
@@ -320,6 +329,9 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     if samples == 0 || train_n == 0 {
         return Err("--samples and --train must be positive".into());
     }
+    if batch == 0 {
+        return Err("--batch must be positive".into());
+    }
     if !obs::enabled() && (metrics.is_some() || events.is_some()) {
         eprintln!("[campaign] note: this binary was built without metrics; --metrics/--events will record nothing");
     }
@@ -362,7 +374,7 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     let qnet = neural::QuantizedNetwork::try_from_network(&net).map_err(|e| e.to_string())?;
     let test = neural::data::digits(samples, 99);
 
-    let mut base = AccelConfig::new(scheme).with_cell_bits(cell_bits);
+    let mut base = AccelConfig::new(scheme).with_cell_bits(cell_bits).with_batch(batch);
     base.remap = remap;
     base.watchdog_ns = watchdog_ms.saturating_mul(1_000_000);
     base.shard_retries = shard_retries;
@@ -597,6 +609,10 @@ mod tests {
         assert!(cmd_campaign(&s(&["NoECC", "2", "--samples", "0"])).is_err());
         assert!(cmd_campaign(&s(&["NoECC", "2", "--metrics"])).is_err());
         assert!(cmd_campaign(&s(&["NoECC", "2", "--events"])).is_err());
+        assert!(cmd_campaign(&s(&["NoECC", "2", "--batch"])).is_err());
+        assert!(cmd_campaign(&s(&["NoECC", "2", "--batch", "zero"])).is_err());
+        // batch 0 parses but fails AccelConfig validation downstream.
+        assert!(cmd_campaign(&s(&["NoECC", "2", "--batch", "0"])).is_err());
         // An unopenable event-log path fails before any training work.
         assert!(cmd_campaign(&s(&[
             "NoECC",

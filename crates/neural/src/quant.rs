@@ -203,6 +203,53 @@ pub trait MvmEngine {
         self.mvm_into(input, &mut out);
         out
     }
+
+    /// Computes `batch` matrix-vector products in one pass.
+    ///
+    /// `inputs` holds the vectors back to back, row-major
+    /// (`inputs[v · in_dim .. (v + 1) · in_dim]` is vector `v`); `out`
+    /// is cleared and refilled the same way with `batch · out_dim`
+    /// entries.
+    ///
+    /// The default implementation loops
+    /// [`mvm_into`](MvmEngine::mvm_into) — correct for any engine, with
+    /// one temporary allocation per call. Engines with amortizable
+    /// physics (the crossbar engine's RTN snapshots and conductance
+    /// sums) override it with a structure-of-arrays kernel that shares
+    /// that work across the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero or `inputs.len()` is not a multiple of
+    /// `batch`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use neural::{ExactEngine, MvmEngine, QuantizedMatrix, Tensor};
+    ///
+    /// let w = Tensor::from_vec(vec![2, 3], vec![0.5, -0.25, 1.0, 0.0, 0.75, -1.0]);
+    /// let mut engine = ExactEngine::new(&QuantizedMatrix::from_tensor(&w));
+    /// // Two input vectors, back to back.
+    /// let inputs: Vec<u16> = vec![1, 2, 3, 40, 50, 60];
+    /// let mut out = Vec::new();
+    /// engine.mvm_batch_into(&inputs, 2, &mut out);
+    /// // Identical to running each vector on its own.
+    /// let mut seq = engine.mvm(&inputs[..3]);
+    /// seq.extend(engine.mvm(&inputs[3..]));
+    /// assert_eq!(out, seq);
+    /// ```
+    fn mvm_batch_into(&mut self, inputs: &[u16], batch: usize, out: &mut Vec<i64>) {
+        assert!(batch > 0, "batch must be at least 1");
+        assert_eq!(inputs.len() % batch, 0, "inputs not divisible into batch");
+        let in_dim = inputs.len() / batch;
+        out.clear();
+        let mut tmp = Vec::new();
+        for v in 0..batch {
+            self.mvm_into(&inputs[v * in_dim..(v + 1) * in_dim], &mut tmp);
+            out.extend_from_slice(&tmp);
+        }
+    }
 }
 
 /// Builds engines for quantized matrices.
@@ -236,6 +283,23 @@ impl MvmEngine for ExactEngine {
                 .map(|(&w, &x)| w as i64 * x as i64)
                 .sum::<i64>()
         }));
+    }
+
+    fn mvm_batch_into(&mut self, inputs: &[u16], batch: usize, out: &mut Vec<i64>) {
+        assert!(batch > 0, "batch must be at least 1");
+        assert_eq!(inputs.len() % batch, 0, "inputs not divisible into batch");
+        let in_dim = inputs.len() / batch;
+        out.clear();
+        for v in 0..batch {
+            let input = &inputs[v * in_dim..(v + 1) * in_dim];
+            out.extend(self.rows.iter().map(|row| {
+                assert_eq!(row.len(), input.len(), "input length mismatch");
+                row.iter()
+                    .zip(input)
+                    .map(|(&w, &x)| w as i64 * x as i64)
+                    .sum::<i64>()
+            }));
+        }
     }
 }
 
@@ -323,6 +387,14 @@ pub struct RunScratch {
     raw: Vec<i64>,
     /// One im2col patch (convolutional ops).
     patch: Vec<f32>,
+    /// Back-to-back quantized vectors for one batched MVM
+    /// ([`QuantizedNetwork::run_batch_with`]).
+    q_batch: Vec<u16>,
+    /// Per-vector activation scales of the current batched MVM.
+    scales: Vec<f32>,
+    /// Per-vector quantized-activation sums (de-bias terms) of the
+    /// current batched MVM.
+    sums: Vec<i64>,
 }
 
 impl RunScratch {
@@ -511,6 +583,90 @@ impl QuantizedNetwork {
         &scratch.x
     }
 
+    /// Runs `batch` inputs through the network in one pass, returning
+    /// the logits flattened back to back (`[batch · out_dim]`, same
+    /// layout as the inputs).
+    ///
+    /// Dense ops quantize every example and submit one batched MVM
+    /// ([`MvmEngine::mvm_batch_into`]), so an engine with amortizable
+    /// per-call setup pays it once per batch instead of once per
+    /// example; convolution ops batch across the im2col patches of each
+    /// example (already their natural batch). Pooling and de-biasing
+    /// are per-example digital work, unchanged.
+    ///
+    /// For the exact engine the result equals `batch` separate
+    /// [`run_with`](QuantizedNetwork::run_with) calls; for stochastic
+    /// engines the estimator is the same but the noise draws differ
+    /// (one shared RTN snapshot per batch), exactly like changing the
+    /// thread count changes draw interleaving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero, `inputs.len()` is not `batch` whole
+    /// examples, or `engines` does not match the MVM op count.
+    pub fn run_batch_with<'s>(
+        &self,
+        inputs: &[f32],
+        batch: usize,
+        engines: &mut [Box<dyn MvmEngine>],
+        scratch: &'s mut RunScratch,
+    ) -> &'s [f32] {
+        assert!(batch > 0, "batch must be at least 1");
+        assert_eq!(inputs.len() % batch, 0, "inputs not divisible into batch");
+        scratch.x.clear();
+        scratch.x.extend_from_slice(inputs);
+        let mut engine_idx = 0;
+        for op in &self.ops {
+            let dim = scratch.x.len() / batch;
+            match op {
+                QuantOp::Mvm {
+                    matrix,
+                    bias,
+                    activation,
+                    geometry,
+                } => {
+                    let engine = engines
+                        .get_mut(engine_idx)
+                        // lint: allow(panic_in_harness, engines came from build_engines over this same op list, so the index cannot run past the end; same invariant as the scalar run_with)
+                        .expect("one engine per MVM op");
+                    engine_idx += 1;
+                    match geometry {
+                        MvmGeometry::Dense => run_dense_batch_into(
+                            matrix, bias, *activation, &scratch.x, batch, engine,
+                            &mut scratch.q, &mut scratch.q_batch, &mut scratch.scales,
+                            &mut scratch.sums, &mut scratch.raw, &mut scratch.next,
+                        ),
+                        MvmGeometry::Conv(geo) => run_conv_batch_into(
+                            matrix, bias, *activation, geo, &scratch.x, batch, engine,
+                            &mut scratch.q, &mut scratch.q_batch, &mut scratch.scales,
+                            &mut scratch.sums, &mut scratch.raw, &mut scratch.patch,
+                            &mut scratch.next,
+                        ),
+                    }
+                    std::mem::swap(&mut scratch.x, &mut scratch.next);
+                }
+                QuantOp::MaxPool { channels, h, w } => {
+                    assert_eq!(dim, channels * h * w, "pool input size mismatch");
+                    let out_dim = channels * (h / 2) * (w / 2);
+                    scratch.next.clear();
+                    scratch.next.resize(batch * out_dim, 0.0);
+                    for v in 0..batch {
+                        pool_example_into(
+                            &scratch.x[v * dim..(v + 1) * dim],
+                            *channels,
+                            *h,
+                            *w,
+                            &mut scratch.next[v * out_dim..(v + 1) * out_dim],
+                        );
+                    }
+                    std::mem::swap(&mut scratch.x, &mut scratch.next);
+                }
+            }
+        }
+        assert_eq!(engine_idx, engines.len(), "unused engines supplied");
+        &scratch.x
+    }
+
     /// Convenience: class prediction for one input.
     pub fn predict(&self, input: &[f32], engines: &mut [Box<dyn MvmEngine>]) -> usize {
         let logits = self.run(input, engines);
@@ -613,9 +769,13 @@ fn run_conv_into(
 
 fn run_maxpool_into(input: &[f32], c: usize, h: usize, w: usize, out: &mut Vec<f32>) {
     assert_eq!(input.len(), c * h * w, "pool input size mismatch");
-    let (oh, ow) = (h / 2, w / 2);
     out.clear();
-    out.resize(c * oh * ow, 0.0);
+    out.resize(c * (h / 2) * (w / 2), 0.0);
+    pool_example_into(input, c, h, w, out);
+}
+
+fn pool_example_into(input: &[f32], c: usize, h: usize, w: usize, out: &mut [f32]) {
+    let (oh, ow) = (h / 2, w / 2);
     for ch in 0..c {
         for oy in 0..oh {
             for ox in 0..ow {
@@ -627,6 +787,92 @@ fn run_maxpool_into(input: &[f32], c: usize, h: usize, w: usize, out: &mut Vec<f
                     }
                 }
                 out[ch * oh * ow + oy * ow + ox] = best;
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // private helper: explicit split borrows of RunScratch
+fn run_dense_batch_into(
+    matrix: &QuantizedMatrix,
+    bias: &[f32],
+    activation: Activation,
+    input: &[f32],
+    batch: usize,
+    engine: &mut Box<dyn MvmEngine>,
+    q: &mut Vec<u16>,
+    q_batch: &mut Vec<u16>,
+    scales: &mut Vec<f32>,
+    sums: &mut Vec<i64>,
+    raw: &mut Vec<i64>,
+    out: &mut Vec<f32>,
+) {
+    let in_dim = matrix.in_dim();
+    let out_dim = matrix.out_dim();
+    assert_eq!(input.len(), batch * in_dim, "dense input size mismatch");
+    q_batch.clear();
+    scales.clear();
+    sums.clear();
+    for v in 0..batch {
+        let a_scale = quantize_activations_into(&input[v * in_dim..(v + 1) * in_dim], q);
+        scales.push(a_scale);
+        sums.push(q.iter().map(|&x| x as i64).sum());
+        q_batch.extend_from_slice(q);
+    }
+    engine.mvm_batch_into(q_batch, batch, raw);
+    out.clear();
+    out.extend((0..batch * out_dim).map(|i| {
+        let (v, o) = (i / out_dim, i % out_dim);
+        let signed = raw[i] - WEIGHT_BIAS * sums[v];
+        activation.apply(signed as f32 * matrix.scale() * scales[v] + bias[o])
+    }));
+}
+
+#[allow(clippy::too_many_arguments)] // private helper: explicit split borrows of RunScratch
+fn run_conv_batch_into(
+    matrix: &QuantizedMatrix,
+    bias: &[f32],
+    activation: Activation,
+    geo: &ConvGeometry,
+    input: &[f32],
+    batch: usize,
+    engine: &mut Box<dyn MvmEngine>,
+    q: &mut Vec<u16>,
+    q_batch: &mut Vec<u16>,
+    scales: &mut Vec<f32>,
+    sums: &mut Vec<i64>,
+    raw: &mut Vec<i64>,
+    patch: &mut Vec<f32>,
+    out: &mut Vec<f32>,
+) {
+    let (oh, ow) = geo.out_hw();
+    let out_c = geo.out_channels;
+    let patches = oh * ow;
+    let in_dim = input.len() / batch;
+    let example_out = out_c * patches;
+    out.clear();
+    out.resize(batch * example_out, 0.0);
+    // Batch across each example's im2col patches — the convolution's
+    // natural batch dimension.
+    for v in 0..batch {
+        let example = &input[v * in_dim..(v + 1) * in_dim];
+        q_batch.clear();
+        scales.clear();
+        sums.clear();
+        for p in 0..patches {
+            im2col_patch_into(example, geo, p, patch);
+            let a_scale = quantize_activations_into(patch, q);
+            scales.push(a_scale);
+            sums.push(q.iter().map(|&x| x as i64).sum());
+            q_batch.extend_from_slice(q);
+        }
+        engine.mvm_batch_into(q_batch, patches, raw);
+        let out_v = &mut out[v * example_out..(v + 1) * example_out];
+        for p in 0..patches {
+            for c in 0..out_c {
+                let signed = raw[p * out_c + c] - WEIGHT_BIAS * sums[p];
+                out_v[c * patches + p] =
+                    activation.apply(signed as f32 * matrix.scale() * scales[p] + bias[c]);
             }
         }
     }
@@ -796,6 +1042,65 @@ mod tests {
             qnet.predict_with(&input, &mut engines, &mut scratch),
             qnet.predict(&input, &mut engines)
         );
+    }
+
+    #[test]
+    fn mvm_batch_default_and_exact_override_agree() {
+        let w = Tensor::from_vec(vec![3, 4], (0..12).map(|i| (i as f32) * 0.1 - 0.5).collect());
+        let matrix = QuantizedMatrix::from_tensor(&w);
+        let mut engine = ExactEngine::new(&matrix);
+        let inputs: Vec<u16> = (0..12).map(|i| (i * 997) as u16).collect();
+        let mut batched = Vec::new();
+        engine.mvm_batch_into(&inputs, 3, &mut batched);
+        let mut seq = Vec::new();
+        for v in 0..3 {
+            seq.extend(engine.mvm(&inputs[v * 4..(v + 1) * 4]));
+        }
+        assert_eq!(batched, seq);
+        assert_eq!(batched.len(), 9);
+    }
+
+    #[test]
+    fn run_batch_with_matches_sequential_runs() {
+        // Conv + pool + dense exercises every batched path: patch
+        // batching, per-example pooling windows, dense example batching.
+        use crate::conv::ConvGeometry;
+        use crate::{Flatten, MaxPool2, Network, Relu};
+        let mut rng = ChaCha8Rng::seed_from_u64(15);
+        let geo = ConvGeometry {
+            in_channels: 1,
+            out_channels: 2,
+            kernel: 3,
+            padding: 1,
+            in_hw: (6, 6),
+        };
+        let net = Network::new(vec![
+            Box::new(Conv2d::new(geo, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(MaxPool2::new(2, 6, 6)),
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(2 * 3 * 3, 4, &mut rng)),
+        ]);
+        let qnet = QuantizedNetwork::from_network(&net);
+        let mut engines = qnet.build_engines(&ExactProvider);
+        let batch = 3;
+        let inputs: Vec<f32> = (0..batch * 36).map(|i| ((i % 11) as f32) / 11.0).collect();
+
+        let mut scratch = RunScratch::new();
+        let batched = qnet
+            .run_batch_with(&inputs, batch, &mut engines, &mut scratch)
+            .to_vec();
+        assert_eq!(batched.len(), batch * 4);
+        let mut seq_scratch = RunScratch::new();
+        for v in 0..batch {
+            let one = qnet.run_with(&inputs[v * 36..(v + 1) * 36], &mut engines, &mut seq_scratch);
+            assert_eq!(&batched[v * 4..(v + 1) * 4], one, "example {v}");
+        }
+        // Batch of one is the degenerate case of the same path.
+        let single = qnet
+            .run_batch_with(&inputs[..36], 1, &mut engines, &mut scratch)
+            .to_vec();
+        assert_eq!(single, batched[..4]);
     }
 
     #[test]

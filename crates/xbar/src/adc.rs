@@ -35,6 +35,9 @@ use crate::{DeviceParams, InputMask};
 pub struct Adc {
     /// Current per output LSB: `v_read · g_step`.
     lsb: f64,
+    /// Reciprocal of `lsb`, precomputed for the batched read path
+    /// ([`quantize_fast`](Adc::quantize_fast)).
+    lsb_recip: f64,
     /// Offset current per active column: `v_read · g_min`.
     offset_per_active: f64,
     /// Largest level one cell can contribute.
@@ -44,8 +47,10 @@ pub struct Adc {
 impl Adc {
     /// Creates the ADC matching a device's level spacing.
     pub fn new(params: &DeviceParams) -> Adc {
+        let lsb = params.v_read * params.g_step();
         Adc {
-            lsb: params.v_read * params.g_step(),
+            lsb,
+            lsb_recip: 1.0 / lsb,
             offset_per_active: params.v_read / params.r_hi,
             max_level: params.max_level(),
         }
@@ -62,6 +67,18 @@ impl Adc {
         let active = mask.count_ones();
         let corrected = current - active as f64 * self.offset_per_active;
         let code = (corrected / self.lsb).round();
+        let max = (active * self.max_level) as f64;
+        code.clamp(0.0, max) as u32
+    }
+
+    /// Quantizes a row current given a precomputed active-column count,
+    /// dividing by multiply-with-reciprocal. Used by the batched read
+    /// path, where the per-read divide is measurable; the reciprocal
+    /// multiply can round differently from the exact divide within
+    /// half an ulp of an LSB boundary, which the batched goldens pin.
+    pub(crate) fn quantize_fast(&self, current: f64, active: u32) -> u32 {
+        let corrected = current - active as f64 * self.offset_per_active;
+        let code = (corrected * self.lsb_recip).round();
         let max = (active * self.max_level) as f64;
         code.clamp(0.0, max) as u32
     }
@@ -121,6 +138,25 @@ mod tests {
         let mask = InputMask::all_ones(7);
         for code in [0u32, 1, 5, 21] {
             assert_eq!(adc.quantize(adc.ideal_current(code, &mask), &mask), code);
+        }
+    }
+
+    #[test]
+    fn quantize_fast_agrees_with_quantize() {
+        let (adc, p) = adc_and_params();
+        for n in [1u32, 3, 17, 128] {
+            let mask = InputMask::all_ones(n);
+            for code in [0u32, 1, 2, 3 * n] {
+                let clean = adc.ideal_current(code, &mask);
+                for jitter in [-0.4, -0.1, 0.0, 0.1, 0.4] {
+                    let current = clean + jitter * adc.lsb() + 0.3 * p.v_read / p.r_hi;
+                    assert_eq!(
+                        adc.quantize_fast(current, n),
+                        adc.quantize(current, &mask),
+                        "n={n} code={code} jitter={jitter}"
+                    );
+                }
+            }
         }
     }
 

@@ -2,7 +2,7 @@
 
 use rand::Rng;
 
-use crate::stats::{sample_binomial, sample_normal};
+use crate::stats::{sample_binomial, sample_normal, NormalSource};
 use crate::{Adc, DeviceParams, InputMask};
 
 /// A programming request the crossbar fabric cannot satisfy.
@@ -458,6 +458,157 @@ impl CrossbarArray {
         }
     }
 
+    /// Computes, for every row and every input-bit plane, the driven
+    /// conductance sum `Σ_{j : bit t of values[j] set} conductance[j]`,
+    /// in one ascending-column pass per row.
+    ///
+    /// `values` holds one widened input word per column; `out` is
+    /// cleared and refilled t-major (`out[t · row_count + row]`), so
+    /// the per-bit slice consumed by one bit-serial cycle is
+    /// contiguous. Accumulation order is ascending `j` with a
+    /// branchless `g · bit` term; since `g · 1.0 = g`, `g · 0.0 = +0.0`
+    /// and adding `+0.0` to a non-negative partial sum is an exact
+    /// identity, each plane sum is bit-identical to the
+    /// [`iter_ones`](InputMask::iter_ones)-order sum the scalar read
+    /// path computes. This is the batched kernel's replacement for
+    /// per-(bit, row) mask scans: one pass serves all `input_bits`
+    /// planes and every vector's reads against them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_bits > 16` or `values` is narrower than a row.
+    pub fn conductance_planes_into(&self, values: &[u64], input_bits: u32, out: &mut Vec<f64>) {
+        assert!(input_bits <= 16, "input_bits {input_bits} > 16");
+        let rows = self.rows.len();
+        out.clear();
+        out.resize(input_bits as usize * rows, 0.0);
+        if input_bits == 16 {
+            // The production width: a fixed-bound kernel the compiler
+            // can unroll, with an AVX2 lane-parallel variant when the
+            // host supports it (same per-plane add order either way).
+            for (row, r) in self.rows.iter().enumerate() {
+                assert!(values.len() >= r.conductance.len(), "values narrower than row");
+                let acc = planes16(&r.conductance, values);
+                for (t, &a) in acc.iter().enumerate() {
+                    out[t * rows + row] = a;
+                }
+            }
+            return;
+        }
+        for (row, r) in self.rows.iter().enumerate() {
+            assert!(values.len() >= r.conductance.len(), "values narrower than row");
+            let mut acc = [0.0f64; 16];
+            for (&g, &v) in r.conductance.iter().zip(values) {
+                for (t, a) in acc.iter_mut().take(input_bits as usize).enumerate() {
+                    *a += g * ((v >> t) & 1) as f64;
+                }
+            }
+            for (t, &a) in acc.iter().take(input_bits as usize).enumerate() {
+                out[t * rows + row] = a;
+            }
+        }
+    }
+
+    /// Intersects a frozen RTN snapshot with every row's per-level
+    /// column masks, keeping only the non-empty intersections as a
+    /// sparse CSR table: `offsets[row]..offsets[row + 1]` indexes
+    /// `entries`, each entry a `(Δi, trapped-column mask)` pair in
+    /// ascending-level order.
+    ///
+    /// The batched kernel hoists this once per (stack, batch). Under
+    /// realistic trap occupancy most `(row, level)` intersections are
+    /// empty, so each subsequent read walks a handful of entries per
+    /// row instead of every level — and an empty level would only have
+    /// subtracted an exact `+0.0`, so skipping it leaves the current
+    /// bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was taken from a different array shape.
+    pub fn trap_level_sparse_into(
+        &self,
+        snapshot: &RtnSnapshot,
+        offsets: &mut Vec<u32>,
+        entries: &mut Vec<(f64, u128)>,
+    ) {
+        offsets.clear();
+        entries.clear();
+        offsets.push(0);
+        for (row, r) in self.rows.iter().enumerate() {
+            let traps = snapshot.traps[row];
+            for (level, &m) in r.level_masks.iter().enumerate() {
+                let masked = m & traps;
+                if masked != 0 {
+                    entries.push((self.delta_i[level], masked));
+                }
+            }
+            offsets.push(entries.len() as u32);
+        }
+    }
+
+    /// Reads every row for one bit-serial cycle of the *batched*
+    /// kernel, using precomputed per-row conductance sums
+    /// (`g_totals`, one bit-plane slice of
+    /// [`conductance_planes_into`](CrossbarArray::conductance_planes_into))
+    /// and the hoisted sparse trap table
+    /// ([`trap_level_sparse_into`](CrossbarArray::trap_level_sparse_into)).
+    ///
+    /// Differences from [`read_rows_into`](CrossbarArray::read_rows_into),
+    /// all invisible when every noise source is disabled and pinned by
+    /// the batched goldens otherwise:
+    ///
+    /// - Gaussian noise comes from the paired [`NormalSource`] (a
+    ///   different — equally valid — stream than the single-draw
+    ///   sampler; one draw per row, ascending, as before);
+    /// - the noise variance is assembled as
+    ///   `thermal_factor·g + 2·q·|I|·BW` under a single square root
+    ///   instead of squaring two separately rooted sigmas;
+    /// - quantization divides by precomputed reciprocal
+    ///   (`Adc::quantize_fast`).
+    ///
+    /// With noise off, every difference collapses: `σ = 0` exactly,
+    /// and the current equals the scalar path's bitwise, so outputs
+    /// match [`read_rows_into`](CrossbarArray::read_rows_into)
+    /// integer-for-integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g_totals` or the trap table do not cover every row.
+    #[allow(clippy::too_many_arguments)]
+    pub fn read_rows_amortized_into<R: Rng + ?Sized>(
+        &self,
+        mask: &InputMask,
+        g_totals: &[f64],
+        trap_offsets: &[u32],
+        trap_entries: &[(f64, u128)],
+        normals: &mut NormalSource,
+        rng: &mut R,
+        out: &mut Vec<u64>,
+    ) {
+        obs::counter!(xbar_row_reads).add(self.rows.len() as u64);
+        let rows = self.rows.len();
+        assert!(g_totals.len() >= rows, "g_totals narrower than array");
+        assert!(trap_offsets.len() > rows, "trap_offsets narrower than array");
+        out.clear();
+        let active = mask.count_ones();
+        let mask_bits = mask.bits();
+        let thermal_factor =
+            4.0 * crate::device::K_B * self.params.temperature * self.params.bandwidth;
+        let shot_factor = 2.0 * crate::device::Q_E * self.params.bandwidth;
+        for row in 0..rows {
+            let g = g_totals[row];
+            let mut current = self.params.v_read * g;
+            let span = trap_offsets[row] as usize..trap_offsets[row + 1] as usize;
+            for &(delta_i, m) in &trap_entries[span] {
+                let trapped = (m & mask_bits).count_ones();
+                current -= trapped as f64 * delta_i;
+            }
+            let sigma = (thermal_factor * g + shot_factor * current.abs()).sqrt();
+            let noisy = current + sigma * normals.next(rng);
+            out.push(self.adc.quantize_fast(noisy, active) as u64);
+        }
+    }
+
     /// Samples the raw analog row current (A) — used by the transient
     /// simulator and for distribution studies.
     pub fn sample_row_current<R: Rng + ?Sized>(
@@ -510,6 +661,25 @@ impl CrossbarArray {
         }
         current
     }
+}
+
+
+/// One row's 16 bit-plane conductance sums, each accumulated in
+/// ascending column order. `g · bit` is computed as
+/// `f64::from_bits(g.to_bits() & bit.wrapping_neg())` — exactly `g`
+/// when the bit is set and exactly `+0.0` otherwise, so the result is
+/// bit-identical to the multiply form (and to the scalar path's
+/// skip-the-zeros scan, since adding `+0.0` to a non-negative partial
+/// sum is an identity).
+fn planes16(conductance: &[f64], values: &[u64]) -> [f64; 16] {
+    let mut acc = [0.0f64; 16];
+    for (&g, &v) in conductance.iter().zip(values) {
+        let gb = g.to_bits();
+        for (t, a) in acc.iter_mut().enumerate() {
+            *a += f64::from_bits(gb & ((v >> t) & 1).wrapping_neg());
+        }
+    }
+    acc
 }
 
 #[cfg(test)]
@@ -728,6 +898,116 @@ mod tests {
         let a = CrossbarArray::program(&levels, &DeviceParams::default(), &mut rng());
         let b = CrossbarArray::try_program(&levels, &DeviceParams::default(), &mut rng()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn conductance_planes_match_mask_scans_bitwise() {
+        let mut rng = rng();
+        let levels: Vec<Vec<u32>> = (0..5).map(|r| (0..32).map(|i| (i + r) % 4).collect()).collect();
+        let array = CrossbarArray::program(&levels, &DeviceParams::default(), &mut rng);
+        let values: Vec<u64> = (0..32).map(|j| (j as u64).wrapping_mul(2654435761) % 65536).collect();
+        let mut planes = Vec::new();
+        array.conductance_planes_into(&values, 16, &mut planes);
+        for t in 0..16u32 {
+            let mask = InputMask::from_bit_of(&values, t);
+            for (row, r) in array.rows().iter().enumerate() {
+                let mut g = 0.0;
+                for j in mask.iter_ones() {
+                    g += r.conductance[j as usize];
+                }
+                // Exact equality: the branchless plane pass adds only
+                // `g·1.0` and `+0.0` terms in the same ascending order.
+                assert_eq!(planes[t as usize * 5 + row], g, "t={t} row={row}");
+            }
+        }
+    }
+
+    #[test]
+    fn trap_level_sparse_covers_snapshot() {
+        let mut rng = rng();
+        let levels = vec![vec![3u32; 64]; 4];
+        let array = CrossbarArray::program(&levels, &DeviceParams::default(), &mut rng);
+        let snap = array.sample_rtn(&mut rng);
+        let mut offsets = Vec::new();
+        let mut entries = Vec::new();
+        array.trap_level_sparse_into(&snap, &mut offsets, &mut entries);
+        assert_eq!(offsets.len(), 4 + 1);
+        let delta_i = array.rtn_delta_i();
+        for (row, r) in array.rows().iter().enumerate() {
+            // The row's entries are exactly its non-empty (level, mask)
+            // intersections, in ascending-level order.
+            let expected: Vec<(f64, u128)> = delta_i
+                .iter()
+                .zip(r.level_masks.iter())
+                .filter_map(|(&d, &m)| {
+                    let masked = m & snap.traps[row];
+                    (masked != 0).then_some((d, masked))
+                })
+                .collect();
+            let got = &entries[offsets[row] as usize..offsets[row + 1] as usize];
+            assert_eq!(got, expected.as_slice(), "row={row}");
+        }
+    }
+
+    #[test]
+    fn amortized_read_matches_scalar_read_when_noiseless() {
+        let params = DeviceParams {
+            fault_rate: 0.0,
+            programming_tolerance: 0.0,
+            rtn_state_probability: 0.0,
+            bandwidth: 0.0,
+            ..DeviceParams::default()
+        };
+        let mut rng = rng();
+        let levels: Vec<Vec<u32>> = (0..6).map(|r| (0..48).map(|i| (i * 7 + r) % 4).collect()).collect();
+        let array = CrossbarArray::program(&levels, &params, &mut rng);
+        let values: Vec<u64> = (0..48).map(|j| (j as u64).wrapping_mul(517) % 65536).collect();
+        let snap = array.sample_rtn(&mut rng);
+        let mut planes = Vec::new();
+        array.conductance_planes_into(&values, 16, &mut planes);
+        let mut offsets = Vec::new();
+        let mut entries = Vec::new();
+        array.trap_level_sparse_into(&snap, &mut offsets, &mut entries);
+        let mut normals = NormalSource::new();
+        let mut fast = Vec::new();
+        let mut scalar = Vec::new();
+        for t in 0..16u32 {
+            let mask = InputMask::from_bit_of(&values, t);
+            array.read_rows_amortized_into(
+                &mask,
+                &planes[t as usize * 6..(t as usize + 1) * 6],
+                &offsets,
+                &entries,
+                &mut normals,
+                &mut rng,
+                &mut fast,
+            );
+            array.read_rows_into(&mask, &snap, &mut rng, &mut scalar);
+            assert_eq!(fast, scalar, "bit {t}");
+        }
+    }
+
+    #[test]
+    fn amortized_read_stays_near_ideal_with_noise() {
+        let mut rng = rng();
+        let levels = vec![(0..128).map(|i| i % 4).collect::<Vec<u32>>()];
+        let array = CrossbarArray::program(&levels, &clean_params(), &mut rng);
+        let values = vec![1u64; 128]; // bit 0 drives every column
+        let mask = InputMask::from_bit_of(&values, 0);
+        let ideal = array.ideal_row_output(0, &mask);
+        let mut planes = Vec::new();
+        array.conductance_planes_into(&values, 1, &mut planes);
+        let mut normals = NormalSource::new();
+        let mut out = Vec::new();
+        let mut offsets = Vec::new();
+        let mut entries = Vec::new();
+        for _ in 0..50 {
+            let snap = array.sample_rtn(&mut rng);
+            array.trap_level_sparse_into(&snap, &mut offsets, &mut entries);
+            array.read_rows_amortized_into(&mask, &planes, &offsets, &entries, &mut normals, &mut rng, &mut out);
+            let got = out[0] as i64;
+            assert!((got - ideal).abs() <= 8, "out {got} ideal {ideal}");
+        }
     }
 
     #[test]

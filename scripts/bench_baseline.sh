@@ -24,6 +24,23 @@ for b in $benches; do
   CRITERION_JSON="$out" cargo bench -q -p bench --bench "$b"
 done
 
+# Per-vector summary of the engine rows: the batched benches
+# (mvm_16x128_<scheme>_b8/_b32) time one whole batched pass, so divide
+# by the batch to compare against the single-vector rows directly.
+case " $benches " in *" engine "*)
+  echo "=== engine per-vector summary (batched rows divided by batch) ==="
+  awk '
+    /"name":"mvm_16x128_/ {
+      split($0, n, "\""); name = n[4]
+      split($0, m, /"mean_ns":/); split(m[2], a, ","); mean = a[1]
+      batch = 1
+      if (match(name, /_b[0-9]+$/)) batch = substr(name, RSTART + 2) + 0
+      printf "  %-26s %14.1f ns/pass %14.1f ns/vector\n", name, mean, mean / batch
+    }
+  ' BENCH_engine.json
+  ;;
+esac
+
 # Campaign per-epoch wall-clock: a smoke-sized lifetime campaign whose
 # driver times every epoch and every checkpoint write separately
 # (results/campaign_timing.json). The checkpoint_fraction figures back

@@ -30,6 +30,30 @@ echo "=== repro-lint (workspace invariants) ==="
 # baseline entry — fails the gate.
 cargo run --release --quiet -p repro-lint -- check
 
+echo "=== stale doc names (backticked types in *.md must exist in source) ==="
+# Docs drift gate: every backtick-quoted CamelCase identifier mentioned
+# in the top-level markdown must still name something in the Rust
+# source. Catches references to renamed/removed types (e.g. the PR-2
+# `MvmEngine` → `CrossbarEngine` engine rename) the moment the code
+# moves on without the docs.
+stale=0
+for ident in $(grep -hoE '`[A-Z][A-Za-z0-9]*[a-z][A-Za-z0-9]*`' \
+                 README.md DESIGN.md CHANGES.md EXPERIMENTS.md ROADMAP.md 2>/dev/null \
+               | tr -d '`' | sort -u); do
+  if ! grep -rqw "$ident" crates/ --include='*.rs'; then
+    echo "FAIL: \`$ident\` is referenced in the docs but absent from crates/" >&2
+    stale=1
+  fi
+done
+[ "$stale" -eq 0 ] || exit 1
+echo "doc identifiers all resolve"
+
+echo "=== batch equivalence smoke (batch-of-1 delegation, batch-of-8 vs sequential) ==="
+# The batched-kernel contract of DESIGN.md §2: batch-of-1 delegates to
+# the scalar kernel bit-for-bit, and with noise off a batch of N equals
+# N sequential calls for every scheme.
+cargo test -q -p accel --test batch_equivalence
+
 echo "=== allocation sanitizer (MVM hot path) ==="
 # Counting global allocator proves CrossbarEngine::mvm_into performs
 # zero heap allocations in steady state for NoECC, Static16 and ABN-9.
@@ -49,7 +73,9 @@ echo "=== obs overhead gate (metrics-enabled MVM bench vs baseline) ==="
 # thread-local counter bumps and must stay in the noise. Scheduler
 # noise on a shared machine only ever *inflates* a run, so the gate
 # takes the best of up to three attempts before failing.
-base_ns="$(awk -F'"mean_ns":' '/"mvm_16x128_ABN-9"/ {split($2, a, ","); print a[1]}' BENCH_engine.json)"
+# Exact-name match: the batched rows (mvm_16x128_ABN-9_b8/_b32) share
+# the prefix, so a substring pattern would pick up the wrong row.
+base_ns="$(awk -F'"mean_ns":' '/"name":"mvm_16x128_ABN-9",/ {split($2, a, ","); print a[1]}' BENCH_engine.json)"
 obs_gate_ok=""
 for attempt in 1 2 3; do
   obs_json="$(mktemp)"
