@@ -645,6 +645,13 @@ impl Campaign {
             Seam::CheckpointRead => 1,
             Seam::FinalWrite => 2,
             Seam::EventWrite => 3,
+            // The serve seams roll their own counters (see
+            // `serve::Shared::seam_fault`); a campaign never touches
+            // them.
+            Seam::SocketAccept
+            | Seam::SocketRead
+            | Seam::SocketWrite
+            | Seam::EngineSwap => return None,
         };
         let index = self.io_index[slot];
         self.io_index[slot] += 1;

@@ -421,6 +421,18 @@ impl CrossbarEngine {
 }
 
 impl MvmEngine for CrossbarEngine {
+    /// Rewinds the noise RNG to a fresh stream derived from `seed`,
+    /// leaving the programmed conductances (and their programming
+    /// noise) untouched.
+    ///
+    /// This makes a long-lived pooled engine's MVM output a pure
+    /// function of `(programmed state, seed, input)` instead of its
+    /// full service history — the serve loop reseeds per request so
+    /// retried and replayed requests are bit-identical.
+    fn reseed(&mut self, seed: u64) {
+        self.rng = ChaCha8Rng::seed_from_u64(seed);
+    }
+
     fn mvm_into(&mut self, input: &[u16], out: &mut Vec<i64>) {
         let _span = obs::span!("mvm");
         assert_eq!(input.len(), self.mapped.in_dim, "input length mismatch");

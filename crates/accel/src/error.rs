@@ -67,6 +67,13 @@ pub enum AccelError {
     /// `--resume` pointed at a checkpoint recorded under different
     /// campaign parameters than the ones requested.
     ResumeMismatch(String),
+    /// The inference service failed to start or tear down cleanly.
+    Service {
+        /// What the service was doing (e.g. `"bind"`, `"join"`).
+        stage: String,
+        /// Underlying failure.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for AccelError {
@@ -99,6 +106,9 @@ impl std::fmt::Display for AccelError {
             }
             AccelError::ResumeMismatch(detail) => {
                 write!(f, "checkpoint does not match requested campaign: {detail}")
+            }
+            AccelError::Service { stage, message } => {
+                write!(f, "inference service {stage}: {message}")
             }
         }
     }

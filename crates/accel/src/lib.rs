@@ -78,6 +78,7 @@ pub mod hierarchy;
 pub mod mapping;
 mod scheme;
 pub mod remap;
+pub mod serve;
 pub mod sim;
 
 pub use engine::{CrossbarEngine, CrossbarProvider, DecodeStats};

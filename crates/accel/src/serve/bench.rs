@@ -1,0 +1,295 @@
+//! Serve-path latency/throughput measurement (`BENCH_serve.json`).
+//!
+//! Starts a real [`Service`] on loopback (no
+//! fault injection), then drives it closed-loop over TCP exactly like
+//! a client would:
+//!
+//! 1. **Cold**: the first request for the scheme, which pays inline
+//!    engine programming.
+//! 2. **Load levels**: ≥2 closed-loop levels (1 client, then several
+//!    concurrent clients), recording per-request wall latency and
+//!    aggregate throughput.
+//!
+//! The headline ratio `pool_hit_speedup = cold_ns / warm p50` is the
+//! pool's reason to exist: reusing a programmed engine set must beat
+//! re-programming per request by a wide margin (the acceptance gate is
+//! ≥3×).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::Duration;
+
+use chaos::clock;
+
+use crate::error::AccelError;
+use crate::serve::{ServeConfig, Service};
+
+/// One closed-loop load level's measurements.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchLevel {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Total requests completed across clients.
+    pub requests: usize,
+    /// Median request latency (send → full response line), ns.
+    pub p50_ns: u64,
+    /// 99th-percentile request latency, ns.
+    pub p99_ns: u64,
+    /// Aggregate completed requests per second of wall time.
+    pub throughput_rps: f64,
+}
+
+/// The full serve benchmark result.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Service master seed.
+    pub seed: u64,
+    /// Scheme the benchmark requests used.
+    pub scheme: String,
+    /// Samples per inference request.
+    pub samples_per_request: usize,
+    /// First-request latency including inline engine programming, ns.
+    pub cold_ns: u64,
+    /// Warm (pool-hit) median latency at the single-client level, ns.
+    pub warm_p50_ns: u64,
+    /// `cold_ns / warm_p50_ns` — what the engine pool buys.
+    pub pool_hit_speedup: f64,
+    /// Closed-loop load levels, lightest first.
+    pub levels: Vec<BenchLevel>,
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    line: String,
+}
+
+impl Client {
+    fn connect(port: u16) -> Result<Client, AccelError> {
+        let stage = |e: std::io::Error| AccelError::Service {
+            stage: "bench-connect".into(),
+            message: e.to_string(),
+        };
+        let writer = TcpStream::connect(("127.0.0.1", port)).map_err(stage)?;
+        writer
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .map_err(stage)?;
+        let reader = BufReader::new(writer.try_clone().map_err(stage)?);
+        Ok(Client {
+            writer,
+            reader,
+            line: String::new(),
+        })
+    }
+
+    /// Sends one request line and blocks for its response line.
+    fn roundtrip(&mut self, request: &str) -> Result<String, AccelError> {
+        let stage = |message: String| AccelError::Service {
+            stage: "bench-roundtrip".into(),
+            message,
+        };
+        self.writer
+            .write_all(request.as_bytes())
+            .and_then(|_| self.writer.write_all(b"\n"))
+            .map_err(|e| stage(e.to_string()))?;
+        self.line.clear();
+        match self.reader.read_line(&mut self.line) {
+            Ok(0) => Err(stage("connection closed".into())),
+            Ok(_) => Ok(self.line.trim_end().to_string()),
+            Err(e) => Err(stage(e.to_string())),
+        }
+    }
+}
+
+fn request_line(id: &str, scheme: &str, samples: &[usize]) -> String {
+    let list: Vec<String> = samples.iter().map(|s| s.to_string()).collect();
+    format!(
+        "{{\"id\":\"{id}\",\"scheme\":\"{scheme}\",\"samples\":[{}]}}",
+        list.join(",")
+    )
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    // Nearest-rank: the smallest value with at least p·n observations
+    // at or below it.
+    let rank = (p * sorted_ns.len() as f64).ceil() as usize;
+    sorted_ns[rank.clamp(1, sorted_ns.len()) - 1]
+}
+
+/// Runs one closed-loop level: `clients` connections each completing
+/// `per_client` requests back to back.
+fn run_level(
+    port: u16,
+    scheme: &str,
+    samples: &[usize],
+    clients: usize,
+    per_client: usize,
+) -> Result<BenchLevel, AccelError> {
+    let start = clock::now_ns();
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let scheme = scheme.to_string();
+        let samples = samples.to_vec();
+        handles.push(std::thread::spawn(move || -> Result<Vec<u64>, AccelError> {
+            let mut client = Client::connect(port)?;
+            let mut latencies = Vec::with_capacity(per_client);
+            for r in 0..per_client {
+                let line = request_line(&format!("c{c}-{r}"), &scheme, &samples);
+                let t0 = clock::now_ns();
+                let response = client.roundtrip(&line)?;
+                latencies.push(clock::now_ns().saturating_sub(t0));
+                if !response.contains("\"ok\":true") {
+                    return Err(AccelError::Service {
+                        stage: "bench-level".into(),
+                        message: format!("unexpected response: {response}"),
+                    });
+                }
+            }
+            Ok(latencies)
+        }));
+    }
+    let mut all = Vec::with_capacity(clients * per_client);
+    for handle in handles {
+        let latencies = handle.join().map_err(|_| AccelError::Service {
+            stage: "bench-level".into(),
+            message: "client thread panicked".into(),
+        })??;
+        all.extend(latencies);
+    }
+    let wall_ns = clock::now_ns().saturating_sub(start).max(1);
+    all.sort_unstable();
+    Ok(BenchLevel {
+        clients,
+        requests: all.len(),
+        p50_ns: percentile(&all, 0.50),
+        p99_ns: percentile(&all, 0.99),
+        throughput_rps: all.len() as f64 / (wall_ns as f64 / 1e9),
+    })
+}
+
+/// Runs the full serve benchmark at `seed`, sized by
+/// `requests_per_level` (per client).
+///
+/// # Errors
+///
+/// [`AccelError::Service`] when the service fails to start or a client
+/// round-trip fails.
+pub fn run(seed: u64, requests_per_level: usize) -> Result<BenchReport, AccelError> {
+    let scheme = "ABN-9";
+    let samples = [0usize, 1, 2, 3];
+    let config = ServeConfig {
+        seed,
+        workers: 2,
+        queue_capacity: 64,
+        ..ServeConfig::default()
+    };
+    let service = Service::start(config)?;
+    let port = service.port();
+
+    // Cold: first request for the scheme programs its engines inline.
+    let mut probe = Client::connect(port)?;
+    let t0 = clock::now_ns();
+    probe.roundtrip(&request_line("cold", scheme, &samples))?;
+    let cold_ns = clock::now_ns().saturating_sub(t0).max(1);
+
+    let per = requests_per_level.max(8);
+    let light = run_level(port, scheme, &samples, 1, per)?;
+    let heavy = run_level(port, scheme, &samples, 4, per.div_ceil(2))?;
+
+    service.shutdown();
+    let _report = service.join();
+
+    let warm_p50_ns = light.p50_ns.max(1);
+    Ok(BenchReport {
+        seed,
+        scheme: scheme.to_string(),
+        samples_per_request: samples.len(),
+        cold_ns,
+        warm_p50_ns,
+        pool_hit_speedup: cold_ns as f64 / warm_p50_ns as f64,
+        levels: vec![light, heavy],
+    })
+}
+
+/// Renders the report as the stable `BENCH_serve.json` document.
+pub fn render_json(report: &BenchReport) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str(&format!(
+        "{{\"bench\":\"serve\",\"seed\":{},\"scheme\":\"{}\",\"samples_per_request\":{},\
+         \"cold_ns\":{},\"warm_p50_ns\":{},\"pool_hit_speedup\":{:.2},\"levels\":[",
+        report.seed,
+        report.scheme,
+        report.samples_per_request,
+        report.cold_ns,
+        report.warm_p50_ns,
+        report.pool_hit_speedup,
+    ));
+    for (i, level) in report.levels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"clients\":{},\"requests\":{},\"p50_ns\":{},\"p99_ns\":{},\
+             \"throughput_rps\":{:.1}}}",
+            level.clients, level.requests, level.p50_ns, level.p99_ns, level.throughput_rps,
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Writes the rendered report atomically (tmp + rename, the same
+/// durability discipline as every other artifact the workspace writes).
+///
+/// # Errors
+///
+/// [`AccelError::Service`] when the write fails.
+pub fn write_report(path: &Path, report: &BenchReport) -> Result<(), AccelError> {
+    chaos::fs::write_atomic(path, render_json(report).as_bytes(), None).map_err(|e| {
+        AccelError::Service {
+            stage: "bench-write".into(),
+            message: format!("{}: {e}", path.display()),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_pick_from_sorted_tail() {
+        let ns: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&ns, 0.50), 50);
+        assert_eq!(percentile(&ns, 0.99), 99);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn report_renders_stable_json() {
+        let report = BenchReport {
+            seed: 7,
+            scheme: "ABN-9".into(),
+            samples_per_request: 4,
+            cold_ns: 3_000_000,
+            warm_p50_ns: 500_000,
+            pool_hit_speedup: 6.0,
+            levels: vec![BenchLevel {
+                clients: 1,
+                requests: 64,
+                p50_ns: 500_000,
+                p99_ns: 900_000,
+                throughput_rps: 1800.0,
+            }],
+        };
+        let json = render_json(&report);
+        assert!(json.contains("\"bench\":\"serve\""));
+        assert!(json.contains("\"pool_hit_speedup\":6.00"));
+        assert!(json.contains("\"clients\":1"));
+        assert!(json.ends_with("]}\n"));
+    }
+}

@@ -1,0 +1,856 @@
+//! A resident inference service over line-delimited JSON.
+//!
+//! `cli serve` keeps programmed crossbar engines warm between requests:
+//! programming a model onto simulated hardware costs milliseconds (map,
+//! A-search, write, verify), while answering from an already-programmed
+//! engine pool costs microseconds. The service owns that pool and the
+//! request path around it:
+//!
+//! - **Engine pool, keyed `(scheme, wear epoch)`** — the first request
+//!   for a scheme programs its engine set inline (the cold path); every
+//!   later request at the same epoch reuses it. When the wear epoch
+//!   advances (`{"admin":"advance_epoch"}`), the old set keeps serving
+//!   while a background programmer builds its replacement at the new
+//!   epoch's fault rate; the worker swaps atomically once the
+//!   replacement is programmed and verified.
+//! - **Bounded queues, typed overload** — each worker shard owns a
+//!   [`queue::Bounded`] request queue. A full queue refuses the push
+//!   and the client gets `{"ok":false,"error":"overloaded"}` instead of
+//!   unbounded buffering. Requests may carry a `deadline_ms`; one that
+//!   expires before a worker reaches it is answered
+//!   `deadline_exceeded`, not served late.
+//! - **Shared-nothing workers** — requests for a scheme always hash to
+//!   the same worker, so engine sets are owned by exactly one thread
+//!   and swap installation is a plain (per-thread) map insert. Workers
+//!   collect small bursts from their queue (flush on size or linger
+//!   timeout) before serving.
+//! - **Determinism under chaos** — an `ok` response is a pure function
+//!   of `(service seed, scheme, epoch served, request sample list)`:
+//!   engine programming reseeds from `(seed, scheme, epoch)` and every
+//!   request reseeds the engines from its own content hash. Injected
+//!   faults ([`chaos::Seam::SocketAccept`] / `SocketRead` /
+//!   `SocketWrite` / `EngineSwap`, plus worker panics) cost retries or
+//!   dropped/torn lines — never a different answer — so a client that
+//!   re-sends an unacknowledged request gets a byte-identical response.
+//!
+//! The wire protocol is documented in [`protocol`]; `DESIGN.md`
+//! describes the architecture and overload model in prose.
+
+pub mod bench;
+mod pool;
+pub mod protocol;
+pub mod queue;
+mod worker;
+
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Write as IoWrite};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use chaos::clock;
+use chaos::{ChaosSchedule, IoFault, Seam};
+use neural::QuantizedNetwork;
+use parking_lot::Mutex;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use xbar::endurance::EnduranceParams;
+
+use crate::error::AccelError;
+use crate::scheme::{AccelConfig, ProtectionScheme};
+use protocol::{AdminOp, Frame, Reject};
+use queue::{Bounded, PushError};
+
+pub(crate) use pool::{EngineSet, ProgramJob};
+
+/// How the service is built: model size, shard count, queue bounds,
+/// wear model, and optional fault injection.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Master seed: training, programming, and per-request noise all
+    /// derive from it, so two services at the same seed answer
+    /// identically.
+    pub seed: u64,
+    /// Worker shards (each owns a queue and its engine sets).
+    pub workers: usize,
+    /// Per-worker bounded queue capacity; a full queue rejects with
+    /// `overloaded`.
+    pub queue_capacity: usize,
+    /// Engine batch sizing and the per-request internal batch cap.
+    pub batch_max: usize,
+    /// How long a worker lingers collecting a burst once it holds at
+    /// least one request, in milliseconds.
+    pub linger_ms: u64,
+    /// Seed-stable retries per request after a worker panic (the
+    /// request is answered `internal_error` once these are exhausted).
+    pub request_retries: u32,
+    /// Hidden-layer width of the built-in MLP (800 = the paper's MLP2
+    /// topology; tests shrink it to keep programming cheap).
+    pub hidden_units: usize,
+    /// Synthetic-digit examples the built-in model trains on.
+    pub train_examples: usize,
+    /// Built-in test set size (requests index into it).
+    pub test_examples: usize,
+    /// SGD epochs for the built-in model.
+    pub train_epochs: usize,
+    /// Cell writes already consumed at wear epoch 0.
+    pub initial_writes: f64,
+    /// Cell writes consumed per wear epoch advance.
+    pub writes_per_epoch: f64,
+    /// Endurance distribution mapping writes to stuck-cell fraction.
+    pub endurance: EnduranceParams,
+    /// Fault schedule for the serve seams; `None` = no injection.
+    pub chaos: Option<ChaosSchedule>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            seed: 7,
+            workers: 2,
+            queue_capacity: 32,
+            batch_max: 16,
+            linger_ms: 2,
+            request_retries: 2,
+            hidden_units: 800,
+            train_examples: 120,
+            test_examples: 32,
+            train_epochs: 2,
+            initial_writes: 1e6,
+            writes_per_epoch: 2e4,
+            endurance: EnduranceParams::default(),
+            chaos: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Checks the configuration for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), AccelError> {
+        if self.workers == 0 {
+            return Err(AccelError::InvalidConfig("workers must be at least 1".into()));
+        }
+        if self.queue_capacity == 0 {
+            return Err(AccelError::InvalidConfig(
+                "queue_capacity must be at least 1".into(),
+            ));
+        }
+        if self.batch_max == 0 {
+            return Err(AccelError::InvalidConfig("batch_max must be at least 1".into()));
+        }
+        if self.hidden_units == 0 {
+            return Err(AccelError::InvalidConfig("hidden_units must be at least 1".into()));
+        }
+        if self.train_examples == 0 || self.test_examples == 0 {
+            return Err(AccelError::InvalidConfig(
+                "train_examples and test_examples must be nonzero".into(),
+            ));
+        }
+        if !(self.initial_writes.is_finite() && self.writes_per_epoch.is_finite()) {
+            return Err(AccelError::InvalidConfig(
+                "wear-model write counts must be finite".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The stuck-cell fraction engines programmed at `epoch` carry,
+    /// from the endurance model at that epoch's cumulative writes.
+    pub fn fault_rate_at(&self, epoch: u64) -> f64 {
+        self.endurance
+            .failure_probability(self.initial_writes + self.writes_per_epoch * epoch as f64)
+    }
+}
+
+/// FNV-1a over a label, for stable string → stream hashing.
+pub(crate) fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64-style fold of a word sequence into one seed. Same shape
+/// as `chaos::mix`: order-sensitive, avalanching, and pure.
+pub(crate) fn fold(words: &[u64]) -> u64 {
+    let mut h = 0x9E37_79B9_7F4A_7C15u64;
+    for &w in words {
+        h ^= w;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+    }
+    h
+}
+
+/// Programming seed for a `(scheme, epoch)` engine set: stable across
+/// retries and across service restarts at the same master seed.
+pub(crate) fn program_seed(master: u64, label: &str, epoch: u64) -> u64 {
+    fold(&[master, fnv(label), epoch, 0x9E37_79B9])
+}
+
+/// Per-request noise seed: master seed, scheme, the epoch actually
+/// served, and the request's sample list — and nothing else (not the
+/// id, not the deadline), so a re-sent request replays identically.
+pub(crate) fn request_seed(master: u64, label: &str, epoch: u64, samples: &[usize]) -> u64 {
+    let mut words = Vec::with_capacity(4 + samples.len());
+    words.push(master);
+    words.push(fnv(label));
+    words.push(epoch);
+    words.push(samples.len() as u64);
+    words.extend(samples.iter().map(|&s| s as u64));
+    fold(&words)
+}
+
+/// One queued inference request.
+pub(crate) struct Job {
+    pub request: protocol::Request,
+    pub scheme: ProtectionScheme,
+    pub conn: Arc<Conn>,
+    /// Absolute monotonic deadline, if the request carried one.
+    pub deadline_ns: Option<u64>,
+}
+
+/// The write half of one client connection, shared between its reader
+/// thread (admin + rejection responses) and the worker threads that
+/// answer its queued requests.
+pub(crate) struct Conn {
+    state: Mutex<ConnState>,
+}
+
+struct ConnState {
+    stream: TcpStream,
+    /// A previous write was torn mid-line; the next write must emit a
+    /// newline first so the client's line framing can resynchronise.
+    resync: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            state: Mutex::new(ConnState { stream, resync: false }),
+        }
+    }
+
+    /// Writes one response line through the [`Seam::SocketWrite`] chaos
+    /// seam. Returns whether the full line was acknowledged to the
+    /// client; a dropped or torn line returns `false` (the client will
+    /// re-send, and the replay is deterministic).
+    pub(crate) fn send(&self, line: &str, fault: Option<IoFault>) -> bool {
+        let mut s = self.state.lock();
+        if s.resync {
+            let _ = s.stream.write_all(b"\n");
+            s.resync = false;
+        }
+        match fault {
+            None => {
+                let full = s.stream.write_all(line.as_bytes()).is_ok()
+                    && s.stream.write_all(b"\n").is_ok();
+                let _ = s.stream.flush();
+                full
+            }
+            // Hard error: the response never reaches the wire.
+            Some(IoFault::Error(_)) => false,
+            // Torn: a strict UTF-8 prefix lands with no newline. The
+            // client sees a malformed (unterminated) line and ignores
+            // it; `resync` restores framing for the next response.
+            Some(IoFault::Torn { roll }) => {
+                let mut cut = (roll % line.len().max(1) as u64) as usize;
+                while cut > 0 && !line.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                let _ = s.stream.write_all(line[..cut].as_bytes());
+                let _ = s.stream.flush();
+                s.resync = true;
+                false
+            }
+            // Socket seams are configured with zero bit-flip rate; if a
+            // config ever enables it anyway, fail safe by dropping the
+            // line rather than acknowledging corrupted bytes.
+            Some(IoFault::BitFlip { .. }) => false,
+        }
+    }
+
+    /// Writes one control-plane line with no fault injection: admin
+    /// responses document the service's state and must stay readable
+    /// even in chaos runs.
+    pub(crate) fn send_raw(&self, line: &str) {
+        let mut s = self.state.lock();
+        if s.resync {
+            let _ = s.stream.write_all(b"\n");
+            s.resync = false;
+        }
+        let _ = s.stream.write_all(line.as_bytes());
+        let _ = s.stream.write_all(b"\n");
+        let _ = s.stream.flush();
+    }
+}
+
+/// Monotonic service counters (also mirrored as obs counters).
+#[derive(Default)]
+pub(crate) struct Stats {
+    pub accepted: AtomicU64,
+    pub served: AtomicU64,
+    pub rejected_overloaded: AtomicU64,
+    pub rejected_deadline: AtomicU64,
+    pub rejected_bad: AtomicU64,
+    pub rejected_internal: AtomicU64,
+    pub retries: AtomicU64,
+    pub swaps: AtomicU64,
+    pub swap_faults: AtomicU64,
+    pub pool_hits: AtomicU64,
+    pub pool_cold: AtomicU64,
+    pub pool_stale: AtomicU64,
+    pub dropped_responses: AtomicU64,
+    pub watchdog_trips: AtomicU64,
+}
+
+/// A point-in-time snapshot of the service counters, as reported by
+/// `{"admin":"stats"}` and by [`Service::join`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Client connections accepted.
+    pub accepted: u64,
+    /// Requests answered `ok`.
+    pub served: u64,
+    /// Requests refused `overloaded` (queue full or draining).
+    pub rejected_overloaded: u64,
+    /// Requests refused `deadline_exceeded`.
+    pub rejected_deadline: u64,
+    /// Frames refused `bad_request`.
+    pub rejected_bad: u64,
+    /// Requests refused `internal_error` (retries exhausted).
+    pub rejected_internal: u64,
+    /// Seed-stable request retries after worker panics.
+    pub retries: u64,
+    /// Completed wear-epoch engine swaps.
+    pub swaps: u64,
+    /// Injected programming-verification faults absorbed by retries.
+    pub swap_faults: u64,
+    /// Requests served from an already-programmed engine set.
+    pub pool_hits: u64,
+    /// Requests that programmed their engine set inline (cold path).
+    pub pool_cold: u64,
+    /// Requests served by a stale-epoch set while the replacement
+    /// programs in the background.
+    pub pool_stale: u64,
+    /// Response lines dropped or torn by injected socket faults.
+    pub dropped_responses: u64,
+    /// Worker stalls flagged by the supervisor watchdog.
+    pub watchdog_trips: u64,
+}
+
+impl Stats {
+    fn snapshot(&self) -> StatsSnapshot {
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        StatsSnapshot {
+            accepted: get(&self.accepted),
+            served: get(&self.served),
+            rejected_overloaded: get(&self.rejected_overloaded),
+            rejected_deadline: get(&self.rejected_deadline),
+            rejected_bad: get(&self.rejected_bad),
+            rejected_internal: get(&self.rejected_internal),
+            retries: get(&self.retries),
+            swaps: get(&self.swaps),
+            swap_faults: get(&self.swap_faults),
+            pool_hits: get(&self.pool_hits),
+            pool_cold: get(&self.pool_cold),
+            pool_stale: get(&self.pool_stale),
+            dropped_responses: get(&self.dropped_responses),
+            watchdog_trips: get(&self.watchdog_trips),
+        }
+    }
+}
+
+/// State shared by every service thread.
+pub(crate) struct Shared {
+    pub config: ServeConfig,
+    pub qnet: QuantizedNetwork,
+    /// Built-in test set, flattened `[n_samples · sample_dim]`.
+    pub samples: Vec<f32>,
+    pub sample_dim: usize,
+    pub n_samples: usize,
+    /// Current wear epoch (admin-advanced).
+    pub epoch: AtomicU64,
+    /// Drain-then-exit flag: set by `{"admin":"shutdown"}` or
+    /// [`Service::shutdown`].
+    pub shutdown: AtomicBool,
+    /// One bounded request queue per worker shard.
+    pub queues: Vec<Arc<Bounded<Job>>>,
+    /// Background programming requests for wear-epoch swaps.
+    pub program_queue: Bounded<ProgramJob>,
+    /// Programmed replacement sets awaiting installation, per worker.
+    pub mailboxes: Vec<Mutex<Vec<EngineSet>>>,
+    /// `(scheme label, epoch)` pairs already queued for programming.
+    pub pending: Mutex<HashSet<(String, u64)>>,
+    /// Per-seam operation counters feeding the chaos schedule.
+    rolls: [AtomicU64; 4],
+    pub stats: Stats,
+    /// Last-activity monotonic timestamp per worker, for the watchdog.
+    pub heartbeats: Vec<AtomicU64>,
+}
+
+impl Shared {
+    /// Rolls the chaos schedule at a serve seam; emits the
+    /// self-documenting `chaos_fault` event when a fault fires.
+    pub(crate) fn seam_fault(&self, seam: Seam) -> Option<IoFault> {
+        let schedule = self.config.chaos.as_ref()?;
+        let slot = match seam {
+            Seam::SocketAccept => 0,
+            Seam::SocketRead => 1,
+            Seam::SocketWrite => 2,
+            _ => 3,
+        };
+        let index = self.rolls[slot].fetch_add(1, Ordering::Relaxed);
+        let fault = schedule.io_fault(seam, index);
+        if let Some(f) = &fault {
+            obs::events::emit(
+                obs::Event::new("chaos_fault")
+                    .str("seam", seam.label())
+                    .u64("index", index)
+                    .str("fault", f.label()),
+            );
+        }
+        fault
+    }
+
+    pub(crate) fn beat(&self, widx: usize) {
+        self.heartbeats[widx].store(clock::now_ns(), Ordering::Relaxed);
+    }
+
+    /// Sends a typed rejection (through the chaos write seam) and
+    /// records it in counters and the event log.
+    pub(crate) fn reject(&self, conn: &Conn, id: &str, reason: Reject, queue_depth: u64) {
+        let (stat, name) = match reason {
+            Reject::Overloaded => (&self.stats.rejected_overloaded, "overloaded"),
+            Reject::DeadlineExceeded => (&self.stats.rejected_deadline, "deadline_exceeded"),
+            Reject::BadRequest => (&self.stats.rejected_bad, "bad_request"),
+            Reject::InternalError => (&self.stats.rejected_internal, "internal_error"),
+        };
+        stat.fetch_add(1, Ordering::Relaxed);
+        match reason {
+            Reject::Overloaded => obs::counter!(serve_rejected_overloaded).incr(),
+            Reject::DeadlineExceeded => obs::counter!(serve_rejected_deadline).incr(),
+            Reject::BadRequest => obs::counter!(serve_rejected_bad).incr(),
+            Reject::InternalError => obs::counter!(serve_rejected_internal).incr(),
+        }
+        obs::events::emit(
+            obs::Event::new("request_rejected")
+                .str("request_id", id)
+                .str("reason", name)
+                .u64("queue_depth", queue_depth),
+        );
+        let fault = self.seam_fault(Seam::SocketWrite);
+        if !conn.send(&protocol::render_reject(id, reason), fault) {
+            self.stats.dropped_responses.fetch_add(1, Ordering::Relaxed);
+            obs::counter!(serve_responses_dropped).incr();
+        }
+    }
+
+    fn stats_line(&self) -> String {
+        let s = self.stats.snapshot();
+        format!(
+            "{{\"ok\":true,\"type\":\"stats\",\"epoch\":{},\"accepted\":{},\"served\":{},\
+             \"rejected_overloaded\":{},\"rejected_deadline\":{},\"rejected_bad\":{},\
+             \"rejected_internal\":{},\"retries\":{},\"swaps\":{},\"swap_faults\":{},\
+             \"pool_hits\":{},\"pool_cold\":{},\"pool_stale\":{},\"dropped_responses\":{},\
+             \"watchdog_trips\":{}}}",
+            self.epoch.load(Ordering::Relaxed),
+            s.accepted,
+            s.served,
+            s.rejected_overloaded,
+            s.rejected_deadline,
+            s.rejected_bad,
+            s.rejected_internal,
+            s.retries,
+            s.swaps,
+            s.swap_faults,
+            s.pool_hits,
+            s.pool_cold,
+            s.pool_stale,
+            s.dropped_responses,
+            s.watchdog_trips,
+        )
+    }
+}
+
+/// What [`Service::join`] returns after drain-then-exit shutdown.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// The port the service listened on.
+    pub port: u16,
+    /// Final wear epoch.
+    pub epoch: u64,
+    /// Final counter values.
+    pub stats: StatsSnapshot,
+}
+
+/// A running inference service (listener + worker shards + background
+/// programmer + watchdog supervisor).
+pub struct Service {
+    shared: Arc<Shared>,
+    port: u16,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Service {
+    /// Trains the built-in model, binds a loopback listener on an
+    /// ephemeral port, and spawns the service threads.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::InvalidConfig`] for an inconsistent
+    /// [`ServeConfig`]; [`AccelError::Service`] when the socket cannot
+    /// be bound or the model cannot be quantized.
+    pub fn start(config: ServeConfig) -> Result<Service, AccelError> {
+        config.validate()?;
+        // The built-in model: same deterministic recipe as the CLI
+        // campaign (seeded init, seeded data, in-order minibatches), so
+        // every service at one master seed serves the same network.
+        let mut rng = ChaCha8Rng::seed_from_u64(fold(&[config.seed, 17]));
+        // MLP2's topology with a configurable hidden width (800 = the
+        // paper's network; the layer/init/order matches
+        // `neural::models::mlp2` exactly at that width).
+        let mut net = neural::Network::new(vec![
+            Box::new(neural::Flatten::new()),
+            Box::new(neural::Dense::new(784, config.hidden_units, &mut rng)),
+            Box::new(neural::Relu::new()),
+            Box::new(neural::Dense::new(config.hidden_units, 10, &mut rng)),
+        ]);
+        let mut train = neural::data::digits(config.train_examples, 42);
+        neural::data::shuffle(&mut train, 3);
+        for _ in 0..config.train_epochs {
+            net.train_epoch(&train.images, &train.labels, 32, 0.1);
+        }
+        let qnet = QuantizedNetwork::try_from_network(&net).map_err(|e| AccelError::Service {
+            stage: "quantize".into(),
+            message: e.to_string(),
+        })?;
+        let test = neural::data::digits(config.test_examples, 99);
+        let n_samples = test.labels.len();
+        let samples = test.images.data().to_vec();
+        let sample_dim = samples.len() / n_samples.max(1);
+
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| AccelError::Service {
+            stage: "bind".into(),
+            message: e.to_string(),
+        })?;
+        let port = listener
+            .local_addr()
+            .map_err(|e| AccelError::Service {
+                stage: "bind".into(),
+                message: e.to_string(),
+            })?
+            .port();
+        listener.set_nonblocking(true).map_err(|e| AccelError::Service {
+            stage: "bind".into(),
+            message: e.to_string(),
+        })?;
+
+        let workers = config.workers;
+        let queues: Vec<Arc<Bounded<Job>>> = (0..workers)
+            .map(|_| Arc::new(Bounded::new(config.queue_capacity)))
+            .collect();
+        let shared = Arc::new(Shared {
+            qnet,
+            samples,
+            sample_dim,
+            n_samples,
+            epoch: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            queues,
+            program_queue: Bounded::new(workers * 4 + 4),
+            mailboxes: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+            pending: Mutex::new(HashSet::new()),
+            rolls: Default::default(),
+            stats: Stats::default(),
+            heartbeats: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            config,
+        });
+
+        let mut threads = Vec::new();
+        for widx in 0..workers {
+            let s = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || worker::run_worker(s, widx)));
+        }
+        {
+            let s = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || pool::run_programmer(s)));
+        }
+        {
+            let s = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || worker::run_supervisor(s)));
+        }
+        {
+            let s = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || run_acceptor(s, listener)));
+        }
+
+        Ok(Service { shared, port, threads })
+    }
+
+    /// The loopback port the service is listening on.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Requests drain-then-exit shutdown (same effect as
+    /// `{"admin":"shutdown"}`): stop accepting, answer queued work,
+    /// stop.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until shutdown is requested (by [`Service::shutdown`] or
+    /// an admin frame), drains queued work, joins every thread, and
+    /// reports final counters.
+    pub fn join(self) -> ServiceReport {
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        // Teardown order: the acceptor (and its readers) exit on the
+        // flag, so no new work arrives; worker queues close and drain;
+        // the programmer closes after the workers (nothing enqueues
+        // swaps any more); the supervisor exits on the flag.
+        for q in &self.shared.queues {
+            q.close();
+        }
+        self.shared.program_queue.close();
+        for t in self.threads {
+            let _ = t.join();
+        }
+        ServiceReport {
+            port: self.port,
+            epoch: self.shared.epoch.load(Ordering::Relaxed),
+            stats: self.shared.stats.snapshot(),
+        }
+    }
+}
+
+/// Accept loop: polls the nonblocking listener, applies
+/// [`Seam::SocketAccept`] chaos, and spawns one reader thread per
+/// connection. Joins its readers before exiting so [`Service::join`]
+/// sees a quiesced wire.
+fn run_acceptor(shared: Arc<Shared>, listener: TcpListener) {
+    let mut readers = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                if shared.seam_fault(Seam::SocketAccept).is_some() {
+                    // Connection refused by fault injection: the client
+                    // sees a clean close before any frame.
+                    obs::counter!(serve_accept_faults).incr();
+                    drop(stream);
+                    continue;
+                }
+                shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                obs::counter!(serve_accepted).incr();
+                let s = Arc::clone(&shared);
+                readers.push(std::thread::spawn(move || run_reader(s, stream)));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    for r in readers {
+        let _ = r.join();
+    }
+    obs::flush_thread();
+}
+
+/// Per-connection reader: parses frames, answers admin inline, and
+/// routes inference requests to their scheme's worker shard. Malformed
+/// lines are answered `bad_request` and the connection survives.
+fn run_reader(shared: Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    let conn = match stream.try_clone() {
+        Ok(write_half) => Arc::new(Conn::new(write_half)),
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let frame_line = std::mem::take(&mut line);
+                if !handle_line(&shared, &conn, frame_line.trim_end_matches(['\n', '\r'])) {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Partial line (if any) stays buffered in `line`.
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+    obs::flush_thread();
+}
+
+/// Processes one complete wire line. Returns `false` when the
+/// connection should be dropped (injected hard read fault).
+fn handle_line(shared: &Arc<Shared>, conn: &Arc<Conn>, raw: &str) -> bool {
+    if raw.is_empty() {
+        return true;
+    }
+    // The read seam rolls once per complete line: a hard fault models
+    // the peer vanishing mid-request (connection drops, request is
+    // never acknowledged); a torn fault models a truncated read, which
+    // must surface as a malformed frame, never a crash.
+    let mut effective = raw;
+    let truncated;
+    match shared.seam_fault(Seam::SocketRead) {
+        Some(IoFault::Torn { roll }) => {
+            let mut cut = (roll % raw.len().max(1) as u64) as usize;
+            while cut > 0 && !raw.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            truncated = raw[..cut].to_string();
+            effective = &truncated;
+            obs::counter!(serve_read_faults).incr();
+        }
+        Some(_) => {
+            obs::counter!(serve_read_faults).incr();
+            return false;
+        }
+        None => {}
+    }
+    match protocol::parse_frame(effective) {
+        Frame::Bad { id } => {
+            shared.reject(conn, &id, Reject::BadRequest, 0);
+            true
+        }
+        Frame::Admin(op) => {
+            handle_admin(shared, conn, op);
+            true
+        }
+        Frame::Infer(request) => {
+            route_request(shared, conn, request);
+            true
+        }
+    }
+}
+
+fn handle_admin(shared: &Arc<Shared>, conn: &Arc<Conn>, op: AdminOp) {
+    match op {
+        AdminOp::Ping => conn.send_raw("{\"ok\":true,\"type\":\"pong\"}"),
+        AdminOp::Stats => conn.send_raw(&shared.stats_line()),
+        AdminOp::AdvanceEpoch => {
+            let next = shared.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+            conn.send_raw(&format!("{{\"ok\":true,\"type\":\"epoch\",\"epoch\":{next}}}"));
+        }
+        AdminOp::Shutdown => {
+            conn.send_raw("{\"ok\":true,\"type\":\"shutdown\"}");
+            shared.shutdown.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Validates an inference request and pushes it onto its scheme's
+/// worker queue, answering `bad_request` / `overloaded` inline when it
+/// cannot be queued.
+fn route_request(shared: &Arc<Shared>, conn: &Arc<Conn>, request: protocol::Request) {
+    obs::counter!(serve_requests).incr();
+    let Some(scheme) = ProtectionScheme::from_label(&request.scheme) else {
+        shared.reject(conn, &request.id, Reject::BadRequest, 0);
+        return;
+    };
+    // Reject impossible configurations at the door so the worker's
+    // programming path only ever fails from injected faults.
+    if AccelConfig::new(scheme.clone())
+        .with_batch(shared.config.batch_max)
+        .validate()
+        .is_err()
+    {
+        shared.reject(conn, &request.id, Reject::BadRequest, 0);
+        return;
+    }
+    if request.samples.iter().any(|&s| s >= shared.n_samples) {
+        shared.reject(conn, &request.id, Reject::BadRequest, 0);
+        return;
+    }
+    let deadline_ns = (request.deadline_ms > 0)
+        .then(|| clock::now_ns().saturating_add(request.deadline_ms.saturating_mul(1_000_000)));
+    // Shared-nothing routing: a scheme always lands on one worker, so
+    // its engine sets have exactly one owner thread.
+    let widx = (fnv(&request.scheme) % shared.config.workers as u64) as usize;
+    let id = request.id.clone();
+    let job = Job {
+        request,
+        scheme,
+        conn: Arc::clone(conn),
+        deadline_ns,
+    };
+    match shared.queues[widx].try_push(job) {
+        Ok(depth) => {
+            obs::histogram!(serve_queue_depth).record(depth as u64);
+        }
+        Err((_job, PushError::Full)) => {
+            shared.reject(conn, &id, Reject::Overloaded, shared.config.queue_capacity as u64);
+        }
+        Err((_job, PushError::Closed)) => {
+            // Draining for shutdown: new work is refused as overload.
+            shared.reject(conn, &id, Reject::Overloaded, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_and_fnv_are_stable_and_distinguishing() {
+        assert_eq!(fnv("ABN-9"), fnv("ABN-9"));
+        assert_ne!(fnv("ABN-9"), fnv("ABN-7"));
+        assert_eq!(fold(&[1, 2, 3]), fold(&[1, 2, 3]));
+        assert_ne!(fold(&[1, 2, 3]), fold(&[1, 3, 2]));
+        // Request seeds separate on every contributing input…
+        let base = request_seed(7, "ABN-9", 0, &[1, 2, 3]);
+        assert_ne!(base, request_seed(8, "ABN-9", 0, &[1, 2, 3]));
+        assert_ne!(base, request_seed(7, "none", 0, &[1, 2, 3]));
+        assert_ne!(base, request_seed(7, "ABN-9", 1, &[1, 2, 3]));
+        assert_ne!(base, request_seed(7, "ABN-9", 0, &[1, 2]));
+        // …and on nothing else (replays are idempotent by design).
+        assert_eq!(base, request_seed(7, "ABN-9", 0, &[1, 2, 3]));
+    }
+
+    #[test]
+    fn wear_model_fault_rate_is_monotone_in_epoch() {
+        let config = ServeConfig {
+            writes_per_epoch: 1e9,
+            ..ServeConfig::default()
+        };
+        let r0 = config.fault_rate_at(0);
+        let r1 = config.fault_rate_at(1);
+        let r2 = config.fault_rate_at(2);
+        assert!(r0 <= r1 && r1 <= r2);
+        assert!(r2 > 0.0, "a billion writes per epoch must wear cells");
+    }
+
+    #[test]
+    fn config_validation_names_bad_fields() {
+        assert!(ServeConfig::default().validate().is_ok());
+        let bad = ServeConfig { workers: 0, ..ServeConfig::default() };
+        assert!(matches!(bad.validate(), Err(AccelError::InvalidConfig(_))));
+        let bad = ServeConfig { queue_capacity: 0, ..ServeConfig::default() };
+        assert!(matches!(bad.validate(), Err(AccelError::InvalidConfig(_))));
+    }
+}

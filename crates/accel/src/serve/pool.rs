@@ -1,0 +1,132 @@
+//! Programmed-engine pooling and wear-epoch re-programming.
+//!
+//! Programming a model onto the simulated crossbars (mapping, A-search,
+//! write-verify) is the service's cold path; this module builds
+//! [`EngineSet`]s once per `(scheme, wear epoch)` and replaces them in
+//! the background when the epoch advances. Programming runs under the
+//! [`Seam::EngineSwap`] chaos seam: an injected fault models a failed
+//! program-verify cycle and costs a seed-stable retry — the replacement
+//! set that finally verifies is bit-identical to the one a fault-free
+//! run would have produced, because every attempt reuses the same
+//! programming seed.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use chaos::clock;
+use chaos::Seam;
+use neural::MvmEngine;
+
+use crate::engine::CrossbarProvider;
+use crate::error::AccelError;
+use crate::scheme::{AccelConfig, ProtectionScheme};
+use crate::serve::queue::Pop;
+use crate::serve::{program_seed, Shared};
+
+/// Give up a swap after this many injected verification failures in a
+/// row (at the standard 25 % injection rate this is a ~1.5 · 10⁻⁵
+/// event; the stale set keeps serving and a later request re-queues).
+const MAX_PROGRAM_ATTEMPTS: u64 = 8;
+
+/// One scheme's programmed engines at one wear epoch.
+pub(crate) struct EngineSet {
+    /// Scheme label this set serves (the pool key).
+    pub label: String,
+    /// Wear epoch the set was programmed at (and whose fault rate it
+    /// carries).
+    pub epoch: u64,
+    /// One programmed engine per MVM op of the service network.
+    pub engines: Vec<Box<dyn MvmEngine>>,
+    /// Wall time programming took, including faulted attempts.
+    pub program_ns: u64,
+    /// Programming attempts burned (1 = verified first try).
+    pub attempts: u64,
+}
+
+/// A background re-programming request: build `label`'s engines at
+/// `epoch` and mail them to worker `widx`.
+pub(crate) struct ProgramJob {
+    pub label: String,
+    pub scheme: ProtectionScheme,
+    pub epoch: u64,
+    pub widx: usize,
+}
+
+/// Programs one engine set for `(scheme, epoch)`, absorbing injected
+/// verification faults with seed-stable retries.
+///
+/// # Errors
+///
+/// [`AccelError::InvalidConfig`] / [`AccelError::Code`] if the scheme
+/// cannot be mapped at this epoch's fault rate, or
+/// [`AccelError::Service`] when every retry was faulted away.
+pub(crate) fn program_engine_set(
+    shared: &Shared,
+    scheme: &ProtectionScheme,
+    label: &str,
+    epoch: u64,
+) -> Result<EngineSet, AccelError> {
+    let _span = obs::span!("serve_program");
+    let start = clock::now_ns();
+    let config = AccelConfig::new(scheme.clone())
+        .with_fault_rate(shared.config.fault_rate_at(epoch))
+        .with_batch(shared.config.batch_max);
+    config.validate()?;
+    // One seed per (service, scheme, epoch): every attempt — and every
+    // restart of the whole service — programs the same cells to the
+    // same levels, which is what makes re-sent requests replayable.
+    let seed = program_seed(shared.config.seed, label, epoch);
+    for attempt in 1..=MAX_PROGRAM_ATTEMPTS {
+        if shared.seam_fault(Seam::EngineSwap).is_some() {
+            shared.stats.swap_faults.fetch_add(1, Ordering::Relaxed);
+            obs::counter!(serve_swap_faults).incr();
+            continue;
+        }
+        let provider = CrossbarProvider::new(config.clone(), seed);
+        let engines = shared.qnet.build_engines(&provider);
+        return Ok(EngineSet {
+            label: label.to_string(),
+            epoch,
+            engines,
+            program_ns: clock::now_ns().saturating_sub(start),
+            attempts: attempt,
+        });
+    }
+    Err(AccelError::Service {
+        stage: "program".into(),
+        message: format!(
+            "{label} at epoch {epoch}: verification failed {MAX_PROGRAM_ATTEMPTS} attempts"
+        ),
+    })
+}
+
+/// The background programmer thread: drains [`ProgramJob`]s, programs
+/// replacement sets, and mails them to the owning worker. The old set
+/// keeps serving until the worker installs the replacement, so epoch
+/// advancement never blocks the request path.
+pub(crate) fn run_programmer(shared: Arc<Shared>) {
+    loop {
+        match shared.program_queue.pop_timeout(Duration::from_millis(50)) {
+            Pop::Done => break,
+            Pop::Timeout => continue,
+            Pop::Item(job) => {
+                let result = program_engine_set(&shared, &job.scheme, &job.label, job.epoch);
+                // Clear the pending mark before delivery: if this swap
+                // failed outright, the next request at the stale epoch
+                // may queue a fresh attempt.
+                shared
+                    .pending
+                    .lock()
+                    .remove(&(job.label.clone(), job.epoch));
+                match result {
+                    Ok(set) => shared.mailboxes[job.widx].lock().push(set),
+                    Err(_) => {
+                        obs::counter!(serve_swap_abandoned).incr();
+                    }
+                }
+            }
+        }
+    }
+    obs::flush_thread();
+}

@@ -1,0 +1,352 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line, UTF-8, no framing
+//! beyond `\n`. Parsing is tolerant by construction: any line that is
+//! not a well-formed frame becomes [`Frame::Bad`] — carrying whatever
+//! request id could still be salvaged — and is answered with a typed
+//! `bad_request`, never a dropped connection or a panic (malformed-
+//! frame isolation). Responses are rendered by hand with a fixed field
+//! order and integer-exact formatting, so a response's byte image is a
+//! pure function of its semantic content.
+//!
+//! ## Inference frames
+//!
+//! ```json
+//! {"id":"r1","scheme":"ABN-9","samples":[0,3,5],"deadline_ms":250}
+//! ```
+//!
+//! `samples` indexes the service's built-in test set (a singular
+//! `"sample":3` is accepted as shorthand); `deadline_ms` is optional
+//! (0 = no deadline). Success response:
+//!
+//! ```json
+//! {"id":"r1","ok":true,"scheme":"ABN-9","epoch":0,"predictions":[7,2,1]}
+//! ```
+//!
+//! Rejection response (see [`Reject`] for the reasons):
+//!
+//! ```json
+//! {"id":"r1","ok":false,"error":"overloaded"}
+//! ```
+//!
+//! ## Admin frames
+//!
+//! `{"admin":"ping"}` / `{"admin":"stats"}` / `{"admin":"advance_epoch"}`
+//! / `{"admin":"shutdown"}` — handled inline by the connection reader,
+//! never queued, so they work even when the service is overloaded.
+
+use serde::Value;
+
+/// Most samples one inference frame may carry: bounds per-request
+/// memory and keeps one client from monopolising a worker burst.
+pub const MAX_SAMPLES_PER_REQUEST: usize = 64;
+
+/// A parsed inference request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen request id, echoed verbatim on the response.
+    pub id: String,
+    /// Protection-scheme label (`ProtectionScheme::from_label` format).
+    pub scheme: String,
+    /// Indices into the service's built-in test set.
+    pub samples: Vec<usize>,
+    /// Per-request deadline in milliseconds from arrival; 0 = none.
+    pub deadline_ms: u64,
+}
+
+/// An admin operation, handled inline by the connection reader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdminOp {
+    /// Liveness probe; answered immediately.
+    Ping,
+    /// Report service counters (served/rejected/swaps/epoch).
+    Stats,
+    /// Advance the wear epoch by one, triggering graceful engine
+    /// re-programming on the next request per scheme.
+    AdvanceEpoch,
+    /// Stop accepting, drain queued work, answer it, and exit.
+    Shutdown,
+}
+
+/// One parsed line off the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A well-formed inference request.
+    Infer(Request),
+    /// A well-formed admin operation.
+    Admin(AdminOp),
+    /// Anything else: unparseable JSON, a non-object, unknown admin
+    /// verbs, missing/ill-typed fields, out-of-range samples. Carries
+    /// the request id when one could still be read (`"?"` otherwise)
+    /// so the `bad_request` response stays correlatable.
+    Bad {
+        /// Salvaged request id, or `"?"`.
+        id: String,
+    },
+}
+
+/// Why a request was refused. Every rejection is a typed response on
+/// the wire and a `request_rejected` event in the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reject {
+    /// The target worker's bounded queue was full (backpressure).
+    Overloaded,
+    /// The request's deadline expired before a worker got to it.
+    DeadlineExceeded,
+    /// The frame was malformed or referenced unknown schemes/samples.
+    BadRequest,
+    /// The worker failed every seed-stable retry on this request.
+    InternalError,
+}
+
+impl Reject {
+    /// Stable wire label (the response's `"error"` value).
+    pub fn label(self) -> &'static str {
+        match self {
+            Reject::Overloaded => "overloaded",
+            Reject::DeadlineExceeded => "deadline_exceeded",
+            Reject::BadRequest => "bad_request",
+            Reject::InternalError => "internal_error",
+        }
+    }
+}
+
+/// Reads a `Value::Number` as an exact non-negative integer `< 2^53`.
+fn as_index(v: &Value) -> Option<u64> {
+    match v {
+        // lint: allow(float_eq, exact integrality test: fract() of an in-range index is exactly 0.0 or exactly nonzero, never approximate)
+        Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n < 9_007_199_254_740_992.0 => {
+            Some(*n as u64)
+        }
+        _ => None,
+    }
+}
+
+fn as_str(v: &Value) -> Option<&str> {
+    match v {
+        Value::String(s) => Some(s),
+        _ => None,
+    }
+}
+
+/// Parses one wire line into a [`Frame`]. Total: every input maps to
+/// some frame; garbage maps to [`Frame::Bad`].
+pub fn parse_frame(line: &str) -> Frame {
+    let value: Value = match serde_json::from_str(line) {
+        Ok(v) => v,
+        Err(_) => return Frame::Bad { id: "?".to_string() },
+    };
+    if value.as_object().is_none() {
+        return Frame::Bad { id: "?".to_string() };
+    }
+    // Salvage the id early so even otherwise-bad frames correlate.
+    let id = value
+        .get("id")
+        .and_then(as_str)
+        .unwrap_or("?")
+        .to_string();
+    if let Some(admin) = value.get("admin") {
+        return match as_str(admin) {
+            Some("ping") => Frame::Admin(AdminOp::Ping),
+            Some("stats") => Frame::Admin(AdminOp::Stats),
+            Some("advance_epoch") => Frame::Admin(AdminOp::AdvanceEpoch),
+            Some("shutdown") => Frame::Admin(AdminOp::Shutdown),
+            _ => Frame::Bad { id },
+        };
+    }
+    if id == "?" || id.is_empty() {
+        return Frame::Bad { id: "?".to_string() };
+    }
+    let scheme = match value.get("scheme").and_then(as_str) {
+        Some(s) if !s.is_empty() => s.to_string(),
+        _ => return Frame::Bad { id },
+    };
+    let mut samples = Vec::new();
+    match (value.get("samples"), value.get("sample")) {
+        (Some(Value::Array(items)), None) => {
+            if items.is_empty() || items.len() > MAX_SAMPLES_PER_REQUEST {
+                return Frame::Bad { id };
+            }
+            for item in items {
+                match as_index(item) {
+                    Some(i) => samples.push(i as usize),
+                    None => return Frame::Bad { id },
+                }
+            }
+        }
+        (None, Some(one)) => match as_index(one) {
+            Some(i) => samples.push(i as usize),
+            None => return Frame::Bad { id },
+        },
+        _ => return Frame::Bad { id },
+    }
+    let deadline_ms = match value.get("deadline_ms") {
+        None => 0,
+        Some(v) => match as_index(v) {
+            Some(ms) => ms,
+            None => return Frame::Bad { id },
+        },
+    };
+    Frame::Infer(Request {
+        id,
+        scheme,
+        samples,
+        deadline_ms,
+    })
+}
+
+/// Escapes a string for embedding in a JSON line (quote, backslash,
+/// and control characters).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders a success response line (no trailing newline).
+///
+/// Field order and formatting are fixed, so two responses with the
+/// same semantic content are byte-identical — the property the chaos
+/// soak and the restart smoke compare.
+pub fn render_ok(id: &str, scheme: &str, epoch: u64, predictions: &[usize]) -> String {
+    let mut out = String::with_capacity(64 + id.len() + scheme.len());
+    out.push_str("{\"id\":\"");
+    escape_into(&mut out, id);
+    out.push_str("\",\"ok\":true,\"scheme\":\"");
+    escape_into(&mut out, scheme);
+    out.push_str("\",\"epoch\":");
+    out.push_str(&epoch.to_string());
+    out.push_str(",\"predictions\":[");
+    for (i, p) in predictions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&p.to_string());
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders a typed rejection response line (no trailing newline).
+pub fn render_reject(id: &str, reason: Reject) -> String {
+    let mut out = String::with_capacity(40 + id.len());
+    out.push_str("{\"id\":\"");
+    escape_into(&mut out, id);
+    out.push_str("\",\"ok\":false,\"error\":\"");
+    out.push_str(reason.label());
+    out.push_str("\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_frames_parse_with_optional_fields() {
+        assert_eq!(
+            parse_frame(r#"{"id":"r1","scheme":"ABN-9","samples":[0,3,5],"deadline_ms":250}"#),
+            Frame::Infer(Request {
+                id: "r1".into(),
+                scheme: "ABN-9".into(),
+                samples: vec![0, 3, 5],
+                deadline_ms: 250,
+            })
+        );
+        assert_eq!(
+            parse_frame(r#"{"id":"x","scheme":"none","sample":7}"#),
+            Frame::Infer(Request {
+                id: "x".into(),
+                scheme: "none".into(),
+                samples: vec![7],
+                deadline_ms: 0,
+            })
+        );
+    }
+
+    #[test]
+    fn admin_frames_parse() {
+        assert_eq!(parse_frame(r#"{"admin":"ping"}"#), Frame::Admin(AdminOp::Ping));
+        assert_eq!(
+            parse_frame(r#"{"admin":"advance_epoch"}"#),
+            Frame::Admin(AdminOp::AdvanceEpoch)
+        );
+        assert_eq!(
+            parse_frame(r#"{"admin":"shutdown"}"#),
+            Frame::Admin(AdminOp::Shutdown)
+        );
+        assert_eq!(parse_frame(r#"{"admin":"stats"}"#), Frame::Admin(AdminOp::Stats));
+        assert_eq!(
+            parse_frame(r#"{"admin":"reboot"}"#),
+            Frame::Bad { id: "?".into() }
+        );
+    }
+
+    #[test]
+    fn malformed_frames_salvage_the_id_when_possible() {
+        // Unparseable JSON, non-objects, truncated lines: id unknown.
+        for line in ["", "{", "null", "[1,2]", "\"str\"", "{\"id\":\"t\",\"scheme\""] {
+            assert_eq!(parse_frame(line), Frame::Bad { id: "?".into() }, "{line:?}");
+        }
+        // Structurally valid object with a readable id but bad fields.
+        assert_eq!(
+            parse_frame(r#"{"id":"r9","scheme":"ABN-9"}"#),
+            Frame::Bad { id: "r9".into() }
+        );
+        assert_eq!(
+            parse_frame(r#"{"id":"r9","scheme":"ABN-9","samples":[]}"#),
+            Frame::Bad { id: "r9".into() }
+        );
+        assert_eq!(
+            parse_frame(r#"{"id":"r9","scheme":"ABN-9","samples":[1.5]}"#),
+            Frame::Bad { id: "r9".into() }
+        );
+        assert_eq!(
+            parse_frame(r#"{"id":"r9","scheme":"ABN-9","samples":[-1]}"#),
+            Frame::Bad { id: "r9".into() }
+        );
+        assert_eq!(
+            parse_frame(r#"{"id":"r9","scheme":"","sample":1}"#),
+            Frame::Bad { id: "r9".into() }
+        );
+        // Oversized sample lists are refused, not buffered.
+        let big: Vec<String> = (0..=MAX_SAMPLES_PER_REQUEST).map(|i| i.to_string()).collect();
+        let line = format!(r#"{{"id":"big","scheme":"none","samples":[{}]}}"#, big.join(","));
+        assert_eq!(parse_frame(&line), Frame::Bad { id: "big".into() });
+    }
+
+    #[test]
+    fn responses_render_with_fixed_field_order() {
+        assert_eq!(
+            render_ok("r1", "ABN-9", 2, &[7, 0, 3]),
+            r#"{"id":"r1","ok":true,"scheme":"ABN-9","epoch":2,"predictions":[7,0,3]}"#
+        );
+        assert_eq!(
+            render_reject("r1", Reject::Overloaded),
+            r#"{"id":"r1","ok":false,"error":"overloaded"}"#
+        );
+        // Hostile ids stay inside their JSON string.
+        let rendered = render_ok("a\"b\\c\nd", "none", 0, &[1]);
+        assert_eq!(
+            rendered,
+            "{\"id\":\"a\\\"b\\\\c\\nd\",\"ok\":true,\"scheme\":\"none\",\"epoch\":0,\"predictions\":[1]}"
+        );
+        // And the render/parse pair agrees on escaping: the echoed id
+        // survives a round-trip through the parser.
+        let reparsed: serde::Value = serde_json::from_str(&rendered).expect("reparse");
+        match reparsed.get("id") {
+            Some(serde::Value::String(s)) => assert_eq!(s, "a\"b\\c\nd"),
+            other => panic!("bad id field: {other:?}"),
+        }
+    }
+}

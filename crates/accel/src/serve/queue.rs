@@ -1,0 +1,202 @@
+//! A bounded MPSC queue with explicit backpressure and drain-then-exit
+//! close semantics.
+//!
+//! Built on `std::sync::{Mutex, Condvar}` (the vendored `parking_lot`
+//! stub has no condvar). Three properties the service depends on:
+//!
+//! - **Bounded**: [`Bounded::try_push`] never blocks and never grows
+//!   the queue past its cap — a full queue is an immediate
+//!   [`PushError::Full`], which the caller turns into a typed
+//!   `overloaded` response. Memory stays bounded under any load.
+//! - **Depth-observable**: pushes report the post-push depth so the
+//!   caller can feed the queue-depth gauge without a second lock.
+//! - **Drain-then-exit**: [`Bounded::close`] stops new pushes but lets
+//!   consumers pop every item already queued; [`Pop::Done`] is only
+//!   returned once the queue is both closed *and* empty.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity (backpressure: reject, don't buffer).
+    Full,
+    /// The queue is closed (service is draining for shutdown).
+    Closed,
+}
+
+/// One blocking-pop outcome.
+#[derive(Debug)]
+pub enum Pop<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The timeout elapsed with the queue open but empty.
+    Timeout,
+    /// The queue is closed and fully drained; the consumer may exit.
+    Done,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded queue. One per worker shard (shared-nothing: requests
+/// for a scheme always land on the same worker's queue).
+pub struct Bounded<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl<T> Bounded<T> {
+    /// A queue holding at most `cap` items (`cap` ≥ 1 enforced).
+    pub fn new(cap: usize) -> Bounded<T> {
+        Bounded {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(cap.max(1)),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        // A worker that panicked while holding the lock has already
+        // been caught by its catch_unwind wrapper; the queue state
+        // itself is only ever mutated atomically under the lock, so
+        // recovering from poison is sound.
+        self.state.lock().unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Enqueues without blocking. Returns the post-push depth, or the
+    /// item back with the refusal reason.
+    pub fn try_push(&self, item: T) -> Result<usize, (T, PushError)> {
+        let mut s = self.lock();
+        if s.closed {
+            return Err((item, PushError::Closed));
+        }
+        if s.items.len() >= self.cap {
+            return Err((item, PushError::Full));
+        }
+        s.items.push_back(item);
+        let depth = s.items.len();
+        drop(s);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks up to `timeout` for an item. See [`Pop`].
+    pub fn pop_timeout(&self, timeout: Duration) -> Pop<T> {
+        let mut s = self.lock();
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Pop::Item(item);
+            }
+            if s.closed {
+                return Pop::Done;
+            }
+            let (guard, result) = self
+                .ready
+                .wait_timeout(s, timeout)
+                .unwrap_or_else(|poison| poison.into_inner());
+            s = guard;
+            if result.timed_out() {
+                return match s.items.pop_front() {
+                    Some(item) => Pop::Item(item),
+                    None if s.closed => Pop::Done,
+                    None => Pop::Timeout,
+                };
+            }
+        }
+    }
+
+    /// Dequeues immediately if an item is ready (burst collection).
+    pub fn pop_now(&self) -> Option<T> {
+        self.lock().items.pop_front()
+    }
+
+    /// Current depth (approximate the instant the lock is released).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: future pushes fail with [`PushError::Closed`],
+    /// already-queued items remain poppable, and blocked consumers are
+    /// woken so they can drain and observe [`Pop::Done`].
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn backpressure_rejects_at_cap_without_blocking() {
+        let q = Bounded::new(2);
+        assert_eq!(q.try_push(1).expect("first"), 1);
+        assert_eq!(q.try_push(2).expect("second"), 2);
+        let (item, err) = q.try_push(3).expect_err("third must refuse");
+        assert_eq!((item, err), (3, PushError::Full));
+        assert_eq!(q.len(), 2);
+        // Popping frees a slot.
+        assert!(matches!(q.pop_now(), Some(1)));
+        assert_eq!(q.try_push(3).expect("retry"), 2);
+    }
+
+    #[test]
+    fn close_drains_then_signals_done() {
+        let q = Bounded::new(4);
+        q.try_push("a").expect("push");
+        q.try_push("b").expect("push");
+        q.close();
+        assert_eq!(
+            q.try_push("c").expect_err("closed").1,
+            PushError::Closed
+        );
+        // Queued items survive the close, in order.
+        assert!(matches!(q.pop_timeout(Duration::from_millis(10)), Pop::Item("a")));
+        assert!(matches!(q.pop_timeout(Duration::from_millis(10)), Pop::Item("b")));
+        assert!(matches!(q.pop_timeout(Duration::from_millis(10)), Pop::Done));
+    }
+
+    #[test]
+    fn pop_timeout_wakes_on_push_and_on_close() {
+        let q = Arc::new(Bounded::new(4));
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || {
+            let first = q2.pop_timeout(Duration::from_secs(5));
+            let second = q2.pop_timeout(Duration::from_secs(5));
+            (
+                matches!(first, Pop::Item(42)),
+                matches!(second, Pop::Done),
+            )
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        q.try_push(42).expect("push");
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        let (got_item, got_done) = t.join().expect("join");
+        assert!(got_item, "consumer saw the pushed item");
+        assert!(got_done, "consumer saw Done after close");
+    }
+
+    #[test]
+    fn empty_open_queue_times_out() {
+        let q: Bounded<u8> = Bounded::new(1);
+        assert!(matches!(q.pop_timeout(Duration::from_millis(5)), Pop::Timeout));
+        assert!(q.is_empty());
+    }
+}

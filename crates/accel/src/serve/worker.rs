@@ -1,0 +1,312 @@
+//! Worker shards: burst collection, engine-set ownership, seed-stable
+//! request retries, and the supervisor watchdog.
+//!
+//! Each worker owns one bounded queue and every engine set for the
+//! schemes that hash to it (shared-nothing: no locks on the serve
+//! path). A request is served inside `catch_unwind`; a panic — real or
+//! injected via [`chaos::ShardChaos`] — discards the possibly-torn
+//! engine set and retries with the same seeds, so the retried answer
+//! is bit-identical to the one a fault-free worker would have sent.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use chaos::clock;
+use chaos::{ExecFault, Seam, ShardChaos};
+use neural::RunScratch;
+
+use crate::serve::pool::{program_engine_set, EngineSet, ProgramJob};
+use crate::serve::protocol::{render_ok, Reject};
+use crate::serve::queue::Pop;
+use crate::serve::{fold, request_seed, Job, Shared};
+
+/// Most queued requests one wake-up serves before checking the
+/// mailbox and shutdown flag again.
+const BURST_MAX: usize = 8;
+
+/// A worker that has held its queue nonempty without a heartbeat for
+/// this long is flagged by the supervisor.
+const WATCHDOG_NS: u64 = 2_000_000_000;
+
+/// The worker loop for shard `widx`: install swap deliveries, collect
+/// a burst (flush on size or linger timeout), serve it, repeat until
+/// the queue closes and drains.
+pub(crate) fn run_worker(shared: Arc<Shared>, widx: usize) {
+    let queue = Arc::clone(&shared.queues[widx]);
+    let mut pool: HashMap<String, EngineSet> = HashMap::new();
+    let mut scratch = RunScratch::new();
+    let exec = match shared.config.chaos {
+        Some(schedule) => schedule.shard_chaos(0),
+        None => ShardChaos::Off,
+    };
+    let linger_ns = shared.config.linger_ms.max(1) * 1_000_000;
+    let mut seq: u64 = 0;
+    loop {
+        shared.beat(widx);
+        install_deliveries(&shared, widx, &mut pool);
+        let first = match queue.pop_timeout(Duration::from_millis(25)) {
+            Pop::Done => break,
+            Pop::Timeout => continue,
+            Pop::Item(job) => job,
+        };
+        // Adaptive batcher: once we hold one request, linger briefly
+        // for queue-mates so a loaded service amortises wake-ups, but
+        // never let an idle queue delay the request we already hold.
+        let mut burst = vec![first];
+        let mut drained = false;
+        let flush_at = clock::now_ns().saturating_add(linger_ns);
+        while burst.len() < BURST_MAX {
+            let now = clock::now_ns();
+            if now >= flush_at {
+                break;
+            }
+            match queue.pop_timeout(Duration::from_nanos(flush_at - now)) {
+                Pop::Item(job) => burst.push(job),
+                Pop::Timeout => break,
+                Pop::Done => {
+                    drained = true;
+                    break;
+                }
+            }
+        }
+        install_deliveries(&shared, widx, &mut pool);
+        for job in burst {
+            shared.beat(widx);
+            serve_with_retry(&shared, widx, &job, &mut pool, &mut scratch, &exec, seq);
+            seq += 1;
+        }
+        if drained {
+            break;
+        }
+    }
+    obs::flush_thread();
+}
+
+/// Installs background-programmed replacement sets mailed by the
+/// programmer thread. The swap is atomic from the request path's view:
+/// this thread is the only reader of its pool.
+fn install_deliveries(shared: &Shared, widx: usize, pool: &mut HashMap<String, EngineSet>) {
+    let delivered: Vec<EngineSet> = std::mem::take(&mut *shared.mailboxes[widx].lock());
+    for set in delivered {
+        // Out-of-order deliveries (two advances in quick succession)
+        // must never roll a scheme backwards.
+        if pool.get(&set.label).is_some_and(|cur| cur.epoch >= set.epoch) {
+            continue;
+        }
+        shared.stats.swaps.fetch_add(1, Ordering::Relaxed);
+        obs::counter!(serve_engine_swaps).incr();
+        obs::events::emit(
+            obs::Event::new("engine_swap")
+                .str("scheme", &set.label)
+                .u64("epoch", set.epoch)
+                .u64("attempts", set.attempts)
+                .u64("program_ns", set.program_ns),
+        );
+        pool.insert(set.label.clone(), set);
+    }
+}
+
+/// Serves one request with up to `request_retries` seed-stable retries
+/// around worker panics; exhausting them answers `internal_error`.
+fn serve_with_retry(
+    shared: &Shared,
+    widx: usize,
+    job: &Job,
+    pool: &mut HashMap<String, EngineSet>,
+    scratch: &mut RunScratch,
+    exec: &ShardChaos,
+    seq: u64,
+) {
+    // The deadline is checked once, before any attempt: a request that
+    // expired while queued is answered late-but-honestly, not served.
+    if let Some(deadline) = job.deadline_ns {
+        if clock::now_ns() > deadline {
+            shared.reject(&job.conn, &job.request.id, Reject::DeadlineExceeded, 0);
+            return;
+        }
+    }
+    for attempt in 0..=shared.config.request_retries {
+        let fault = exec.decide(seq, attempt);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            serve_once(shared, widx, job, pool, scratch, fault)
+        }));
+        match outcome {
+            Ok(()) => return,
+            Err(_) => {
+                // The panic unwound through half-finished obs spans and
+                // possibly mid-MVM engine state: discard the thread's
+                // metric buffers and the scheme's engine set. The retry
+                // re-programs from the same seed, so the eventual
+                // answer is unchanged.
+                obs::discard_thread();
+                pool.remove(&job.request.scheme);
+                shared.stats.retries.fetch_add(1, Ordering::Relaxed);
+                obs::counter!(serve_request_retries).incr();
+            }
+        }
+    }
+    shared.reject(&job.conn, &job.request.id, Reject::InternalError, 0);
+}
+
+/// One service attempt: ensure a programmed engine set, reseed it from
+/// the request content, run the batch, respond.
+fn serve_once(
+    shared: &Shared,
+    widx: usize,
+    job: &Job,
+    pool: &mut HashMap<String, EngineSet>,
+    scratch: &mut RunScratch,
+    fault: Option<ExecFault>,
+) {
+    match fault {
+        Some(ExecFault::Panic) => {
+            // lint: allow(panic_in_harness, deterministic fault injection: caught by serve_with_retry's catch_unwind, which is the path under test)
+            panic!("chaos: injected serve worker panic (worker {widx})")
+        }
+        Some(ExecFault::Stall { ms }) => std::thread::sleep(Duration::from_millis(ms)),
+        None => {}
+    }
+    let started = clock::now_ns();
+    let label = &job.request.scheme;
+    let target_epoch = shared.epoch.load(Ordering::SeqCst);
+    match pool.get(label) {
+        None => {
+            // Cold path: the first request for a scheme pays for
+            // programming inline (this is the latency the pool then
+            // amortises away; BENCH_serve.json records both).
+            shared.stats.pool_cold.fetch_add(1, Ordering::Relaxed);
+            obs::counter!(serve_pool_cold).incr();
+            match program_engine_set(shared, &job.scheme, label, target_epoch) {
+                Ok(set) => {
+                    pool.insert(label.clone(), set);
+                }
+                Err(_) => {
+                    shared.reject(&job.conn, &job.request.id, Reject::InternalError, 0);
+                    return;
+                }
+            }
+        }
+        Some(set) if set.epoch == target_epoch => {
+            shared.stats.pool_hits.fetch_add(1, Ordering::Relaxed);
+            obs::counter!(serve_pool_hits).incr();
+        }
+        Some(_) => {
+            // Graceful re-programming: answer from the stale set now,
+            // queue a background swap (once) for the new epoch.
+            shared.stats.pool_stale.fetch_add(1, Ordering::Relaxed);
+            obs::counter!(serve_pool_stale).incr();
+            request_swap(shared, widx, job, target_epoch);
+        }
+    }
+    let Some(set) = pool.get_mut(label) else {
+        shared.reject(&job.conn, &job.request.id, Reject::InternalError, 0);
+        return;
+    };
+    let samples = &job.request.samples;
+    let batch = samples.len();
+    // The response is a pure function of (service seed, scheme, epoch
+    // served, sample list): reseed every engine from the request's
+    // content so replays — after a dropped response, a worker retry,
+    // or a full service restart — are byte-identical.
+    let seed = request_seed(shared.config.seed, label, set.epoch, samples);
+    for (i, engine) in set.engines.iter_mut().enumerate() {
+        engine.reseed(fold(&[seed, i as u64]));
+    }
+    let dim = shared.sample_dim;
+    let mut inputs = Vec::with_capacity(batch * dim);
+    for &s in samples {
+        inputs.extend_from_slice(&shared.samples[s * dim..(s + 1) * dim]);
+    }
+    let predictions;
+    {
+        let _span = obs::span!("serve_request");
+        let logits = shared
+            .qnet
+            .run_batch_with(&inputs, batch, &mut set.engines, scratch);
+        let out_dim = logits.len() / batch;
+        predictions = (0..batch)
+            .map(|b| {
+                let row = &logits[b * out_dim..(b + 1) * out_dim];
+                // Same tie-breaking as `predict_with` (last maximum).
+                let mut best = 0usize;
+                for (i, &v) in row.iter().enumerate() {
+                    if v >= row[best] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect::<Vec<usize>>();
+    }
+    let line = render_ok(&job.request.id, label, set.epoch, &predictions);
+    let epoch_served = set.epoch;
+    let write_fault = shared.seam_fault(Seam::SocketWrite);
+    if !job.conn.send(&line, write_fault) {
+        shared.stats.dropped_responses.fetch_add(1, Ordering::Relaxed);
+        obs::counter!(serve_responses_dropped).incr();
+    }
+    shared.stats.served.fetch_add(1, Ordering::Relaxed);
+    obs::counter!(serve_ok).incr();
+    obs::events::emit(
+        obs::Event::new("request_done")
+            .str("request_id", &job.request.id)
+            .u64("worker", widx as u64)
+            .str("scheme", label)
+            .u64("epoch", epoch_served)
+            .u64("samples", batch as u64)
+            .u64("service_ns", clock::now_ns().saturating_sub(started)),
+    );
+}
+
+/// Queues a background re-program of `job`'s scheme at `epoch`, unless
+/// one is already in flight for that `(scheme, epoch)`.
+fn request_swap(shared: &Shared, widx: usize, job: &Job, epoch: u64) {
+    let key = (job.request.scheme.clone(), epoch);
+    {
+        let mut pending = shared.pending.lock();
+        if pending.contains(&key) {
+            return;
+        }
+        pending.insert(key.clone());
+    }
+    let queued = shared
+        .program_queue
+        .try_push(ProgramJob {
+            label: job.request.scheme.clone(),
+            scheme: job.scheme.clone(),
+            epoch,
+            widx,
+        })
+        .is_ok();
+    if !queued {
+        // Programmer backlogged or draining: un-mark so a later
+        // request can try again.
+        shared.pending.lock().remove(&key);
+    }
+}
+
+/// The supervisor watchdog: flags a worker whose queue is nonempty but
+/// whose heartbeat has gone quiet (an injected stall or a real hang).
+/// Trips are counted once per stall episode.
+pub(crate) fn run_supervisor(shared: Arc<Shared>) {
+    let mut flagged = vec![false; shared.config.workers];
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+        let now = clock::now_ns();
+        for (widx, was_flagged) in flagged.iter_mut().enumerate() {
+            let beat = shared.heartbeats[widx].load(Ordering::Relaxed);
+            let stalled = beat != 0
+                && now.saturating_sub(beat) > WATCHDOG_NS
+                && !shared.queues[widx].is_empty();
+            if stalled && !*was_flagged {
+                shared.stats.watchdog_trips.fetch_add(1, Ordering::Relaxed);
+                obs::counter!(serve_watchdog_trips).incr();
+            }
+            *was_flagged = stalled;
+        }
+    }
+    obs::flush_thread();
+}

@@ -1,0 +1,570 @@
+//! Serve-path soak tests: determinism under chaos, typed overload,
+//! graceful wear-epoch swaps, restart replay, and (with the `obs`
+//! feature) schema validation of a recorded serve event log.
+//!
+//! The load-bearing invariant, shared with the campaign chaos soak: a
+//! fault schedule may cost retries, dropped lines, and torn frames,
+//! but every *acknowledged* `ok` response is byte-identical to the one
+//! a fault-free service would have sent for the same request content
+//! at the same wear epoch.
+//!
+//! The obs sink and counter registry are process-global, so every test
+//! holds `GUARD`; other test binaries are other processes.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use accel::serve::{ServeConfig, Service};
+use chaos::ChaosSchedule;
+
+static GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn guard() -> std::sync::MutexGuard<'static, ()> {
+    GUARD.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// A deliberately small service: 16 hidden units and a tiny train set
+/// keep debug-mode programming and training in the milliseconds.
+fn small_config(seed: u64, chaos: Option<ChaosSchedule>) -> ServeConfig {
+    ServeConfig {
+        seed,
+        workers: 2,
+        queue_capacity: 16,
+        batch_max: 8,
+        linger_ms: 1,
+        request_retries: 5,
+        hidden_units: 16,
+        train_examples: 40,
+        test_examples: 10,
+        train_epochs: 1,
+        chaos,
+        ..ServeConfig::default()
+    }
+}
+
+/// A line-oriented test client. Reads use a short timeout so a chaos
+/// run can distinguish "response dropped" from "response pending".
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    line: String,
+}
+
+impl Client {
+    fn connect(port: u16) -> Client {
+        let writer = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+        writer
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .expect("timeout");
+        let reader = BufReader::new(writer.try_clone().expect("clone"));
+        Client {
+            writer,
+            reader,
+            line: String::new(),
+        }
+    }
+
+    /// Sends a raw line; returns false when the connection is dead.
+    fn send(&mut self, line: &str) -> bool {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|_| self.writer.write_all(b"\n"))
+            .and_then(|_| self.writer.flush())
+            .is_ok()
+    }
+
+    /// Reads one complete line, waiting up to `wait`. `None` on
+    /// timeout or connection loss. Partial (torn) data that never
+    /// gains a newline is discarded on the next complete read.
+    fn read_line(&mut self, wait: Duration) -> Option<String> {
+        let deadline = std::time::Instant::now() + wait;
+        loop {
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => return None,
+                Ok(_) => {
+                    if self.line.ends_with('\n') {
+                        let mut out = std::mem::take(&mut self.line);
+                        out.truncate(out.trim_end().len());
+                        return Some(out);
+                    }
+                    // EOF-terminated partial line: connection gone.
+                    return None;
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if std::time::Instant::now() >= deadline {
+                        return None;
+                    }
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Sends and waits for the first *valid* response to `id`,
+    /// re-sending (same bytes — replays are idempotent by design) when
+    /// chaos drops the request or the response. Torn response
+    /// fragments fail the `id` match and are skipped.
+    fn roundtrip_retry(&mut self, port: u16, line: &str, id: &str) -> String {
+        for _attempt in 0..60 {
+            if !self.send(line) {
+                *self = Client::connect(port);
+                continue;
+            }
+            // One request may surface several lines (torn fragments,
+            // stale re-sent answers); scan briefly for a match.
+            for _ in 0..10 {
+                let Some(response) = self.read_line(Duration::from_millis(300)) else {
+                    break;
+                };
+                // A torn write truncates strictly before the final
+                // `}` (the only `}` in a response line), so prefix +
+                // terminator together identify a complete response.
+                if response.starts_with(&format!("{{\"id\":\"{id}\",")) && response.ends_with('}') {
+                    return response;
+                }
+            }
+            // Dropped somewhere (or the connection died): reconnect if
+            // needed and replay.
+            if self.send("") {
+                continue;
+            }
+            *self = Client::connect(port);
+        }
+        panic!("no valid response for {id} after 60 attempts");
+    }
+
+    /// Reads the current wear epoch via `{"admin":"stats"}` (admin
+    /// responses bypass write chaos, but the *request* line can still
+    /// be eaten by read chaos — retry until a stats line arrives).
+    fn epoch(&mut self, port: u16) -> u64 {
+        for _ in 0..60 {
+            if !self.send("{\"admin\":\"stats\"}") {
+                *self = Client::connect(port);
+                continue;
+            }
+            for _ in 0..10 {
+                let Some(response) = self.read_line(Duration::from_millis(300)) else {
+                    break;
+                };
+                if let Some(rest) = response.split("\"epoch\":").nth(1) {
+                    if response.contains("\"type\":\"stats\"") {
+                        let digits: String =
+                            rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+                        if let Ok(e) = digits.parse() {
+                            return e;
+                        }
+                    }
+                }
+            }
+        }
+        panic!("no stats response after 60 attempts");
+    }
+
+    /// Advances the wear epoch to exactly `target`, tolerating chaos
+    /// eating advance frames (stats is re-checked before every retry,
+    /// so the epoch never overshoots).
+    fn advance_epoch_to(&mut self, port: u16, target: u64) {
+        for _ in 0..60 {
+            if self.epoch(port) >= target {
+                return;
+            }
+            let _ = self.send("{\"admin\":\"advance_epoch\"}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        panic!("epoch never reached {target}");
+    }
+}
+
+fn request_line(id: &str, scheme: &str, samples: &[usize]) -> String {
+    let list: Vec<String> = samples.iter().map(|s| s.to_string()).collect();
+    format!(
+        "{{\"id\":\"{id}\",\"scheme\":\"{scheme}\",\"samples\":[{}]}}",
+        list.join(",")
+    )
+}
+
+/// The request mix both soak runs send: three schemes (hashing to
+/// different workers), varied sample lists, stable ids derived from
+/// content position so clean and chaos responses are byte-comparable.
+fn soak_requests() -> Vec<(String, String)> {
+    let mut requests = Vec::new();
+    let schemes = ["ABN-9", "NoECC", "Static16"];
+    let sample_lists: [&[usize]; 4] = [&[0], &[1, 2], &[3, 4, 5], &[0, 9]];
+    for (si, scheme) in schemes.iter().enumerate() {
+        for (li, samples) in sample_lists.iter().enumerate() {
+            let id = format!("r{si}-{li}");
+            requests.push((id.clone(), request_line(&id, scheme, samples)));
+        }
+    }
+    requests
+}
+
+/// Epoch embedded in an `ok` response line.
+fn response_epoch(line: &str) -> u64 {
+    let rest = line.split("\"epoch\":").nth(1).expect("epoch field");
+    rest.chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("epoch digits")
+}
+
+/// Runs the soak sequence against one service: answer every request at
+/// epoch 0, advance, then re-send until every request has an epoch-1
+/// answer. Returns `(id, epoch) → response line` for every `ok`
+/// response observed (including stale epoch-0 answers served during
+/// the graceful swap window).
+fn run_soak(service: &Service) -> HashMap<(String, u64), String> {
+    let port = service.port();
+    let mut client = Client::connect(port);
+    let mut observed: HashMap<(String, u64), String> = HashMap::new();
+    let requests = soak_requests();
+    for (id, line) in &requests {
+        let response = client.roundtrip_retry(port, line, id);
+        assert!(
+            response.contains("\"ok\":true"),
+            "epoch-0 request {id} not served: {response}"
+        );
+        observed.insert((id.clone(), response_epoch(&response)), response);
+    }
+    client.advance_epoch_to(port, 1);
+    // Keep replaying until every request has been answered by an
+    // epoch-1 engine set (the graceful swap completes per scheme).
+    for round in 0..80 {
+        let mut all_fresh = true;
+        for (id, line) in &requests {
+            if observed.contains_key(&(id.clone(), 1)) {
+                continue;
+            }
+            let response = client.roundtrip_retry(port, line, id);
+            assert!(
+                response.contains("\"ok\":true"),
+                "post-advance request {id} not served: {response}"
+            );
+            let epoch = response_epoch(&response);
+            observed.insert((id.clone(), epoch), response);
+            if epoch == 0 {
+                all_fresh = false;
+            }
+        }
+        if all_fresh && requests.iter().all(|(id, _)| observed.contains_key(&(id.clone(), 1))) {
+            break;
+        }
+        assert!(round < 79, "some scheme never swapped to epoch 1");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    observed
+}
+
+/// Tentpole soak: a chaos service (standard schedule, seed 7 — the
+/// same golden seed the campaign soak pins) must answer every
+/// acknowledged request byte-identically to a fault-free service at
+/// the same master seed, keyed by `(request content, epoch served)`.
+#[test]
+fn chaos_acknowledged_responses_match_clean_oracle() {
+    let _g = guard();
+    let clean = Service::start(small_config(7, None)).expect("clean service");
+    let oracle = run_soak(&clean);
+    clean.shutdown();
+    let clean_report = clean.join();
+    assert!(clean_report.stats.served > 0);
+    assert_eq!(clean_report.stats.dropped_responses, 0);
+
+    let chaotic =
+        Service::start(small_config(7, Some(ChaosSchedule::standard(7)))).expect("chaos service");
+    let observed = run_soak(&chaotic);
+    chaotic.shutdown();
+    let report = chaotic.join();
+
+    for (key, line) in &observed {
+        match oracle.get(key) {
+            Some(expected) => assert_eq!(
+                line, expected,
+                "response for {key:?} diverged from the fault-free oracle"
+            ),
+            // A stale epoch-0 answer after the advance is timing-
+            // dependent; if the clean run swapped faster it has no
+            // oracle entry. Re-derive it from the epoch-0 phase, where
+            // every id was answered at epoch 0.
+            None => {
+                let epoch0 = oracle
+                    .get(&(key.0.clone(), 0))
+                    .unwrap_or_else(|| panic!("no oracle entry at all for {key:?}"));
+                assert_eq!(line, epoch0, "stale response for {key:?} diverged");
+            }
+        }
+    }
+    // The schedule really fired: across hundreds of socket and swap
+    // rolls at the standard rates, a zero-fault run is (1 - 0.13)^n
+    // -level improbable — a silent all-clear means the seams are not
+    // actually wired.
+    assert!(
+        report.stats.dropped_responses + report.stats.retries + report.stats.swap_faults > 0
+            || report.stats.rejected_bad > 0,
+        "chaos schedule injected nothing across the whole soak"
+    );
+}
+
+/// Overload: a single slow worker with a 2-deep queue must answer the
+/// flood with typed `overloaded` rejections (bounded memory, no
+/// panic), then serve normally once drained.
+#[test]
+fn overload_yields_typed_rejections_and_recovers() {
+    let _g = guard();
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 2,
+        linger_ms: 30,
+        ..small_config(11, None)
+    };
+    let service = Service::start(config).expect("service");
+    let port = service.port();
+    let mut client = Client::connect(port);
+
+    const FLOOD: usize = 24;
+    for i in 0..FLOOD {
+        let id = format!("f{i}");
+        assert!(client.send(&request_line(&id, "NoECC", &[0])));
+    }
+    let mut ok = 0usize;
+    let mut overloaded = 0usize;
+    while let Some(line) = client.read_line(Duration::from_secs(5)) {
+        if line.contains("\"ok\":true") {
+            ok += 1;
+        } else if line.contains("\"error\":\"overloaded\"") {
+            overloaded += 1;
+        } else {
+            panic!("unexpected response in flood: {line}");
+        }
+        if ok + overloaded == FLOOD {
+            break;
+        }
+    }
+    assert_eq!(ok + overloaded, FLOOD, "every request gets exactly one answer");
+    assert!(overloaded > 0, "a 2-deep queue must reject part of a {FLOOD}-burst");
+    assert!(ok > 0, "queued requests must still be served");
+
+    // Recovered: the same connection serves normally again.
+    let line = request_line("after", "NoECC", &[1]);
+    let response = client.roundtrip_retry(port, &line, "after");
+    assert!(response.contains("\"ok\":true"), "post-flood request failed: {response}");
+
+    // A request whose deadline expires while the worker lingers is
+    // answered late-but-honestly.
+    assert!(client.send(&request_line("late", "NoECC", &[0, 1, 2]).replace('}', ",\"deadline_ms\":1}")));
+    let response = client.read_line(Duration::from_secs(5)).expect("deadline response");
+    assert!(
+        response.contains("\"error\":\"deadline_exceeded\""),
+        "expected deadline_exceeded, got: {response}"
+    );
+
+    service.shutdown();
+    let report = service.join();
+    assert_eq!(report.stats.rejected_overloaded as usize, overloaded);
+    assert!(report.stats.rejected_deadline >= 1);
+}
+
+/// Malformed frames are isolated: each gets a `bad_request` response
+/// and the connection keeps serving valid work.
+#[test]
+fn malformed_frames_are_isolated() {
+    let _g = guard();
+    let service = Service::start(small_config(13, None)).expect("service");
+    let port = service.port();
+    let mut client = Client::connect(port);
+    for garbage in [
+        "not json at all",
+        "{\"id\":\"g1\",\"scheme\":\"ABN-9\"}",
+        "{\"id\":\"g2\",\"scheme\":\"NotAScheme\",\"samples\":[0]}",
+        "{\"id\":\"g3\",\"scheme\":\"NoECC\",\"samples\":[999]}",
+        "[1,2,3]",
+    ] {
+        assert!(client.send(garbage));
+        let response = client.read_line(Duration::from_secs(5)).expect("bad response");
+        assert!(
+            response.contains("\"error\":\"bad_request\""),
+            "garbage {garbage:?} drew {response}"
+        );
+    }
+    let line = request_line("ok1", "NoECC", &[0]);
+    let response = client.roundtrip_retry(port, &line, "ok1");
+    assert!(response.contains("\"ok\":true"));
+    service.shutdown();
+    let report = service.join();
+    assert_eq!(report.stats.rejected_bad, 5);
+    assert!(report.stats.served >= 1);
+}
+
+/// Epoch advancement is graceful: the first request after an advance
+/// is served by the stale set (epoch 0 in its response), and the
+/// background swap then takes over without ever failing a request.
+#[test]
+fn epoch_advance_swaps_gracefully() {
+    let _g = guard();
+    let service = Service::start(small_config(17, None)).expect("service");
+    let port = service.port();
+    let mut client = Client::connect(port);
+
+    let line = request_line("w0", "ABN-9", &[0, 1]);
+    let first = client.roundtrip_retry(port, &line, "w0");
+    assert_eq!(response_epoch(&first), 0);
+
+    client.advance_epoch_to(port, 1);
+    let stale = client.roundtrip_retry(port, &line, "w0");
+    assert_eq!(
+        response_epoch(&stale),
+        0,
+        "the request racing the swap must be served by the old set, not blocked"
+    );
+    assert_eq!(stale, first, "stale answers replay the epoch-0 bytes exactly");
+
+    let mut swapped = None;
+    for _ in 0..80 {
+        let response = client.roundtrip_retry(port, &line, "w0");
+        if response_epoch(&response) == 1 {
+            swapped = Some(response);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let swapped = swapped.expect("swap to epoch 1 never completed");
+    assert!(swapped.contains("\"ok\":true"));
+
+    service.shutdown();
+    let report = service.join();
+    assert!(report.stats.swaps >= 1, "no engine_swap recorded");
+    assert!(report.stats.pool_stale >= 1, "no stale-served request recorded");
+}
+
+/// Restart replay: a fresh service at the same master seed answers the
+/// same requests with byte-identical lines — the property the
+/// `check.sh` SIGKILL smoke leans on.
+#[test]
+fn restart_replays_bit_identical_responses() {
+    let _g = guard();
+    let requests = soak_requests();
+    let mut transcripts: Vec<Vec<String>> = Vec::new();
+    for _run in 0..2 {
+        let service = Service::start(small_config(23, None)).expect("service");
+        let port = service.port();
+        let mut client = Client::connect(port);
+        let mut lines = Vec::new();
+        for (id, line) in &requests {
+            lines.push(client.roundtrip_retry(port, line, id));
+        }
+        service.shutdown();
+        service.join();
+        transcripts.push(lines);
+    }
+    assert_eq!(
+        transcripts[0], transcripts[1],
+        "two services at one seed must serve identical bytes"
+    );
+}
+
+/// Satellite (f): a recorded serve event log validates field-by-field
+/// against `obs::schema` — every line parses, carries the current
+/// schema version, a known type, and exactly the spec'd fields with
+/// the spec'd JSON kinds.
+#[cfg(feature = "obs")]
+#[test]
+fn serve_event_log_matches_schema() {
+    use serde::Value;
+
+    let _g = guard();
+    obs::reset();
+    obs::events::log_to_memory();
+
+    let service = Service::start(small_config(29, None)).expect("service");
+    let port = service.port();
+    let mut client = Client::connect(port);
+    // Exercise every serve event type: ok requests (request_done), a
+    // malformed frame (request_rejected), and an epoch advance
+    // (engine_swap once the background program lands).
+    let line = request_line("e0", "ABN-9", &[0, 1, 2]);
+    client.roundtrip_retry(port, &line, "e0");
+    assert!(client.send("garbage"));
+    let _ = client.read_line(Duration::from_secs(2));
+    client.advance_epoch_to(port, 1);
+    for _ in 0..80 {
+        let response = client.roundtrip_retry(port, &line, "e0");
+        if response_epoch(&response) == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    service.shutdown();
+    service.join();
+
+    let lines = obs::events::take_memory();
+    obs::events::stop_logging();
+    assert!(!lines.is_empty(), "serve run recorded no events");
+
+    struct Echo(Value);
+    impl serde::Deserialize for Echo {
+        fn from_value(value: &Value) -> Result<Echo, String> {
+            Ok(Echo(value.clone()))
+        }
+    }
+
+    let mut seen_types: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for line in &lines {
+        let value = serde_json::from_str::<Echo>(line)
+            .unwrap_or_else(|e| panic!("unparseable event line ({e}): {line}"))
+            .0;
+        let fields = value
+            .as_object()
+            .unwrap_or_else(|| panic!("event line is not an object: {line}"));
+        match value.get("v") {
+            Some(&Value::Number(n)) if n == obs::schema::VERSION as f64 => {}
+            other => panic!("bad schema version {other:?} in: {line}"),
+        }
+        match value.get("ts_ns") {
+            Some(&Value::Number(n)) if n >= 0.0 && n.fract() == 0.0 => {}
+            other => panic!("bad ts_ns {other:?} in: {line}"),
+        }
+        let ty = match value.get("type") {
+            Some(Value::String(s)) => s.clone(),
+            other => panic!("bad type {other:?} in: {line}"),
+        };
+        let spec = obs::schema::spec_for(&ty)
+            .unwrap_or_else(|| panic!("event type {ty} not in obs::schema::EVENTS: {line}"));
+        for field in spec.fields {
+            let got = value
+                .get(field.name)
+                .unwrap_or_else(|| panic!("{ty} line missing field {}: {line}", field.name));
+            let kind_ok = match field.kind {
+                obs::schema::FieldKind::U64 => {
+                    matches!(got, &Value::Number(n) if n >= 0.0 && n.fract() == 0.0)
+                }
+                obs::schema::FieldKind::F64 => matches!(got, Value::Number(_)),
+                obs::schema::FieldKind::Str => matches!(got, Value::String(_)),
+                obs::schema::FieldKind::Bool => matches!(got, Value::Bool(_)),
+            };
+            assert!(
+                kind_ok,
+                "{ty} field {} has wrong kind (want {:?}): {line}",
+                field.name, field.kind
+            );
+        }
+        for (key, _) in fields {
+            let known = key == "v"
+                || key == "ts_ns"
+                || key == "type"
+                || spec.fields.iter().any(|f| f.name == key);
+            assert!(known, "{ty} line carries undocumented field {key}: {line}");
+        }
+        seen_types.insert(ty);
+    }
+    for expected in ["request_done", "request_rejected", "engine_swap"] {
+        assert!(
+            seen_types.contains(expected),
+            "serve run never emitted {expected}; saw {seen_types:?}"
+        );
+    }
+}

@@ -168,6 +168,41 @@ mod tests {
     }
 
     #[test]
+    fn enospc_then_success_retry_cleans_temp_and_rename_stays_whole() {
+        // The retry shape every hardened caller uses: an ENOSPC fault
+        // on one schedule index, then the (faultless) retry of the same
+        // logical write. The fault must leave no `.tmp` debris for the
+        // retry to trip on, the previous good generation must survive
+        // the failed attempt, and the retry must land the *entire* new
+        // payload — no partial rename can escape the fault window.
+        let dir = scratch("enospc-retry");
+        let target = dir.join("state.json");
+        write_atomic(&target, b"good generation", None).expect("seed write");
+        // Model a crashed earlier attempt: stale bytes already sitting
+        // at the temp path when the faulted write begins.
+        std::fs::write(tmp_sibling(&target), b"stale debris").expect("stage debris");
+        let err = write_atomic(
+            &target,
+            b"next generation",
+            Some(IoFault::Error(IoErrorKind::Enospc)),
+        )
+        .expect_err("fault must surface");
+        assert!(err.to_string().contains("ENOSPC"), "{err}");
+        // Failed attempt: destination untouched, temp cleaned up.
+        assert_eq!(std::fs::read(&target).expect("read"), b"good generation");
+        assert!(!tmp_sibling(&target).exists(), "temp survived the fault");
+        // Back-to-back retry of the same logical write, now faultless.
+        write_atomic(&target, b"next generation", None).expect("retry");
+        assert_eq!(std::fs::read(&target).expect("read"), b"next generation");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("dir")
+            .map(|e| e.expect("entry").file_name())
+            .collect();
+        assert_eq!(leftovers, vec![std::ffi::OsString::from("state.json")]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn torn_write_lands_a_strict_prefix_and_errors() {
         let dir = scratch("torn");
         let target = dir.join("state.json");

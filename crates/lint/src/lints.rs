@@ -113,7 +113,7 @@ fn in_determinism_scope(path: &str) -> bool {
         || path.starts_with("crates/xbar/src/")
         || path.starts_with("crates/obs/src/")
         || path.starts_with("crates/chaos/src/")
-        || path == "crates/accel/src/sim.rs"
+        || path.starts_with("crates/accel/src/sim/")
         || path == "crates/accel/src/campaign.rs"
 }
 
@@ -124,7 +124,11 @@ fn in_determinism_scope(path: &str) -> bool {
 /// torn by a crash into a half-written file that a resume then
 /// misparses.
 fn in_atomic_write_scope(path: &str) -> bool {
-    path == "crates/accel/src/campaign.rs" || path == "crates/obs/src/events.rs"
+    path == "crates/accel/src/campaign.rs"
+        || path == "crates/obs/src/events.rs"
+        // The serve persistence paths (BENCH_serve.json and anything
+        // the service module writes next) carry the same contract.
+        || path.starts_with("crates/accel/src/serve/")
 }
 
 /// Cast targets L2 considers potentially lossy. Casts to `u128`/`i128`

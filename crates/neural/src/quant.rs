@@ -187,7 +187,11 @@ pub fn quantize_activations_into(activations: &[f32], q: &mut Vec<u16>) -> f32 {
 /// value of `Σ_j w_q[o][j] · input[j]` — the quantity a crossbar's
 /// shift-and-add tree produces. De-biasing and rescaling happen in the
 /// digital domain ([`QuantizedNetwork::run`]).
-pub trait MvmEngine {
+///
+/// Engines are `Send`: a built engine set can be handed from the
+/// thread that programmed it to the thread that serves with it (the
+/// serve loop's background re-programming relies on this).
+pub trait MvmEngine: Send {
     /// Computes one matrix-vector product over quantized inputs, writing
     /// the per-row outputs into `out`.
     ///
@@ -202,6 +206,18 @@ pub trait MvmEngine {
         let mut out = Vec::new();
         self.mvm_into(input, &mut out);
         out
+    }
+
+    /// Rewinds the engine's noise stream to a fresh deterministic
+    /// state derived from `seed`.
+    ///
+    /// Long-lived engines (the serve loop's pooled crossbars) call
+    /// this before each request so a response is a pure function of
+    /// the request and the engine's programmed state — not of how many
+    /// requests the engine served before. Deterministic engines have
+    /// no stream to rewind; the default is a no-op.
+    fn reseed(&mut self, seed: u64) {
+        let _ = seed;
     }
 
     /// Computes `batch` matrix-vector products in one pass.

@@ -126,6 +126,17 @@ mod imp {
                  {what} {name:?} and any further overflow (counted in \
                  {DROPPED_REGISTRATIONS_COUNTER}; this warning prints once)"
             );
+            // One-time structured twin of the stderr warning, so log
+            // consumers see the overflow without scraping stderr. The
+            // registry lock is held here; the event sink uses its own
+            // lock and never takes the registry's, so the order is
+            // acyclic.
+            crate::events::emit(
+                crate::events::Event::new("obs_overflow")
+                    .str("what", what)
+                    .str("name", name)
+                    .u64("cap", cap as u64),
+            );
         }
     }
 

@@ -33,7 +33,15 @@
 /// offsets from the campaign seed), which exceeds the 2^53 exact-
 /// integer window JSON numbers guarantee; a decimal string carries
 /// the exact value at any width.
-pub const VERSION: u64 = 2;
+///
+/// v3: the serve request lifecycle joins the schema (`request_done`,
+/// `request_rejected`, `engine_swap`) along with the one-time
+/// `obs_overflow` registry warning. Bumped — rather than riding the
+/// additive rule — because service logs are a new consumer surface:
+/// a v3 reader knows rejected requests are *logged*, so an absence of
+/// `request_rejected` lines means none happened, a conclusion a v2
+/// reader could not draw.
+pub const VERSION: u64 = 3;
 
 /// JSON type of one event field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,6 +121,26 @@ const fn field(name: &'static str, kind: FieldKind) -> FieldSpec {
 ///   I/O seam: where (`seam`), which operation (`index`), and what
 ///   (`fault`: `eio`/`enospc`/`torn`/`bitflip`). Emitted by the seam
 ///   owner so chaos runs are self-documenting.
+/// - `request_done` — one line per request the serve loop answered
+///   `ok`: the request id as the client sent it, the worker shard that
+///   served it, the scheme and wear epoch of the engine set used, how
+///   many input samples the request carried, and the wall time from
+///   dequeue to response (`service_ns`).
+/// - `request_rejected` — one line per request refused with a typed
+///   error response: the request id (`"?"` when the frame was too
+///   malformed to carry one), the rejection `reason` (`overloaded` /
+///   `deadline_exceeded` / `bad_request` / `internal_error`), and the
+///   bounded queue's depth at rejection time (meaningful for
+///   `overloaded`, 0 otherwise).
+/// - `engine_swap` — one line per completed wear-epoch engine swap: the
+///   scheme whose engine set was replaced, the epoch it advanced to,
+///   how many programming attempts the swap burned (1 = verified on
+///   the first try), and the programming wall time (`program_ns`).
+/// - `obs_overflow` — the one-time structured twin of the registry-cap
+///   stderr warning: which registry overflowed (`what`: `counter` /
+///   `series`), the first refused name, and the cap. At most one line
+///   per process; the `obs_dropped_registrations` counter carries the
+///   running total.
 pub const EVENTS: &[EventSpec] = &[
     EventSpec {
         event_type: "campaign_epoch",
@@ -188,6 +216,42 @@ pub const EVENTS: &[EventSpec] = &[
             field("seam", STR),
             field("index", U64),
             field("fault", STR),
+        ],
+    },
+    EventSpec {
+        event_type: "request_done",
+        fields: &[
+            field("request_id", STR),
+            field("worker", U64),
+            field("scheme", STR),
+            field("epoch", U64),
+            field("samples", U64),
+            field("service_ns", U64),
+        ],
+    },
+    EventSpec {
+        event_type: "request_rejected",
+        fields: &[
+            field("request_id", STR),
+            field("reason", STR),
+            field("queue_depth", U64),
+        ],
+    },
+    EventSpec {
+        event_type: "engine_swap",
+        fields: &[
+            field("scheme", STR),
+            field("epoch", U64),
+            field("attempts", U64),
+            field("program_ns", U64),
+        ],
+    },
+    EventSpec {
+        event_type: "obs_overflow",
+        fields: &[
+            field("what", STR),
+            field("name", STR),
+            field("cap", U64),
         ],
     },
 ];

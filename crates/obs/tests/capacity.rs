@@ -15,6 +15,10 @@
 fn overflowing_the_registries_is_counted_not_silent() {
     assert_eq!(obs::counter_value(obs::DROPPED_REGISTRATIONS_COUNTER), 0);
 
+    // Arm the in-memory event sink before the first overflow so the
+    // one-time `obs_overflow` warning event is captured below.
+    obs::events::log_to_memory();
+
     // Fill the counter registry past its cap. Handle names must be
     // 'static, so leak them (bounded count, test process).
     let extra_counters = 3usize;
@@ -68,4 +72,28 @@ fn overflowing_the_registries_is_counted_not_silent() {
         obs::counter_value(obs::DROPPED_REGISTRATIONS_COUNTER),
         dropped
     );
+
+    // The structured twin of the stderr warning: exactly one
+    // `obs_overflow` event for the whole burst of refusals, carrying
+    // the first refused name, and matching its schema spec.
+    let lines = obs::events::take_memory();
+    let overflow: Vec<&String> = lines
+        .iter()
+        .filter(|l| l.contains("\"type\":\"obs_overflow\""))
+        .collect();
+    assert_eq!(overflow.len(), 1, "one-time event emitted once: {lines:?}");
+    let line = overflow[0];
+    assert!(
+        line.contains(&format!("\"what\":\"counter\",\"name\":\"cap_counter_{:03}\"", obs::MAX_COUNTERS)),
+        "first refused counter named: {line}"
+    );
+    assert!(
+        line.contains(&format!("\"cap\":{}", obs::MAX_COUNTERS)),
+        "cap recorded: {line}"
+    );
+    let spec = obs::schema::spec_for("obs_overflow").expect("obs_overflow in schema");
+    for f in spec.fields {
+        assert!(line.contains(&format!("\"{}\":", f.name)), "field {} on {line}", f.name);
+    }
+    obs::events::stop_logging();
 }

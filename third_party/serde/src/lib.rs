@@ -69,6 +69,21 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// Identity impls: parsing into / rendering from a raw `Value` lets
+// callers inspect free-form JSON (e.g. protocol frames with optional
+// fields) without a fixed struct shape.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Value, String> {
+        Ok(value.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
