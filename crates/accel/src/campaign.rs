@@ -886,7 +886,12 @@ impl Campaign {
         for _ in 0..=self.write_retries {
             let fault = self.io_fault(Seam::FinalWrite);
             match chaos::fs::write_atomic(&path, json.as_bytes(), fault) {
-                Ok(()) => match std::fs::read(&path) {
+                // Read-back goes through the chaos read seam (no fault
+                // drawn: the FinalWrite draw above already decided this
+                // attempt's fate, and a second draw would shift the
+                // seed-pinned schedule) so the verification path stays
+                // injectable alongside every other durable read.
+                Ok(()) => match chaos::fs::read(&path, None) {
                     Ok(bytes) if bytes == json.as_bytes() => return Ok(()),
                     Ok(_) => {
                         last_err = Some(std::io::Error::new(
@@ -911,6 +916,7 @@ impl Campaign {
     fn ensure_parent_dir(&self, path: &Path) -> Result<(), AccelError> {
         if let Some(dir) = path.parent() {
             if !dir.as_os_str().is_empty() {
+                // lint: allow(chaos_seam_coverage, idempotent mkdir -p of the artifact directory; it leaves no partial artifact to tear and its ENOSPC/EIO failures surface as typed Checkpoint errors)
                 std::fs::create_dir_all(dir).map_err(|e| AccelError::Checkpoint {
                     path: path.display().to_string(),
                     message: e.to_string(),

@@ -173,7 +173,11 @@ fn build_per_row_stack<R: Rng + ?Sized>(
     let code = match config.scheme {
         ProtectionScheme::None => None,
         ProtectionScheme::Static16 => Some(static16_code(config.device.bits_per_cell)),
-        _ => unreachable!("grouped schemes use build_group_stack"),
+        _ => {
+            return Err(CodeError::InvalidLayout(
+                "grouped scheme routed to the per-row stack builder".to_string(),
+            ))
+        }
     };
     let coded_bits = match &code {
         Some(c) => 16 + c.check_bits(),
@@ -237,7 +241,11 @@ fn build_group_stack<R: Rng + ?Sized>(
             check_bits,
             hardware_candidates,
         } => select_data_aware_code(&blocks, check_bits, hardware_candidates, config)?,
-        _ => unreachable!("per-row schemes use build_per_row_stack"),
+        _ => {
+            return Err(CodeError::InvalidLayout(
+                "per-row scheme routed to the group stack builder".to_string(),
+            ))
+        }
     };
 
     let coded: Vec<U256> = blocks
@@ -313,14 +321,24 @@ fn select_data_aware_code(
 
 /// Predicts the row-error model of `blocks` when encoded with candidate
 /// `a` (before programming — no stuck-at knowledge yet).
-fn predicted_row_model(blocks: &[U256], a: u64, config: &AccelConfig) -> RowErrorModel {
+///
+/// # Errors
+///
+/// [`CodeError::Overflow`] when a coded block would exceed 256 bits —
+/// the candidate cannot encode these operands and the A-search rejects
+/// it.
+fn predicted_row_model(
+    blocks: &[U256],
+    a: u64,
+    config: &AccelConfig,
+) -> Result<RowErrorModel, CodeError> {
     let multiplier = a * ProtectionScheme::B;
     let coded_bits = config.group.data_bits() + total_check_bits(a, ProtectionScheme::B);
     let slicer = BitSlicer::new(config.device.bits_per_cell, coded_bits);
     let coded: Vec<U256> = blocks
         .iter()
-        .map(|&b| b.checked_mul_u64(multiplier).expect("coded block fits 256 bits"))
-        .collect();
+        .map(|&b| b.checked_mul_u64(multiplier).ok_or(CodeError::Overflow))
+        .collect::<Result<_, _>>()?;
     let levels = slicer.slice_wide(&coded);
     let rows = levels
         .iter()
@@ -336,7 +354,7 @@ fn predicted_row_model(blocks: &[U256], a: u64, config: &AccelConfig) -> RowErro
             }
         })
         .collect();
-    RowErrorModel::new(rows, config.group.operand_bits())
+    Ok(RowErrorModel::new(rows, config.group.operand_bits()))
 }
 
 /// Derives the row-error model of a *programmed* array (actual levels,
@@ -379,7 +397,9 @@ fn composition_of(levels: &[u32], n_levels: u32) -> Vec<u32> {
 pub fn worst_case_row_model(device: &DeviceParams, rows: u32, operand_bits: u32) -> RowErrorModel {
     let comp: Vec<u32> = {
         let mut c = vec![0u32; device.levels() as usize];
-        *c.last_mut().expect("at least one level") = 128;
+        if let Some(top) = c.last_mut() {
+            *top = 128;
+        }
         c
     };
     let rate = rowerr::predict_composition(&comp, device);

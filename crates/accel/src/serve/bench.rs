@@ -71,6 +71,7 @@ impl Client {
             stage: "bench-connect".into(),
             message: e.to_string(),
         };
+        // lint: allow(chaos_seam_coverage, client-side load generator; chaos faults target the service under test, not the measurement harness)
         let writer = TcpStream::connect(("127.0.0.1", port)).map_err(stage)?;
         writer
             .set_read_timeout(Some(Duration::from_secs(30)))

@@ -163,7 +163,8 @@ fn serve_once(
 ) {
     match fault {
         Some(ExecFault::Panic) => {
-            // lint: allow(panic_in_harness, deterministic fault injection: caught by serve_with_retry's catch_unwind, which is the path under test)
+            // Deterministic fault injection: caught by serve_with_retry's
+            // catch_unwind, which panic_reachability sees as the guard.
             panic!("chaos: injected serve worker panic (worker {widx})")
         }
         Some(ExecFault::Stall { ms }) => std::thread::sleep(Duration::from_millis(ms)),

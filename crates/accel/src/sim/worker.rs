@@ -74,7 +74,9 @@ pub(super) fn run_shard(
         if config.watchdog_ns != 0
             && chaos::clock::now_ns().saturating_sub(watchdog_start_ns) > config.watchdog_ns
         {
-            // lint: allow(panic_in_harness, the watchdog's abort channel: caught by evaluate's catch_unwind and converted into a seed-stable retry)
+            // The watchdog's abort channel: caught by evaluate's catch_unwind
+            // and converted into a seed-stable retry (panic_reachability
+            // sees the guard at the call edge).
             panic!(
                 "watchdog: shard {shard} exceeded its {} ms deadline (attempt {attempt})",
                 config.watchdog_ns / 1_000_000
@@ -86,7 +88,8 @@ pub(super) fn run_shard(
         if (wlo..wend).contains(&chaos_at) {
             match config.shard_chaos.decide(shard as u64, attempt) {
                 Some(chaos::ExecFault::Panic) => {
-                    // lint: allow(panic_in_harness, deterministic fault injection: caught by evaluate's catch_unwind, which is the path under test)
+                    // Deterministic fault injection: caught by evaluate's
+                    // catch_unwind, which is the path under test.
                     panic!("chaos: injected worker panic (shard {shard}, attempt {attempt})")
                 }
                 Some(chaos::ExecFault::Stall { ms }) => {

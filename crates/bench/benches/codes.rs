@@ -39,7 +39,7 @@ fn bench_codes(c: &mut Criterion) {
 
     c.bench_function("a_search_hardware_5", |b| {
         b.iter(|| {
-            ancode::search::select_a_hardware(9, 3, 128, &config, |_| model(34)).unwrap()
+            ancode::search::select_a_hardware(9, 3, 128, &config, |_| Ok(model(34))).unwrap()
         })
     });
 

@@ -186,7 +186,7 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
         3,
         16,
         &DataAwareConfig::default(),
-        |_| model.clone(),
+        |_| Ok(model.clone()),
     )
     .map_err(|e| e.to_string())?;
     println!(

@@ -62,12 +62,14 @@ pub struct SearchResult {
 /// `model_for` maps a candidate `A` to the row-error model of the matrix
 /// *encoded with that `A`* (the circular dependence noted in the paper:
 /// the stored bit patterns, and hence the per-row 1-counts and error
-/// probabilities, change with `A`).
+/// probabilities, change with `A`). A candidate whose model cannot be
+/// built (`Err`) is rejected and the search moves on, exactly like a
+/// candidate whose code construction fails.
 ///
 /// # Errors
 ///
 /// Returns [`CodeError::InvalidA`] if `candidates` is empty or no
-/// candidate yields a valid code.
+/// candidate yields both a model and a valid code.
 pub fn select_a<F>(
     candidates: &[u64],
     b: u64,
@@ -76,14 +78,17 @@ pub fn select_a<F>(
     mut model_for: F,
 ) -> Result<SearchResult, CodeError>
 where
-    F: FnMut(u64) -> RowErrorModel,
+    F: FnMut(u64) -> Result<RowErrorModel, CodeError>,
 {
     let _span = obs::span!("a_search");
     let mut best: Option<(AbnCode, f64)> = None;
     let mut evaluated = 0;
     for &a in candidates {
         obs::counter!(a_search_candidates).incr();
-        let model = model_for(a);
+        let Ok(model) = model_for(a) else {
+            obs::counter!(a_search_rejected).incr();
+            continue;
+        };
         let Ok(code) = build_code(a, b, &model, data_bits, config) else {
             obs::counter!(a_search_rejected).incr();
             continue;
@@ -119,7 +124,7 @@ pub fn select_a_full<F>(
     model_for: F,
 ) -> Result<SearchResult, CodeError>
 where
-    F: FnMut(u64) -> RowErrorModel,
+    F: FnMut(u64) -> Result<RowErrorModel, CodeError>,
 {
     let candidates = candidate_as(check_bits, b);
     select_a(&candidates, b, data_bits, config, model_for)
@@ -139,7 +144,7 @@ pub fn select_a_hardware<F>(
     model_for: F,
 ) -> Result<SearchResult, CodeError>
 where
-    F: FnMut(u64) -> RowErrorModel,
+    F: FnMut(u64) -> Result<RowErrorModel, CodeError>,
 {
     let max = ((1u64 << check_bits) - 1) / b;
     let candidates: Vec<u64> = DEFAULT_HARDWARE_CANDIDATES
@@ -206,8 +211,8 @@ mod tests {
     #[test]
     fn full_search_beats_or_matches_hardware() {
         let config = DataAwareConfig::default();
-        let full = select_a_full(8, 3, 16, &config, |_| model(0.01)).unwrap();
-        let hw = select_a_hardware(8, 3, 16, &config, |_| model(0.01)).unwrap();
+        let full = select_a_full(8, 3, 16, &config, |_| Ok(model(0.01))).unwrap();
+        let hw = select_a_hardware(8, 3, 16, &config, |_| Ok(model(0.01))).unwrap();
         assert!(full.coverage >= hw.coverage);
         assert!(full.evaluated > hw.evaluated);
     }
@@ -215,8 +220,8 @@ mod tests {
     #[test]
     fn larger_budget_never_hurts() {
         let config = DataAwareConfig::default();
-        let small = select_a_full(7, 3, 16, &config, |_| model(0.02)).unwrap();
-        let large = select_a_full(10, 3, 16, &config, |_| model(0.02)).unwrap();
+        let small = select_a_full(7, 3, 16, &config, |_| Ok(model(0.02))).unwrap();
+        let large = select_a_full(10, 3, 16, &config, |_| Ok(model(0.02))).unwrap();
         assert!(large.coverage >= small.coverage);
     }
 
@@ -227,7 +232,7 @@ mod tests {
         let candidates = [19u64, 41];
         select_a(&candidates, 3, 16, &config, |a| {
             seen.push(a);
-            model(0.01)
+            Ok(model(0.01))
         })
         .unwrap();
         assert_eq!(seen, vec![19, 41]);
@@ -236,7 +241,7 @@ mod tests {
     #[test]
     fn empty_candidates_error() {
         let config = DataAwareConfig::default();
-        assert!(select_a(&[], 3, 16, &config, |_| model(0.01)).is_err());
+        assert!(select_a(&[], 3, 16, &config, |_| Ok(model(0.01))).is_err());
     }
 
     #[test]

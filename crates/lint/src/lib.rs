@@ -6,28 +6,40 @@
 //! invariant** (bit-identical simulation output regardless of
 //! threading, checkpointing, or refactors) and the **crash-safety
 //! contract** (typed [`AccelError`]s instead of panics in the
-//! Monte-Carlo harness) — so this crate enforces them mechanically:
+//! Monte-Carlo harness) — so this crate enforces them mechanically.
+//!
+//! Since the call-graph upgrade the analyzer is syntax-aware: every
+//! file is lexed ([`lexer`]), parsed into items ([`parser`]), and
+//! joined into a workspace call graph ([`graph`]) that the cross-file
+//! lints ([`cross`]) walk. The per-file token lints remain in
+//! [`lints`].
 //!
 //! | lint | guards | scope |
 //! |------|--------|-------|
-//! | `panic_in_harness` | `.unwrap()` / `.expect(` / `panic!` / `unreachable!` | `accel`, `cli`, `neural::quant`, `xbar::array` |
+//! | `panic_reachability` | panicking constructs with no `catch_unwind` between them and a crash-safe entry point | call graph from `sim::evaluate`, `Campaign::run`, `Service::start` |
 //! | `lossy_cast` | narrowing / precision-losing `as` casts | `wideint`, `core` |
 //! | `nondeterminism` | `HashMap`/`HashSet`, `Instant`/`SystemTime` | `core`, `xbar`, `obs`, `chaos`, `accel::{sim,campaign}` |
 //! | `float_eq` | `==`/`!=` against float literals | whole workspace |
-//! | `raw_file_write` | `File::create` / `fs::write` instead of the atomic-rename writer | `accel::campaign`, `obs::events` |
+//! | `chaos_seam_coverage` | raw `std::fs` / `std::net` calls that bypass the chaos fault seams | `accel::campaign`, `accel::serve`, `obs::events` |
+//! | `schema_drift` | `Event::new(..)` builder chains vs `obs::schema::EVENTS` | every emit site |
 //!
 //! Test code (`#[cfg(test)]` regions, `tests/` directories) is exempt.
 //! Pre-existing violations live in `lint-baseline.toml` (see
 //! [`baseline`]); intentional sites are annotated in place with
 //! `// lint: allow(<lint>, <reason>)`.
 //!
-//! Run it as `cargo run -p repro-lint -- check`.
+//! Run it as `cargo run -p repro-lint -- check` (add `--format json`
+//! for the machine-readable report, `--panic-indexing` to include the
+//! advisory indexing heuristic).
 //!
 //! [`AccelError`]: https://docs.rs/ (the `accel` crate's error type)
 
 pub mod baseline;
+pub mod cross;
+pub mod graph;
 pub mod lexer;
 pub mod lints;
+pub mod parser;
 
 use std::path::{Path, PathBuf};
 
@@ -121,19 +133,38 @@ fn walk(root: &Path, dir: &Path, files: &mut Vec<String>) -> Result<(), ToolErro
     Ok(())
 }
 
-/// Lints every workspace file and returns all violations, sorted by
-/// file, line, lint.
+/// Lints every workspace file — the per-file passes plus the
+/// cross-file analyzer — and returns all violations, sorted by file,
+/// line, lint. Cross-file violations honour the same
+/// `// lint: allow(..)` comments as per-file ones, resolved against
+/// the file each violation lands in.
 ///
 /// # Errors
 ///
 /// Returns [`ToolError`] on unreadable files.
-pub fn collect_violations(root: &Path) -> Result<Vec<Violation>, ToolError> {
+pub fn collect_violations(
+    root: &Path,
+    opts: cross::CrossOptions,
+) -> Result<Vec<Violation>, ToolError> {
     let mut all = Vec::new();
+    let mut files: Vec<(String, lexer::Lexed)> = Vec::new();
+    let mut parsed: Vec<parser::ParsedFile> = Vec::new();
     for rel in workspace_files(root)? {
         let source = std::fs::read_to_string(root.join(&rel))
             .map_err(|e| ToolError(format!("reading {rel}: {e}")))?;
         let lexed = lexer::lex(&source);
         all.extend(lints::check_file(&rel, &lexed));
+        parsed.push(parser::parse_file(&rel, &parser::crate_name_of(&rel), &lexed));
+        files.push((rel, lexed));
+    }
+    for v in cross::check_workspace(&files, &parsed, opts) {
+        let suppressed = files
+            .iter()
+            .find(|(path, _)| *path == v.file)
+            .is_some_and(|(_, lexed)| lints::is_allowed(lexed, &v));
+        if !suppressed {
+            all.push(v);
+        }
     }
     all.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
     Ok(all)
@@ -163,8 +194,12 @@ impl CheckReport {
 /// # Errors
 ///
 /// Returns [`ToolError`] on I/O failure or a malformed baseline file.
-pub fn run_check(root: &Path, baseline_path: &Path) -> Result<CheckReport, ToolError> {
-    let violations = collect_violations(root)?;
+pub fn run_check(
+    root: &Path,
+    baseline_path: &Path,
+    opts: cross::CrossOptions,
+) -> Result<CheckReport, ToolError> {
+    let violations = collect_violations(root, opts)?;
     let resolved = if baseline_path.is_absolute() {
         baseline_path.to_path_buf()
     } else {
@@ -228,6 +263,102 @@ pub fn render_report(report: &CheckReport) -> String {
     out
 }
 
+/// Minimal JSON string escaping (the only non-trivial content is lint
+/// messages, which are ASCII prose, but backslashes and quotes in
+/// paths or messages must not corrupt the document).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a check run as a stable machine-readable JSON document
+/// (`--format json`): tool identity, pass/fail, per-lint totals, every
+/// violation (including baseline-suppressed ones), and the baseline
+/// drift that decides the exit code.
+pub fn render_json(report: &CheckReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"tool\": \"repro-lint\",\n  \"schema_version\": 1,\n  \"passed\": {},\n",
+        report.passed()
+    );
+    let mut totals: Vec<(&str, usize)> = lints::LintId::all()
+        .iter()
+        .map(|l| {
+            (
+                l.name(),
+                report.violations.iter().filter(|v| v.lint == *l).count(),
+            )
+        })
+        .filter(|(_, n)| *n > 0)
+        .collect();
+    totals.sort();
+    out.push_str("  \"totals\": {");
+    for (i, (name, n)) in totals.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(out, "{sep}\"{name}\": {n}");
+    }
+    out.push_str("},\n  \"violations\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    {{\"file\": \"{}\", \"line\": {}, \"lint\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&v.file),
+            v.line,
+            v.lint.name(),
+            json_escape(&v.message)
+        );
+    }
+    if !report.violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"drifts\": [");
+    for (i, d) in report.drifts.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let (kind, lint, file, baseline, current) = match d {
+            Drift::Regression {
+                lint,
+                file,
+                baseline,
+                current,
+            } => ("regression", lint, file, *baseline, current.len()),
+            Drift::Stale {
+                lint,
+                file,
+                baseline,
+                current,
+            } => ("stale", lint, file, *baseline, *current as usize),
+        };
+        let _ = write!(
+            out,
+            "{sep}\n    {{\"kind\": \"{kind}\", \"lint\": \"{}\", \"file\": \"{}\", \
+             \"baseline\": {baseline}, \"current\": {current}}}",
+            json_escape(lint),
+            json_escape(file)
+        );
+    }
+    if !report.drifts.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
 /// Entry point shared by `main` and the CLI tests. Returns the process
 /// exit code: 0 clean, 1 violations/drift, 2 usage or I/O error.
 pub fn run(args: &[String], cwd: &Path, out: &mut dyn std::io::Write) -> i32 {
@@ -248,6 +379,10 @@ fn run_inner(
     let mut command: Option<&str> = None;
     let mut root_arg: Option<PathBuf> = None;
     let mut baseline_arg: Option<PathBuf> = None;
+    let mut format_json = false;
+    let mut opts = cross::CrossOptions::default();
+    let usage = "usage: repro-lint <check|baseline|list> [--root DIR] [--baseline FILE] \
+                 [--format human|json] [--panic-indexing]";
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -261,12 +396,24 @@ fn run_inner(
                     ToolError("--baseline requires a path".to_string())
                 })?));
             }
+            "--format" => {
+                let fmt = iter
+                    .next()
+                    .ok_or_else(|| ToolError("--format requires `human` or `json`".to_string()))?;
+                format_json = match fmt.as_str() {
+                    "json" => true,
+                    "human" => false,
+                    other => {
+                        return Err(ToolError(format!(
+                            "unknown format `{other}` (expected `human` or `json`)"
+                        )))
+                    }
+                };
+            }
+            "--panic-indexing" => opts.panic_indexing = true,
             "check" | "baseline" | "list" if command.is_none() => command = Some(arg),
             other => {
-                return Err(ToolError(format!(
-                    "unknown argument `{other}` (usage: repro-lint <check|baseline|list> \
-                     [--root DIR] [--baseline FILE])"
-                )))
+                return Err(ToolError(format!("unknown argument `{other}` ({usage})")))
             }
         }
     }
@@ -281,12 +428,16 @@ fn run_inner(
 
     match command {
         Some("check") => {
-            let report = run_check(&root, &baseline_path)?;
-            wr(out, &render_report(&report));
+            let report = run_check(&root, &baseline_path, opts)?;
+            if format_json {
+                wr(out, &render_json(&report));
+            } else {
+                wr(out, &render_report(&report));
+            }
             Ok(if report.passed() { 0 } else { 1 })
         }
         Some("list") => {
-            let violations = collect_violations(&root)?;
+            let violations = collect_violations(&root, opts)?;
             for v in &violations {
                 wr(out, &format!("{}\n", v.render()));
             }
@@ -294,7 +445,7 @@ fn run_inner(
             Ok(if violations.is_empty() { 0 } else { 1 })
         }
         Some("baseline") => {
-            let violations = collect_violations(&root)?;
+            let violations = collect_violations(&root, opts)?;
             let baseline = Baseline::from_violations(&violations);
             let resolved = if baseline_path.is_absolute() {
                 baseline_path
@@ -313,10 +464,6 @@ fn run_inner(
             );
             Ok(0)
         }
-        _ => Err(ToolError(
-            "missing command (usage: repro-lint <check|baseline|list> [--root DIR] \
-             [--baseline FILE])"
-                .to_string(),
-        )),
+        _ => Err(ToolError(format!("missing command ({usage})"))),
     }
 }

@@ -1,10 +1,12 @@
-//! The lint passes.
+//! The per-file lint passes, plus the [`LintId`] / [`Violation`] types
+//! shared with the cross-file analyzer ([`crate::cross`]).
 //!
-//! Each lint walks the token stream of one file (see [`crate::lexer`])
-//! and reports violations with a stable machine-readable identity:
-//! `file:line: lint_id: message`. Scoping is path-based — every lint
-//! declares which workspace files it guards — and test code
-//! (`#[cfg(test)]` regions, `tests/` directories) is always exempt.
+//! Each per-file lint walks the token stream of one file (see
+//! [`crate::lexer`]) and reports violations with a stable
+//! machine-readable identity: `file:line: lint_id: message`. Scoping
+//! is path-based — every lint declares which workspace files it
+//! guards — and test code (`#[cfg(test)]` regions, `tests/`
+//! directories) is always exempt.
 //!
 //! Suppression: a violation is silenced by a comment on the same line
 //! or the line directly above of the form
@@ -16,9 +18,12 @@ use crate::lexer::{Lexed, Token, TokenKind};
 /// Identifier of one lint pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum LintId {
-    /// L1: `.unwrap()` / `.expect(` / `panic!` / `unreachable!` in
-    /// non-test code of the crash-safe crates.
-    PanicInHarness,
+    /// L1: `.unwrap()` / `.expect(` / `panic!` / `unreachable!` /
+    /// (opt-in) indexing transitively reachable from a crash-safe
+    /// entry point with no `catch_unwind` on the path (see
+    /// [`crate::cross`]). Supersedes the per-file `panic_in_harness`
+    /// scope list of earlier releases.
+    PanicReachability,
     /// L2: potentially lossy `as` numeric casts in the arithmetic
     /// substrate.
     LossyCast,
@@ -27,10 +32,14 @@ pub enum LintId {
     Nondeterminism,
     /// L4: float `==` / `!=` comparisons outside tests.
     FloatEq,
-    /// L5: direct `File::create` / `fs::write` in the crash-safe
-    /// persistence paths, which must use the atomic temp-file +
-    /// rename writer so a crash never leaves a half-written artifact.
-    RawFileWrite,
+    /// L5: raw `std::fs` / `std::net` call sites in the chaos-tested
+    /// persistence and service paths that bypass the fault-injection
+    /// seams (`chaos::fs`, threaded `Seam` faults). Generalizes the
+    /// old `raw_file_write` lint to reads, renames, and sockets.
+    ChaosSeamCoverage,
+    /// L6: an obs event emit site whose field names/types/order do not
+    /// match `obs::schema` (see [`crate::cross`]).
+    SchemaDrift,
     /// Meta: a `lint: allow(...)` comment without a reason.
     BareAllow,
 }
@@ -40,23 +49,25 @@ impl LintId {
     /// comments.
     pub fn name(self) -> &'static str {
         match self {
-            LintId::PanicInHarness => "panic_in_harness",
+            LintId::PanicReachability => "panic_reachability",
             LintId::LossyCast => "lossy_cast",
             LintId::Nondeterminism => "nondeterminism",
             LintId::FloatEq => "float_eq",
-            LintId::RawFileWrite => "raw_file_write",
+            LintId::ChaosSeamCoverage => "chaos_seam_coverage",
+            LintId::SchemaDrift => "schema_drift",
             LintId::BareAllow => "bare_allow",
         }
     }
 
     /// All lints, in report order.
-    pub fn all() -> [LintId; 6] {
+    pub fn all() -> [LintId; 7] {
         [
-            LintId::PanicInHarness,
+            LintId::PanicReachability,
             LintId::LossyCast,
             LintId::Nondeterminism,
             LintId::FloatEq,
-            LintId::RawFileWrite,
+            LintId::ChaosSeamCoverage,
+            LintId::SchemaDrift,
             LintId::BareAllow,
         ]
     }
@@ -88,16 +99,6 @@ impl Violation {
     }
 }
 
-/// Files guarded by L1 (`panic_in_harness`): the crates and modules
-/// whose public contract promises typed errors instead of panics
-/// (PR 2's crash-safety work).
-fn in_panic_scope(path: &str) -> bool {
-    path.starts_with("crates/accel/src/")
-        || path.starts_with("crates/cli/src/")
-        || path == "crates/neural/src/quant.rs"
-        || path == "crates/xbar/src/array.rs"
-}
-
 /// Files guarded by L2 (`lossy_cast`): the fixed-width arithmetic
 /// substrate, where a silent truncation corrupts coded operands.
 fn in_cast_scope(path: &str) -> bool {
@@ -117,20 +118,6 @@ fn in_determinism_scope(path: &str) -> bool {
         || path == "crates/accel/src/campaign.rs"
 }
 
-/// Files guarded by L5 (`raw_file_write`): the persistence seams whose
-/// crash-safety contract (checkpoint A/B slots, resumable event log)
-/// depends on every durable artifact landing via temp-file +
-/// atomic-rename. A direct `File::create` or `fs::write` here can be
-/// torn by a crash into a half-written file that a resume then
-/// misparses.
-fn in_atomic_write_scope(path: &str) -> bool {
-    path == "crates/accel/src/campaign.rs"
-        || path == "crates/obs/src/events.rs"
-        // The serve persistence paths (BENCH_serve.json and anything
-        // the service module writes next) carry the same contract.
-        || path.starts_with("crates/accel/src/serve/")
-}
-
 /// Cast targets L2 considers potentially lossy. Casts to `u128`/`i128`
 /// are treated as widening and skipped (known gap: a negative signed
 /// value `as u128` wraps; that pattern does not occur in the guarded
@@ -140,22 +127,19 @@ const NARROWING_TARGETS: [&str; 12] = [
     "u8", "u16", "u32", "u64", "usize", "i8", "i16", "i32", "i64", "isize", "f32", "f64",
 ];
 
-/// Runs every applicable lint over one lexed file.
+/// Runs every applicable per-file lint over one lexed file. The
+/// cross-file lints (`panic_reachability`, `chaos_seam_coverage`,
+/// `schema_drift`) live in [`crate::cross`] and run once over the
+/// whole workspace.
 pub fn check_file(path: &str, lexed: &Lexed) -> Vec<Violation> {
     let mut out = Vec::new();
     let tokens = &lexed.tokens;
 
-    if in_panic_scope(path) {
-        lint_panics(path, tokens, &mut out);
-    }
     if in_cast_scope(path) {
         lint_casts(path, tokens, &mut out);
     }
     if in_determinism_scope(path) {
         lint_nondeterminism(path, tokens, &mut out);
-    }
-    if in_atomic_write_scope(path) {
-        lint_raw_file_writes(path, tokens, &mut out);
     }
     lint_float_eq(path, tokens, &mut out);
     lint_bare_allows(path, lexed, &mut out);
@@ -165,35 +149,6 @@ pub fn check_file(path: &str, lexed: &Lexed) -> Vec<Violation> {
     out.retain(|v| v.lint == LintId::BareAllow || !is_allowed(lexed, v));
     out.sort_by(|a, b| (a.line, a.lint, &a.message).cmp(&(b.line, b.lint, &b.message)));
     out
-}
-
-/// L1: panicking constructs in non-test code.
-fn lint_panics(path: &str, tokens: &[Token], out: &mut Vec<Violation>) {
-    for (i, t) in tokens.iter().enumerate() {
-        if t.in_test || t.kind != TokenKind::Ident {
-            continue;
-        }
-        let prev_is_dot =
-            i > 0 && tokens[i - 1].kind == TokenKind::Punct && tokens[i - 1].text == ".";
-        let next_text = tokens.get(i + 1).map(|n| n.text.as_str());
-        let construct = match t.text.as_str() {
-            "unwrap" if prev_is_dot && next_text == Some("(") => Some(".unwrap()"),
-            "expect" if prev_is_dot && next_text == Some("(") => Some(".expect(..)"),
-            "panic" if !prev_is_dot && next_text == Some("!") => Some("panic!"),
-            "unreachable" if !prev_is_dot && next_text == Some("!") => Some("unreachable!"),
-            _ => None,
-        };
-        if let Some(construct) = construct {
-            out.push(Violation {
-                lint: LintId::PanicInHarness,
-                file: path.to_string(),
-                line: t.line,
-                message: format!(
-                    "{construct} in crash-safe non-test code; return a typed AccelError instead"
-                ),
-            });
-        }
-    }
 }
 
 /// L2: `expr as <narrower numeric>` casts.
@@ -246,45 +201,6 @@ fn lint_nondeterminism(path: &str, tokens: &[Token], out: &mut Vec<Violation>) {
             line: t.line,
             message: format!("{} in a deterministic simulation path: {reason}", t.text),
         });
-    }
-}
-
-/// L5: direct truncating writes in the crash-safe persistence paths.
-///
-/// Flags the two token shapes `File::create` and `fs::write` in
-/// non-test code. Both clobber their target in place; the guarded
-/// files must route durable artifacts through the atomic temp-file +
-/// rename writer (`chaos::fs::write_atomic`) instead. Append-mode
-/// sites where rename semantics cannot apply (a live JSONL stream)
-/// carry a baseline entry or a reasoned allow.
-fn lint_raw_file_writes(path: &str, tokens: &[Token], out: &mut Vec<Violation>) {
-    for (i, t) in tokens.iter().enumerate() {
-        if t.in_test || t.kind != TokenKind::Ident {
-            continue;
-        }
-        let sep_is_path = tokens
-            .get(i + 1)
-            .map_or(false, |n| n.kind == TokenKind::Punct && n.text == "::");
-        if !sep_is_path {
-            continue;
-        }
-        let method = tokens.get(i + 2).map(|n| n.text.as_str());
-        let construct = match (t.text.as_str(), method) {
-            ("File", Some("create")) => Some("File::create"),
-            ("fs", Some("write")) => Some("fs::write"),
-            _ => None,
-        };
-        if let Some(construct) = construct {
-            out.push(Violation {
-                lint: LintId::RawFileWrite,
-                file: path.to_string(),
-                line: t.line,
-                message: format!(
-                    "{construct} truncates in place; route durable artifacts through the \
-                     atomic temp-file + rename writer (chaos::fs::write_atomic)"
-                ),
-            });
-        }
     }
 }
 
@@ -356,8 +272,9 @@ fn allow_body(comment: &str) -> Option<&str> {
 }
 
 /// Whether `v` is suppressed by an allow comment naming its lint on the
-/// same line or the line directly above.
-fn is_allowed(lexed: &Lexed, v: &Violation) -> bool {
+/// same line or the line directly above. Exposed to the crate so the
+/// cross-file lints honour the same suppression syntax.
+pub(crate) fn is_allowed(lexed: &Lexed, v: &Violation) -> bool {
     lexed.comments.iter().any(|c| {
         (c.line == v.line || c.line + 1 == v.line)
             && allow_body(&c.text).is_some_and(|body| {
@@ -379,38 +296,9 @@ mod tests {
     }
 
     #[test]
-    fn panic_lint_fires_only_in_scope_and_outside_tests() {
-        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod t { fn g() { y.unwrap(); } }";
-        let hits = run("crates/accel/src/sim.rs", src);
-        assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0].line, 1);
-        assert_eq!(hits[0].lint, LintId::PanicInHarness);
-        // Same source outside the crash-safe scope: no L1.
-        assert!(run("crates/neural/src/layer.rs", src)
-            .iter()
-            .all(|v| v.lint != LintId::PanicInHarness));
-    }
-
-    #[test]
-    fn panic_lint_catches_all_four_constructs_but_not_lookalikes() {
-        let src = "fn f() {\n\
-                   a.unwrap();\n\
-                   b.expect(\"msg\");\n\
-                   panic!(\"boom\");\n\
-                   unreachable!();\n\
-                   c.unwrap_or(0);\n\
-                   d.unwrap_or_else(|| 0);\n\
-                   e.expect_err(\"no\");\n\
-                   }";
-        let hits = run("crates/cli/src/main.rs", src);
-        let lines: Vec<u32> = hits.iter().map(|v| v.line).collect();
-        assert_eq!(lines, [2, 3, 4, 5]);
-    }
-
-    #[test]
     fn doc_comments_and_strings_do_not_fire() {
-        let src = "/// Call `.unwrap()` on the result.\n\
-                   fn f() { let s = \".unwrap()\"; let _ = s; }";
+        let src = "/// Checks `x == 0.0` exactly.\n\
+                   fn f() { let s = \"x == 0.0\"; let _ = s; }";
         assert!(run("crates/accel/src/engine.rs", src).is_empty());
     }
 
@@ -492,45 +380,6 @@ mod tests {
     }
 
     #[test]
-    fn raw_write_lint_flags_truncating_writes_in_persistence_files() {
-        let src = "fn f() {\n\
-                   let a = File::create(p);\n\
-                   std::fs::write(p, b);\n\
-                   let _ = (a, std::fs::read(p));\n\
-                   }";
-        for path in ["crates/accel/src/campaign.rs", "crates/obs/src/events.rs"] {
-            let hits: Vec<_> = run(path, src)
-                .into_iter()
-                .filter(|v| v.lint == LintId::RawFileWrite)
-                .collect();
-            let lines: Vec<u32> = hits.iter().map(|v| v.line).collect();
-            assert_eq!(lines, [2, 3], "in {path}");
-        }
-        // Out of scope (even inside the same crates) and test code:
-        // silent.
-        assert!(run("crates/accel/src/sim.rs", src)
-            .iter()
-            .all(|v| v.lint != LintId::RawFileWrite));
-        let in_test = "#[cfg(test)]\nmod t { fn g() { std::fs::write(p, b); } }";
-        assert!(run("crates/accel/src/campaign.rs", in_test).is_empty());
-    }
-
-    #[test]
-    fn raw_write_lint_ignores_lookalikes_and_honours_allow() {
-        // The atomic writer itself, reads, and unrelated `write` idents
-        // never fire.
-        let src = "fn f() {\n\
-                   chaos::fs::write_atomic(p, b, None);\n\
-                   let _ = std::fs::read_to_string(p);\n\
-                   writeln!(out, \"x\");\n\
-                   }";
-        assert!(run("crates/accel/src/campaign.rs", src).is_empty());
-        let allowed = "// lint: allow(raw_file_write, append-only JSONL stream; rename \
-                       semantics cannot apply)\nfn f() { let f = File::create(p); let _ = f; }";
-        assert!(run("crates/obs/src/events.rs", allowed).is_empty());
-    }
-
-    #[test]
     fn nondeterminism_scope_covers_chaos_crate() {
         let src = "use std::collections::HashMap;\nfn f() {}";
         let hits = run("crates/chaos/src/schedule.rs", src);
@@ -540,12 +389,13 @@ mod tests {
 
     #[test]
     fn render_is_machine_readable() {
-        let src = "fn f() { x.unwrap(); }";
-        let hits = run("crates/accel/src/sim.rs", src);
+        let src = "fn f(x: u64) -> u8 { x as u8 }";
+        let hits = run("crates/core/src/an.rs", src);
         assert_eq!(
             hits[0].render(),
-            "crates/accel/src/sim.rs:1: panic_in_harness: .unwrap() in crash-safe non-test \
-             code; return a typed AccelError instead"
+            "crates/core/src/an.rs:1: lossy_cast: `as u8` may truncate or lose precision; \
+             use From/try_into or annotate \
+             `// lint: allow(lossy_cast, <why it cannot lose value>)`"
         );
     }
 }

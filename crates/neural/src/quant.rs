@@ -643,7 +643,9 @@ impl QuantizedNetwork {
                 } => {
                     let engine = engines
                         .get_mut(engine_idx)
-                        // lint: allow(panic_in_harness, engines came from build_engines over this same op list, so the index cannot run past the end; same invariant as the scalar run_with)
+                        // Engines came from build_engines over this same op list, so the
+                        // index cannot run past the end; same invariant as the
+                        // scalar run_with.
                         .expect("one engine per MVM op");
                     engine_idx += 1;
                     match geometry {

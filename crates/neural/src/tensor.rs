@@ -216,14 +216,17 @@ impl Tensor {
     ///
     /// # Panics
     ///
-    /// Panics on an empty tensor or NaN elements.
+    /// Total IEEE ordering, so a NaN activation (which ranks above
+    /// every number) yields a deterministic index instead of a panic —
+    /// in the serving path a garbage classification is tallied as a
+    /// misclassification while the service lives on. An empty tensor
+    /// answers `0`.
     pub fn argmax(&self) -> usize {
         self.data
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaNs in activations"))
-            .map(|(i, _)| i)
-            .expect("tensor is nonempty")
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map_or(0, |(i, _)| i)
     }
 
     /// Indices of the `k` largest elements, in descending order.

@@ -470,6 +470,7 @@ impl Add for U256 {
     type Output = U256;
     #[inline]
     fn add(self, rhs: U256) -> U256 {
+        // lint: allow(panic_reachability, the Add operator trait cannot return Result; overflow here mirrors primitive integer overflow semantics, and coded-arithmetic callers bound operands via checked_mul/checked_add first)
         self.checked_add(rhs).expect("U256 addition overflow")
     }
 }

@@ -61,9 +61,11 @@ pub fn binomial_pmf(n: u32, k: u32, p: f64) -> f64 {
     if k > n {
         return 0.0;
     }
+    // lint: allow(float_eq, exact degenerate-distribution sentinel; ln(0) below needs p strictly inside (0,1))
     if p == 0.0 {
         return if k == 0 { 1.0 } else { 0.0 };
     }
+    // lint: allow(float_eq, exact degenerate-distribution sentinel; ln(1-p) below needs p strictly inside (0,1))
     if p == 1.0 {
         return if k == n { 1.0 } else { 0.0 };
     }
@@ -171,9 +173,11 @@ impl NormalSource {
 /// is far beyond the accuracy the noise model needs.
 pub fn sample_binomial<R: Rng + ?Sized>(rng: &mut R, n: u32, p: f64) -> u32 {
     assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+    // lint: allow(float_eq, exact degenerate-distribution sentinel; draws must be deterministic 0 at p=0)
     if n == 0 || p == 0.0 {
         return 0;
     }
+    // lint: allow(float_eq, exact degenerate-distribution sentinel; draws must be deterministic n at p=1)
     if p == 1.0 {
         return n;
     }
@@ -192,6 +196,7 @@ pub fn sample_binomial<R: Rng + ?Sized>(rng: &mut R, n: u32, p: f64) -> u32 {
     let q = 1.0 - p;
     let ratio = p / q;
     let mut pmf = q.powi(n as i32);
+    // lint: allow(float_eq, exact underflow-to-zero test: q^n denormal/zero would deadlock the inversion loop)
     if pmf == 0.0 {
         // Extremely small q^n (large n, moderate p): fall back to the
         // Gaussian approximation rather than loop on degenerate floats.

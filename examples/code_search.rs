@@ -14,7 +14,7 @@ use ancode::{RowError, RowErrorModel};
 /// A toy row-error model whose probabilities depend on `A`: larger
 /// multipliers smear more 1s into the stored pattern, raising the
 /// per-row error rates (the circular dependence the paper notes).
-fn model_for(a: u64) -> RowErrorModel {
+fn model_for(a: u64) -> Result<RowErrorModel, ancode::CodeError> {
     let density = 0.3 + 0.4 * (a as f64).log2() / 10.0;
     let rows = (0..8)
         .map(|r| {
@@ -27,7 +27,7 @@ fn model_for(a: u64) -> RowErrorModel {
             }
         })
         .collect();
-    RowErrorModel::new(rows, 16)
+    Ok(RowErrorModel::new(rows, 16))
 }
 
 fn main() -> Result<(), ancode::CodeError> {
@@ -44,7 +44,7 @@ fn main() -> Result<(), ancode::CodeError> {
 
     println!("\n== Hardware-constrained search: 5 divider constants ==");
     for &a in &DEFAULT_HARDWARE_CANDIDATES {
-        let table = ancode::data_aware::build_table(a, &model_for(a), &config)?;
+        let table = ancode::data_aware::build_table(a, &model_for(a)?, &config)?;
         println!(
             "A = {a:>4}: {:>3} table entries, coverage {:.4}",
             table.len(),

@@ -23,12 +23,21 @@ echo "=== repro-lint self-tests (lexer fixtures + CLI) ==="
 cargo test -q -p repro-lint
 
 echo "=== repro-lint (workspace invariants) ==="
-# Token-level invariant checker (see DESIGN.md "Enforced invariants"):
-# panics in crash-safe crates, lossy casts in the arithmetic kernels,
-# nondeterminism in seeded paths, float == comparisons. Pre-existing
-# violations live in lint-baseline.toml; any regression — or a stale
-# baseline entry — fails the gate.
+# Syntax-aware invariant checker (see DESIGN.md "Enforced invariants"):
+# call-graph panic reachability from the crash-safe entry points,
+# chaos-seam coverage of durable I/O, obs schema drift at emit sites,
+# plus the per-file lints (lossy casts, nondeterminism, float ==).
+# Pre-existing violations live in lint-baseline.toml; any regression —
+# or a stale baseline entry — fails the gate. The whole workspace
+# analysis (lex + parse + call graph + lints) must stay interactive:
+# more than 5 s wall means the analyzer grew an accidental
+# quadratic, and the gate catches it before it becomes a habit.
+lint_t0="$(date +%s%N)"
 cargo run --release --quiet -p repro-lint -- check
+lint_t1="$(date +%s%N)"
+lint_ms=$(( (lint_t1 - lint_t0) / 1000000 ))
+echo "repro-lint wall time: ${lint_ms} ms (budget 5000 ms)"
+[ "$lint_ms" -lt 5000 ] || { echo "FAIL: repro-lint exceeded its 5 s budget" >&2; exit 1; }
 
 echo "=== stale doc names (backticked types in *.md must exist in source) ==="
 # Docs drift gate: every backtick-quoted CamelCase identifier mentioned
