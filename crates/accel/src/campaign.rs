@@ -65,7 +65,8 @@ use neural::{QuantizedNetwork, Tensor};
 use serde::{Deserialize, Serialize};
 use xbar::endurance::EnduranceParams;
 
-use crate::sim::{evaluate, ShardGap, SimResult};
+use crate::analytic::ErrorModel;
+use crate::sim::{evaluate_with_model, ShardGap, SimResult};
 use crate::{AccelConfig, AccelError, ProtectionScheme};
 
 /// Checkpoint format version, bumped on incompatible schema changes.
@@ -106,6 +107,16 @@ pub struct CampaignConfig {
     /// Write a checkpoint every this many epochs (the final epoch is
     /// always checkpointed). 0 disables periodic checkpoints.
     pub checkpoint_every: u64,
+    /// Which error model evaluates each epoch. Campaign checkpoints
+    /// are byte-compared across resumes, so a series must stay
+    /// single-estimator: [`ErrorModel::Auto`] resolves to Monte-Carlo
+    /// here (never per-epoch switching), and the analytic fast path
+    /// must be requested explicitly — in which case resuming a
+    /// checkpoint is refused, because the recorded epochs cannot be
+    /// proven to share the estimator. Not serialized into
+    /// [`CampaignState`]: the model is a run-time policy, like
+    /// `threads`.
+    pub error_model: ErrorModel,
 }
 
 impl CampaignConfig {
@@ -124,6 +135,7 @@ impl CampaignConfig {
             seed,
             threads: 1,
             checkpoint_every: 1,
+            error_model: ErrorModel::Mc,
         }
     }
 
@@ -480,6 +492,14 @@ impl Campaign {
         path: &Path,
         chaos: Option<ChaosSchedule>,
     ) -> Result<Campaign, AccelError> {
+        if config.error_model == ErrorModel::Analytic {
+            return Err(AccelError::ResumeMismatch(
+                "cannot resume a checkpoint with the analytic error model: recorded epochs \
+                 cannot be proven to share the estimator (re-run from scratch, or resume \
+                 with --error-model mc)"
+                    .into(),
+            ));
+        }
         let mut campaign = Campaign::new(config)?;
         campaign.chaos = chaos;
 
@@ -749,13 +769,21 @@ impl Campaign {
             // returns, so the total is current at both reads).
             let eval_start_ns = obs::now_ns();
             let program_ns_before = obs::span_total_ns("program");
-            let result = evaluate(
+            // `Auto` resolved to Monte-Carlo at campaign level (see
+            // `CampaignConfig::error_model`): per-epoch switching would
+            // mix estimators inside one byte-compared series.
+            let model = match self.config.error_model {
+                ErrorModel::Analytic => ErrorModel::Analytic,
+                ErrorModel::Mc | ErrorModel::Auto => ErrorModel::Mc,
+            };
+            let result = evaluate_with_model(
                 qnet,
                 images,
                 labels,
                 &config,
                 self.config.epoch_seed(epoch),
                 self.config.threads,
+                model,
             )?;
             let eval_ns = obs::now_ns().saturating_sub(eval_start_ns);
             let program_ns = obs::span_total_ns("program").saturating_sub(program_ns_before);
@@ -1048,6 +1076,59 @@ mod tests {
             resumed.run_epochs(&qnet, &images, &labels[..4], 2),
             Err(AccelError::ResumeMismatch(_))
         ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// `Auto` is resolved to Monte-Carlo at campaign level: per-epoch
+    /// estimator switching would mix estimators inside one
+    /// byte-compared series. An `Auto` campaign must therefore produce
+    /// a state byte-identical to an explicit `Mc` campaign.
+    #[test]
+    fn auto_campaign_is_byte_identical_to_mc() {
+        let (qnet, images, labels) = tiny_problem();
+        let mc_config = small_campaign(ProtectionScheme::None, 3);
+        let mut auto_config = mc_config.clone();
+        auto_config.error_model = ErrorModel::Auto;
+
+        let mut mc = Campaign::new(mc_config).expect("campaign");
+        mc.run(&qnet, &images, &labels).expect("mc run");
+        let mut auto = Campaign::new(auto_config).expect("campaign");
+        auto.run(&qnet, &images, &labels).expect("auto run");
+        assert_eq!(
+            auto.state().to_json().expect("json"),
+            mc.state().to_json().expect("json"),
+        );
+    }
+
+    /// Checkpoints never record which estimator produced an epoch, so
+    /// resuming under the analytic model could silently mix estimators.
+    /// Resume must refuse it outright.
+    #[test]
+    fn analytic_campaign_refuses_resume() {
+        let (qnet, images, labels) = tiny_problem();
+        let config = small_campaign(ProtectionScheme::None, 4);
+        let path = temp_path("analytic-resume");
+        let mut campaign = Campaign::new(config.clone())
+            .expect("campaign")
+            .with_checkpoint(path.clone());
+        campaign
+            .run_epochs(&qnet, &images, &labels, 2)
+            .expect("partial run");
+        drop(campaign);
+
+        let mut analytic = config.clone();
+        analytic.error_model = ErrorModel::Analytic;
+        match Campaign::resume(analytic, &path) {
+            Err(AccelError::ResumeMismatch(msg)) => {
+                assert!(msg.contains("analytic"), "message: {msg}");
+            }
+            other => panic!("expected ResumeMismatch, got {other:?}"),
+        }
+        // The same checkpoint resumes fine under the recorded model.
+        assert!(Campaign::resume(config, &path).is_ok());
+        for slot in 0..2 {
+            let _ = std::fs::remove_file(slot_path(&path, slot));
+        }
         let _ = std::fs::remove_file(&path);
     }
 

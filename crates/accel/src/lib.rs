@@ -17,6 +17,10 @@
 //!   group and cycle, mirroring Figure 9;
 //! - [`sim`] runs Monte-Carlo network inference (optionally across
 //!   threads) and reports misclassification rates;
+//! - [`analytic`] predicts the same rates in closed form — moment
+//!   propagation through every pipeline stage instead of sampling —
+//!   with an [`analytic::ErrorModel`] policy for choosing between the
+//!   two per configuration;
 //! - [`cost`] reproduces the area/power/latency accounting of Table IV
 //!   and §VIII-B;
 //! - [`hierarchy`] plans networks onto the tile/IMA/array hierarchy and
@@ -70,6 +74,7 @@
 
 #[cfg(feature = "alloc-count")]
 pub mod alloc_count;
+pub mod analytic;
 pub mod campaign;
 pub mod cost;
 mod engine;

@@ -46,7 +46,7 @@ use neural::Tensor;
 use crate::{AccelConfig, AccelError};
 use crate::DecodeStats;
 
-pub use scheduler::evaluate;
+pub use scheduler::{evaluate, evaluate_with_model};
 
 /// A shard dropped under graceful degradation: its sample range was
 /// never evaluated and is recorded explicitly rather than silently

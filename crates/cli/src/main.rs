@@ -27,6 +27,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use accel::analytic::ErrorModel;
 use accel::campaign::{Campaign, CampaignConfig};
 use accel::{AccelConfig, ProtectionScheme};
 use ancode::data_aware::DataAwareConfig;
@@ -77,11 +78,21 @@ usage:
   reram-ecc lifetime <rewrites_per_day> <target_fault_rate>
   reram-ecc campaign <scheme> <epochs> [--samples N] [--train N] [--seed S]
              [--threads T] [--batch N] [--cell-bits B]
+             [--error-model analytic|mc|auto]
              [--writes-per-epoch W] [--initial-writes W]
              [--checkpoint-every K] [--remap] [--out PATH] [--resume]
              [--metrics PATH] [--events PATH] [--chaos-seed S]
              [--max-lost-shards N] [--watchdog-ms MS]
              [--shard-retries N] [--retry-backoff-ms MS]
+
+campaign error model (see DESIGN.md, analytic error model):
+  --error-model M  mc (default): Monte-Carlo sampling, the ground
+                   truth for final numbers. analytic: closed-form
+                   moment propagation — milliseconds per epoch, valid
+                   only without retries/remap/chaos, and incompatible
+                   with --resume (a checkpoint series must stay
+                   single-estimator). auto: resolves to mc inside
+                   campaigns so recorded series stay byte-identical
 
 campaign throughput:
   --batch N       input vectors per MVM pass (default 1). Batching
@@ -284,6 +295,7 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     let mut threads = 1usize;
     let mut batch = 1usize;
     let mut cell_bits = 2u32;
+    let mut error_model = ErrorModel::Mc;
     let mut writes_per_epoch = 2e5f64;
     let mut initial_writes = 1e6f64;
     let mut checkpoint_every = 1u64;
@@ -312,6 +324,12 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
             "--threads" => threads = parsed(value("--threads")?, "threads")?,
             "--batch" => batch = parsed(value("--batch")?, "batch")?,
             "--cell-bits" => cell_bits = parsed(value("--cell-bits")?, "cell-bits")?,
+            "--error-model" => {
+                let label = value("--error-model")?;
+                error_model = ErrorModel::from_label(label).ok_or_else(|| {
+                    format!("unknown error model {label} (try analytic, mc, auto)")
+                })?;
+            }
             "--writes-per-epoch" => {
                 writes_per_epoch = parsed(value("--writes-per-epoch")?, "writes-per-epoch")?;
             }
@@ -410,6 +428,7 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     config.writes_per_epoch = writes_per_epoch;
     config.initial_writes = initial_writes;
     config.checkpoint_every = checkpoint_every;
+    config.error_model = error_model;
 
     let out_path =
         PathBuf::from(out.unwrap_or_else(|| format!("results/campaign-{scheme_label}.json")));
@@ -809,6 +828,13 @@ mod tests {
             "/nonexistent-dir/events.jsonl"
         ]))
         .is_err());
+        // --error-model accepts exactly the three documented labels.
+        assert!(cmd_campaign(&s(&["NoECC", "2", "--error-model"])).is_err());
+        let bad = cmd_campaign(&s(&["NoECC", "2", "--error-model", "exact"]));
+        assert!(bad.unwrap_err().contains("unknown error model"));
+        for label in ["analytic", "mc", "auto"] {
+            assert!(ErrorModel::from_label(label).is_some(), "{label}");
+        }
     }
 
     #[test]

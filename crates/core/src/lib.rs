@@ -75,6 +75,9 @@
 //! - [`search`]: selection of `A` by correction capability.
 //! - [`multiresidue`]: the `A·B₁·B₂…` generalization (Rao's bi- and
 //!   multiresidue codes) for stronger miscorrection detection.
+//! - [`transition`]: deterministic decode-outcome classification of
+//!   additive errors and probability-weighted transition distributions
+//!   (the foundation of the `accel::analytic` fast path).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -89,6 +92,7 @@ mod rowmodel;
 pub mod search;
 mod syndrome;
 mod table;
+pub mod transition;
 
 pub use abn::{AbnCode, CorrectionPolicy, DecodeKind, DecodeOutcome, DecodeStatus};
 pub use an::{min_single_error_a, AnCode};
@@ -97,6 +101,7 @@ pub use group::{GroupLayout, OperandGroup};
 pub use rowmodel::{RowError, RowErrorModel};
 pub use syndrome::{Syndrome, SyndromeFamily, SyndromeTerm};
 pub use table::{CorrectionTable, TableEntry, TableHalf};
+pub use transition::{Transition, TransitionDist};
 
 use std::error::Error;
 use std::fmt;

@@ -1,0 +1,216 @@
+//! Decoder transition probabilities: where an additive error lands.
+//!
+//! The ECU's decode outcome is a *deterministic* function of the additive
+//! error `e` alone, independent of the stored data: encoding multiplies
+//! by `A·B`, so `observed = A·B·x + e` and every step of the decode —
+//! residue modulo `A`, table lookup, divisibility by `B` — sees only the
+//! congruence class of `e`. This module exposes that function directly
+//! ([`classify`]) and aggregates it over a weighted error distribution
+//! ([`transition_distribution`]), which is what the analytic fast path
+//! (`accel::analytic`) uses to predict per-cycle decode statistics
+//! without Monte-Carlo sampling.
+//!
+//! The delta returned for rounding outcomes (`Uncorrectable`,
+//! `Miscorrected`, `SilentA`) uses the same `div_round_u64` the ECU's
+//! best-effort path uses. Rounding of `(A·B·x + e) / (A·B)` separates
+//! into `x + round(e / (A·B))` whenever `e` is not exactly half of
+//! `A·B` modulo `A·B` — a tie is impossible for the codes in use, since
+//! `A` is odd and the error magnitudes are powers of two — so the delta
+//! really is data-independent.
+//!
+//! # Examples
+//!
+//! A single-bit error is corrected (delta zero); an error that is itself
+//! a multiple of `A·B` passes every check and lands *silently* in the
+//! decoded value:
+//!
+//! ```
+//! use ancode::{transition, AbnCode, CorrectionPolicy, DecodeKind};
+//! use wideint::I256;
+//!
+//! let code = AbnCode::classic(19, 3, 5)?;
+//!
+//! let fixed = transition::classify(&code, CorrectionPolicy::Revert, I256::from_i128(4));
+//! assert_eq!(fixed.kind, DecodeKind::Corrected);
+//! assert_eq!(fixed.delta.to_i128(), Some(0));
+//!
+//! // e = A·B = 57: divisible by both A and B — an undetectable error
+//! // that shifts the decoded value by exactly 1.
+//! let silent = transition::classify(&code, CorrectionPolicy::Revert, I256::from_i128(57));
+//! assert_eq!(silent.kind, DecodeKind::Clean);
+//! assert_eq!(silent.delta.to_i128(), Some(1));
+//! # Ok::<(), ancode::CodeError>(())
+//! ```
+
+use wideint::I256;
+
+use crate::abn::{AbnCode, CorrectionPolicy, DecodeKind};
+
+/// The decode outcome induced by one additive error value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// How the ECU classifies the error.
+    pub kind: DecodeKind,
+    /// The shift of the decoded data value relative to an error-free
+    /// decode (zero exactly when the error was fully corrected).
+    pub delta: I256,
+}
+
+/// Classifies an additive error `e` through the full decode pipeline
+/// (residue → table → correction → `B` validation) and returns the
+/// resulting [`DecodeKind`] together with the decoded-value delta.
+///
+/// Exactness rather than re-derivation: the classification *is*
+/// [`AbnCode::decode_value`] applied to `e` (an encode of zero plus the
+/// error), so it can never drift from the ECU it predicts.
+pub fn classify(code: &AbnCode, policy: CorrectionPolicy, e: I256) -> Transition {
+    let (delta, kind) = code.decode_value(e, policy);
+    Transition { kind, delta }
+}
+
+/// Probability-weighted decode-outcome distribution over a set of
+/// additive error events, plus the first two moments of the
+/// decoded-value delta.
+///
+/// Event probabilities need not sum to one: the complement is implicitly
+/// the error-free event (`e = 0`, a clean decode with zero delta), so
+/// callers can pass only the enumerated error events.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TransitionDist {
+    /// Probability of a clean decode — including the silent case where
+    /// `e` is a nonzero multiple of `A·B` (its delta still contributes
+    /// to the moments).
+    pub p_clean: f64,
+    /// Probability the table correction restores the exact value.
+    pub p_corrected: f64,
+    /// Probability of a table miss (detected, best-effort value).
+    pub p_uncorrectable: f64,
+    /// Probability of a detected miscorrection (`B` check failed).
+    pub p_miscorrected: f64,
+    /// Probability the error was a silent multiple of `A` only.
+    pub p_silent_a: f64,
+    /// Expected decoded-value delta.
+    pub mean_delta: f64,
+    /// Expected squared decoded-value delta (second raw moment).
+    pub delta_second_moment: f64,
+}
+
+impl TransitionDist {
+    /// Probability the decode is *trusted* (clean or corrected) — the
+    /// retry predicate of the engine's decode loop.
+    pub fn p_trusted(&self) -> f64 {
+        self.p_clean + self.p_corrected
+    }
+}
+
+/// Aggregates [`classify`] over weighted error events.
+///
+/// Each event is `(e, p)`: an additive error value with its occurrence
+/// probability. Deltas wider than 128 bits are saturated (they indicate
+/// an unusable computation, exactly as the ECU's best-effort fold does).
+///
+/// # Examples
+///
+/// ```
+/// use ancode::{transition, AbnCode, CorrectionPolicy};
+///
+/// let code = AbnCode::classic(19, 3, 5)?;
+/// // Bit 2 flips up with probability 1e-3, down with 5e-4.
+/// let dist = transition::transition_distribution(
+///     &code,
+///     CorrectionPolicy::Revert,
+///     &[(4, 1e-3), (-4, 5e-4)],
+/// );
+/// // Both syndromes are in the single-bit table: corrected, no residual.
+/// assert!((dist.p_corrected - 1.5e-3).abs() < 1e-12);
+/// assert_eq!(dist.mean_delta, 0.0);
+/// # Ok::<(), ancode::CodeError>(())
+/// ```
+pub fn transition_distribution(
+    code: &AbnCode,
+    policy: CorrectionPolicy,
+    events: &[(i128, f64)],
+) -> TransitionDist {
+    let mut dist = TransitionDist::default();
+    for &(e, p) in events {
+        // lint: allow(float_eq, exact zero sentinel: callers pass literal 0.0 to mark absent events)
+        if p == 0.0 {
+            continue;
+        }
+        let t = classify(code, policy, I256::from_i128(e));
+        match t.kind {
+            DecodeKind::Clean => dist.p_clean += p,
+            DecodeKind::Corrected => dist.p_corrected += p,
+            DecodeKind::Uncorrectable => dist.p_uncorrectable += p,
+            DecodeKind::Miscorrected => dist.p_miscorrected += p,
+            DecodeKind::SilentA => dist.p_silent_a += p,
+        }
+        let delta = t.delta.to_i128().unwrap_or(if t.delta.is_negative() {
+            i128::MIN / 2
+        } else {
+            i128::MAX / 2
+        // lint: allow(lossy_cast, saturated i128 delta to f64 for moment accumulation; precision loss beyond 2^53 is acceptable here)
+        }) as f64;
+        dist.mean_delta += p * delta;
+        dist.delta_second_moment += p * delta * delta;
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wideint::U256;
+
+    fn code19() -> AbnCode {
+        AbnCode::classic(19, 3, 5).unwrap()
+    }
+
+    #[test]
+    fn classify_matches_decode_on_real_operands() {
+        // The data-independence claim, checked exhaustively: for every
+        // operand x and every error in a wide window, decode(encode(x)+e)
+        // equals x + classify(e).delta with the same kind.
+        let code = code19();
+        for policy in [CorrectionPolicy::Revert, CorrectionPolicy::KeepCorrected] {
+            for x in [0u64, 1, 7, 26, 31] {
+                let encoded = code.encode(U256::from(x)).unwrap();
+                for e in -200i128..=200 {
+                    let observed = I256::from(encoded) + I256::from_i128(e);
+                    let (value, kind) = code.decode_value(observed, policy);
+                    let t = classify(&code, policy, I256::from_i128(e));
+                    assert_eq!(kind, t.kind, "x={x} e={e} {policy:?}");
+                    assert_eq!(
+                        value.to_i128().unwrap(),
+                        x as i128 + t.delta.to_i128().unwrap(),
+                        "x={x} e={e} {policy:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_tallies_each_kind_once() {
+        let code = code19();
+        // 4: corrected; 57 = A·B: silent clean; 19: multiple of A only
+        // (silent-A); pick an error with a residue outside the table for
+        // uncorrectable coverage if one exists in the window.
+        let events = [(4i128, 0.25), (57, 0.125), (19, 0.0625)];
+        let dist = transition_distribution(&code, CorrectionPolicy::Revert, &events);
+        assert!((dist.p_corrected - 0.25).abs() < 1e-15);
+        assert!((dist.p_clean - 0.125).abs() < 1e-15);
+        assert!((dist.p_silent_a - 0.0625).abs() < 1e-15);
+        // Mean delta: corrected contributes 0; 57/57 = 1 at 0.125;
+        // round(19/57) = 0 at 0.0625.
+        assert!((dist.mean_delta - 0.125).abs() < 1e-15);
+        assert!(dist.p_trusted() > 0.3);
+    }
+
+    #[test]
+    fn zero_probability_events_are_skipped() {
+        let code = code19();
+        let dist = transition_distribution(&code, CorrectionPolicy::Revert, &[(4, 0.0)]);
+        assert_eq!(dist, TransitionDist::default());
+    }
+}

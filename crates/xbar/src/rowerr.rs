@@ -15,6 +15,33 @@
 //! characterization of fabricated rows could replace it. What matters is
 //! the mapping from row state to error probability that the allocator
 //! consumes.
+//!
+//! # Two consumers, two input regimes
+//!
+//! The predictor started life feeding the data-aware code allocator,
+//! which only needs the *worst-case* rate under the all-ones input
+//! ([`predict_row`]). The analytic fast path (`accel::analytic`) also
+//! needs the rate at *partial* input densities: during bit-serial
+//! streaming, cycle `t` drives only the columns whose quantized input
+//! has bit `t` set, and a row with fewer driven cells is proportionally
+//! less likely to cross a quantization boundary.
+//! [`predict_composition_at_density`] covers that regime by scaling the
+//! stored composition to the driven fraction before evaluating the same
+//! binomial model, so the two entry points can never disagree about the
+//! underlying physics.
+//!
+//! ```
+//! use xbar::{rowerr, DeviceParams};
+//!
+//! let params = DeviceParams::default();
+//! let full = rowerr::predict_composition(&[32, 32, 32, 32], &params);
+//! let half = rowerr::predict_composition_at_density(&[32, 32, 32, 32], 0.5, &params);
+//! // Half the driven cells: strictly fewer chances to mis-quantize.
+//! assert!(half.p_any() < full.p_any());
+//! // Density 1.0 is exactly the all-ones prediction.
+//! let one = rowerr::predict_composition_at_density(&[32, 32, 32, 32], 1.0, &params);
+//! assert_eq!(one, full);
+//! ```
 
 use crate::stats::{binomial_cdf, binomial_sf};
 use crate::{CrossbarArray, DeviceParams, InputMask};
@@ -124,6 +151,48 @@ pub fn predict_composition(composition: &[u32], params: &DeviceParams) -> RowErr
     RowErrorRate { p_high, p_low }
 }
 
+/// Predicts the error rate of a row when only a `density` fraction of
+/// its cells are driven by the input vector.
+///
+/// The composition is scaled per level (`round(count · density)`) to
+/// the expected driven sub-population under an input mask of that
+/// density, then evaluated through the same binomial model as
+/// [`predict_composition`] — density `1.0` reproduces it exactly. The
+/// scaled composition is the *expected* one; callers that know the
+/// exact driven cells should pass their true composition instead.
+/// `density` is clamped to `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use xbar::{rowerr, DeviceParams};
+///
+/// let params = DeviceParams::default();
+/// // Bit-serial cycle driving 1/4 of a uniformly-programmed row.
+/// let quarter = rowerr::predict_composition_at_density(&[32, 32, 32, 32], 0.25, &params);
+/// let full = rowerr::predict_composition(&[32, 32, 32, 32], &params);
+/// assert!(quarter.p_any() < full.p_any());
+/// // No driven cells, no error.
+/// let idle = rowerr::predict_composition_at_density(&[32, 32, 32, 32], 0.0, &params);
+/// assert_eq!(idle.p_any(), 0.0);
+/// ```
+pub fn predict_composition_at_density(
+    composition: &[u32],
+    density: f64,
+    params: &DeviceParams,
+) -> RowErrorRate {
+    let density = density.clamp(0.0, 1.0);
+    // lint: allow(float_eq, exact boundary after clamp(0.0, 1.0): 1.0 is produced literally by clamp, not by arithmetic)
+    if density == 1.0 {
+        return predict_composition(composition, params);
+    }
+    let scaled: Vec<u32> = composition
+        .iter()
+        .map(|&c| (c as f64 * density).round() as u32)
+        .collect();
+    predict_composition(&scaled, params)
+}
+
 /// Predicts the worst-case (all-ones input) error rate of physical row
 /// `row` of a programmed array, using its *actual* stored levels (so
 /// stuck cells are accounted at their stuck level).
@@ -223,6 +292,32 @@ mod tests {
         assert_eq!(comp.iter().sum::<u32>(), 16);
         assert!(comp[0] < 16, "some cells moved off level 0");
         let _ = predict_row(&array, 0);
+    }
+
+    #[test]
+    fn density_scaling_is_monotone_and_anchored() {
+        let params = DeviceParams::default();
+        let comp = [32u32, 32, 32, 32];
+        let mut last = 0.0;
+        for k in 0..=8 {
+            let d = k as f64 / 8.0;
+            let r = predict_composition_at_density(&comp, d, &params).p_any();
+            assert!(
+                r >= last - 1e-12,
+                "p_any not monotone in density: {r} < {last} at d={d}"
+            );
+            last = r;
+        }
+        // Endpoint anchors: density 1 ≡ the unscaled predictor; out-of-
+        // range densities clamp rather than extrapolate.
+        assert_eq!(
+            predict_composition_at_density(&comp, 1.0, &params),
+            predict_composition(&comp, &params)
+        );
+        assert_eq!(
+            predict_composition_at_density(&comp, 7.0, &params),
+            predict_composition(&comp, &params)
+        );
     }
 
     #[test]

@@ -109,6 +109,15 @@ if [ -z "$obs_gate_ok" ]; then
   exit 1
 fi
 
+echo "=== analytic-vs-MC smoke (pinned grid cell, DESIGN.md §11) ==="
+# The analytic error model must keep agreeing with the Monte-Carlo
+# harness on the pinned Fig 11 cell (MLP1 × 2-bit × ABN-9 × 0.1 %
+# stuck-at) within the tolerance the tier-1 test pins (0.05). 8 samples
+# keep the gate interactive; the recorded full smoke grid lives in
+# BENCH_analytic.json.
+REPRO_SAMPLES=8 cargo run --release --quiet -p bench --bin analytic_xval -- --gate
+echo "analytic smoke passed"
+
 echo "=== campaign smoke run (2 epochs, tiny net) ==="
 smoke_out="$(mktemp -d)/campaign-NoECC.json"
 cargo run --release --quiet -p reram-ecc -- campaign NoECC 2 \
