@@ -493,12 +493,9 @@ impl Campaign {
         chaos: Option<ChaosSchedule>,
     ) -> Result<Campaign, AccelError> {
         if config.error_model == ErrorModel::Analytic {
-            return Err(AccelError::ResumeMismatch(
-                "cannot resume a checkpoint with the analytic error model: recorded epochs \
-                 cannot be proven to share the estimator (re-run from scratch, or resume \
-                 with --error-model mc)"
-                    .into(),
-            ));
+            return Err(AccelError::AnalyticResume {
+                path: path.display().to_string(),
+            });
         }
         let mut campaign = Campaign::new(config)?;
         campaign.chaos = chaos;
@@ -627,6 +624,53 @@ impl Campaign {
         Ok(campaign)
     }
 
+    /// Claims a campaign at `path`: resumes when any checkpoint
+    /// artifact exists there, starts fresh otherwise. Either way the
+    /// returned campaign checkpoints to `path`.
+    ///
+    /// This is the grid worker's claim hook: a cell retried after a
+    /// kill must pick up its own half-finished checkpoint, and a cell
+    /// whose every artifact is corrupt may safely recompute from
+    /// epoch 0 (every epoch is a pure function of the config), so an
+    /// unreadable checkpoint degrades to a fresh start rather than
+    /// failing the cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::AnalyticResume`] when artifacts exist and
+    /// the config forces the analytic model, and propagates
+    /// [`AccelError::ResumeMismatch`] — both mean the artifacts belong
+    /// to a *different* campaign and recomputing would silently
+    /// overwrite it. Only [`AccelError::Checkpoint`] (nothing
+    /// readable) falls back to fresh.
+    pub fn new_or_resume(config: CampaignConfig, path: &Path) -> Result<Campaign, AccelError> {
+        Self::new_or_resume_with_chaos(config, path, None)
+    }
+
+    /// [`new_or_resume`](Campaign::new_or_resume) with a chaos
+    /// schedule installed before any artifact is read.
+    pub fn new_or_resume_with_chaos(
+        config: CampaignConfig,
+        path: &Path,
+        chaos: Option<ChaosSchedule>,
+    ) -> Result<Campaign, AccelError> {
+        let any_artifact = path.exists()
+            || slot_path(path, 0).exists()
+            || slot_path(path, 1).exists();
+        if any_artifact {
+            match Self::resume_with_chaos(config.clone(), path, chaos) {
+                Ok(campaign) => return Ok(campaign),
+                // Nothing verified: every epoch is recomputable, so
+                // start over. Mismatch/analytic errors still propagate.
+                Err(AccelError::Checkpoint { .. }) => {}
+                Err(other) => return Err(other),
+            }
+        }
+        let mut campaign = Campaign::new(config)?.with_checkpoint(path.to_path_buf());
+        campaign.chaos = chaos;
+        Ok(campaign)
+    }
+
     /// Sets the checkpoint path for periodic saves during
     /// [`run`](Campaign::run).
     #[must_use]
@@ -665,13 +709,16 @@ impl Campaign {
             Seam::CheckpointRead => 1,
             Seam::FinalWrite => 2,
             Seam::EventWrite => 3,
-            // The serve seams roll their own counters (see
-            // `serve::Shared::seam_fault`); a campaign never touches
-            // them.
+            // The serve and grid seams roll their own counters (see
+            // `serve::Shared::seam_fault` / `grid::lease`); a campaign
+            // never touches them.
             Seam::SocketAccept
             | Seam::SocketRead
             | Seam::SocketWrite
-            | Seam::EngineSwap => return None,
+            | Seam::EngineSwap
+            | Seam::ProcessSpawn
+            | Seam::LeaseWrite
+            | Seam::LeaseRead => return None,
         };
         let index = self.io_index[slot];
         self.io_index[slot] += 1;
@@ -755,9 +802,17 @@ impl Campaign {
             let lost_so_far: usize = self.state.completed.iter().map(|r| r.gaps.len()).sum();
             config.max_lost_shards = self.config.base.max_lost_shards.saturating_sub(lost_so_far);
             // Shard chaos comes from the schedule per epoch unless the
-            // base config pinned an explicit hook (tests do).
+            // base config pinned an explicit hook (tests do). Analytic
+            // campaigns skip it: shard chaos exercises the MC
+            // scheduler's panic/retry machinery, which the analytic
+            // path does not have — drawing it would only force an
+            // envelope refusal (`analytic::supports`), not test
+            // anything. The I/O seams (checkpoint, final, lease) stay
+            // fully injected for analytic cells.
             if let Some(schedule) = self.chaos {
-                if matches!(config.shard_chaos, chaos::ShardChaos::Off) {
+                if matches!(config.shard_chaos, chaos::ShardChaos::Off)
+                    && !matches!(self.config.error_model, ErrorModel::Analytic)
+                {
                     config.shard_chaos = schedule.shard_chaos(epoch);
                 }
             }
@@ -891,6 +946,31 @@ impl Campaign {
                 .map(|e| e.to_string())
                 .unwrap_or_else(|| "write failed".into()),
         })
+    }
+
+    /// Rewrites the plain final-results file when the campaign is
+    /// complete (a no-op otherwise, and without a checkpoint path).
+    ///
+    /// [`run`](Campaign::run) writes the final file from the epoch
+    /// loop, but a campaign killed between its completing checkpoint
+    /// slot and the final write resumes fully complete with *no*
+    /// epochs left to execute — `run` returns without touching disk
+    /// and the load-bearing final artifact stays missing (or corrupt,
+    /// if it was flipped in place). Callers that must guarantee the
+    /// final artifact verifies — the grid worker does — call this
+    /// after `run`; the rewrite is byte-identical when the file
+    /// already exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::Checkpoint`] when every write attempt
+    /// fails read-back verification.
+    pub fn finalize(&mut self) -> Result<(), AccelError> {
+        if self.is_complete() {
+            self.write_final()
+        } else {
+            Ok(())
+        }
     }
 
     /// Writes the plain final-results JSON to the checkpoint path
@@ -1038,6 +1118,54 @@ mod tests {
     }
 
     #[test]
+    fn new_or_resume_claims_fresh_resumed_and_corrupt_cells() {
+        let (qnet, images, labels) = tiny_problem();
+        let config = small_campaign(ProtectionScheme::None, 4);
+        let path = temp_path("claim");
+        let _ = std::fs::remove_file(&path);
+
+        // No artifacts: a fresh campaign, already checkpointing to path.
+        let mut fresh = Campaign::new_or_resume(config.clone(), &path).expect("fresh claim");
+        assert_eq!(fresh.completed_epochs(), 0);
+        fresh
+            .run_epochs(&qnet, &images, &labels, 2)
+            .expect("partial run");
+        drop(fresh);
+
+        // Artifacts present: the claim resumes them.
+        let resumed = Campaign::new_or_resume(config.clone(), &path).expect("resume claim");
+        assert_eq!(resumed.completed_epochs(), 2);
+        drop(resumed);
+
+        // Every artifact corrupt: the claim degrades to a fresh start
+        // (epochs are pure recomputation), never an error.
+        for p in [slot_path(&path, 0), slot_path(&path, 1), path.clone()] {
+            if p.exists() {
+                std::fs::write(&p, b"not a checkpoint").expect("corrupt");
+            }
+        }
+        let recovered = Campaign::new_or_resume(config.clone(), &path).expect("corrupt claim");
+        assert_eq!(recovered.completed_epochs(), 0);
+
+        // But a genuine mismatch still propagates: the artifacts are
+        // someone else's work and must not be silently overwritten.
+        let mut fresh = Campaign::new_or_resume(config.clone(), &path).expect("fresh claim");
+        fresh
+            .run_epochs(&qnet, &images, &labels, 1)
+            .expect("one epoch");
+        drop(fresh);
+        let mut other = config;
+        other.seed = 999;
+        assert!(matches!(
+            Campaign::new_or_resume(other, &path),
+            Err(AccelError::ResumeMismatch(_))
+        ));
+        for p in [slot_path(&path, 0), slot_path(&path, 1), path.clone()] {
+            let _ = std::fs::remove_file(&p);
+        }
+    }
+
+    #[test]
     fn resume_rejects_mismatched_campaigns() {
         let (qnet, images, labels) = tiny_problem();
         let config = small_campaign(ProtectionScheme::None, 3);
@@ -1118,11 +1246,23 @@ mod tests {
 
         let mut analytic = config.clone();
         analytic.error_model = ErrorModel::Analytic;
-        match Campaign::resume(analytic, &path) {
-            Err(AccelError::ResumeMismatch(msg)) => {
-                assert!(msg.contains("analytic"), "message: {msg}");
+        match Campaign::resume(analytic.clone(), &path) {
+            Err(err @ AccelError::AnalyticResume { .. }) => {
+                // The message must name both flags so the operator can
+                // see exactly which combination was refused and how to
+                // proceed.
+                let msg = err.to_string();
+                assert!(msg.contains("--error-model analytic"), "message: {msg}");
+                assert!(msg.contains("--resume"), "message: {msg}");
+                assert!(msg.contains(&path.display().to_string()), "message: {msg}");
             }
-            other => panic!("expected ResumeMismatch, got {other:?}"),
+            other => panic!("expected AnalyticResume, got {other:?}"),
+        }
+        // The claim hook refuses identically: an existing artifact plus
+        // a forced analytic model must not silently restart fresh.
+        match Campaign::new_or_resume(analytic, &path) {
+            Err(AccelError::AnalyticResume { .. }) => {}
+            other => panic!("expected AnalyticResume from new_or_resume, got {other:?}"),
         }
         // The same checkpoint resumes fine under the recorded model.
         assert!(Campaign::resume(config, &path).is_ok());

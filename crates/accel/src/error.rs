@@ -67,6 +67,23 @@ pub enum AccelError {
     /// `--resume` pointed at a checkpoint recorded under different
     /// campaign parameters than the ones requested.
     ResumeMismatch(String),
+    /// `--resume` was combined with a forced `--error-model analytic`:
+    /// recorded epochs cannot be proven to share the estimator, so the
+    /// combination is refused outright rather than risking a mixed
+    /// lifetime curve.
+    AnalyticResume {
+        /// Path of the checkpoint that was offered for resumption.
+        path: String,
+    },
+    /// The grid driver failed at a coordination step (spec parsing,
+    /// manifest validation, lease claim, worker spawn, merge).
+    Grid {
+        /// What the driver was doing (e.g. `"spec"`, `"lease"`,
+        /// `"spawn"`, `"merge"`).
+        stage: String,
+        /// Underlying failure.
+        message: String,
+    },
     /// The inference service failed to start or tear down cleanly.
     Service {
         /// What the service was doing (e.g. `"bind"`, `"join"`).
@@ -106,6 +123,16 @@ impl std::fmt::Display for AccelError {
             }
             AccelError::ResumeMismatch(detail) => {
                 write!(f, "checkpoint does not match requested campaign: {detail}")
+            }
+            AccelError::AnalyticResume { path } => write!(
+                f,
+                "--resume {path} cannot be combined with --error-model analytic: \
+                 recorded epochs cannot be proven to share the analytic estimator. \
+                 Re-run from scratch, or resume with --error-model mc (or auto, \
+                 which keeps the recorded model)"
+            ),
+            AccelError::Grid { stage, message } => {
+                write!(f, "grid {stage}: {message}")
             }
             AccelError::Service { stage, message } => {
                 write!(f, "inference service {stage}: {message}")

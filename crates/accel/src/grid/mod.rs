@@ -1,0 +1,1305 @@
+//! Crash-safe sharded campaign grid runner.
+//!
+//! Expands a JSON grid spec — (models × schemes × cell-bits ×
+//! fault-rates × seeds) — into cells, fans the cells across worker
+//! processes (or in-process worker threads), and coordinates entirely
+//! through crash-safe substrates: each cell is an ordinary
+//! [`crate::campaign`] with CRC'd A/B checkpoint slots, and the
+//! driver's only state is a directory of atomically-written
+//! [`lease`] files plus a derivable manifest. There is nothing to
+//! lose: SIGKILL any worker, or the driver itself, at any moment, and
+//! re-running the driver resumes to a merged `grid_summary.json` that
+//! is byte-identical to the fault-free run (`tests/grid_soak.rs`
+//! proves exactly that under seeded chaos injection).
+//!
+//! The division of trust, bottom to top:
+//!
+//! - **cell artifacts** (final JSON + checkpoint slots) are the truth;
+//!   a worker re-claiming a cell resumes them via
+//!   [`Campaign::new_or_resume`](crate::campaign::Campaign::new_or_resume);
+//! - **leases** ([`lease`]) are coordination acceleration: they let a
+//!   restarted driver skip verified-done cells and record lost cells,
+//!   but every lease operation may fail without endangering results;
+//! - **the manifest** pins the spec digest so two different sweeps
+//!   cannot interleave in one directory; it is derivable and is
+//!   rewritten if corrupt;
+//! - **the merge** ([`merge`]) is a pure function of spec + artifacts,
+//!   written atomically with read-back — killing it mid-write and
+//!   re-running lands the identical bytes.
+//!
+//! Chaos seams [`Seam::ProcessSpawn`], [`Seam::LeaseWrite`] and
+//! [`Seam::LeaseRead`] put every driver-side I/O decision under the
+//! same deterministic injection the campaign substrate already
+//! absorbs. DESIGN.md "Failure model & recovery" carries the recovery
+//! matrix.
+
+pub mod lease;
+pub mod merge;
+pub mod worker;
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+
+use chaos::{ChaosSchedule, IoFault, Seam};
+use serde::{Deserialize, Serialize};
+
+use crate::analytic::ErrorModel;
+use crate::campaign::CampaignConfig;
+use crate::{AccelConfig, AccelError, ProtectionScheme};
+
+pub use lease::{ClaimOutcome, LeaseState, LeaseView};
+pub use merge::{CellStatus, GridSummary};
+pub use worker::Launcher;
+
+/// Grid spec format version.
+pub const GRID_SPEC_VERSION: u64 = 1;
+
+/// Manifest format version.
+pub const GRID_MANIFEST_VERSION: u64 = 1;
+
+/// Rolls chaos faults for the grid's three driver-side seams, owning
+/// the per-seam operation counters (the same replayable-counter scheme
+/// as `Campaign::io_fault`). Injected faults are announced as
+/// `chaos_fault` obs events.
+#[derive(Debug)]
+pub struct ChaosDice {
+    chaos: Option<ChaosSchedule>,
+    // One counter per grid seam: ProcessSpawn, LeaseWrite, LeaseRead.
+    counters: [u64; 3],
+    #[cfg(test)]
+    script: Option<IoFault>,
+}
+
+impl ChaosDice {
+    /// Dice drawing from `chaos` (or never faulting when `None`).
+    pub fn new(chaos: Option<ChaosSchedule>) -> ChaosDice {
+        ChaosDice {
+            chaos,
+            counters: [0; 3],
+            #[cfg(test)]
+            script: None,
+        }
+    }
+
+    /// Test-only dice that inject `fault` on the first lease write and
+    /// roll clean afterwards — a deterministic one-shot for protocol
+    /// tests.
+    #[cfg(test)]
+    pub(crate) fn scripted(fault: Option<IoFault>) -> ChaosDice {
+        ChaosDice {
+            chaos: None,
+            counters: [0; 3],
+            script: fault,
+        }
+    }
+
+    /// The fault (if any) for the next operation at a grid seam.
+    pub fn fault(&mut self, seam: Seam) -> Option<IoFault> {
+        #[cfg(test)]
+        if seam == Seam::LeaseWrite {
+            if let Some(f) = self.script.take() {
+                return Some(f);
+            }
+        }
+        let schedule = self.chaos?;
+        let slot = match seam {
+            Seam::ProcessSpawn => 0,
+            Seam::LeaseWrite => 1,
+            Seam::LeaseRead => 2,
+            _ => return None,
+        };
+        let index = self.counters[slot];
+        self.counters[slot] += 1;
+        let fault = schedule.io_fault(seam, index);
+        if let Some(f) = &fault {
+            obs::events::emit(
+                obs::Event::new("chaos_fault")
+                    .str("seam", seam.label())
+                    .u64("index", index)
+                    .str("fault", f.label()),
+            );
+        }
+        fault
+    }
+}
+
+/// A grid sweep specification, parsed from JSON on disk.
+///
+/// Every axis is explicit and every field is required — a spec that
+/// omits an axis is rejected at parse time rather than silently
+/// defaulted, because the spec digest pins the sweep's identity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridSpec {
+    /// Spec format version ([`GRID_SPEC_VERSION`]).
+    pub version: u64,
+    /// Workload models (`mlp1`, `mlp2`); one axis of the sweep.
+    pub models: Vec<String>,
+    /// Protection scheme labels (`NoECC`, `Static16`, `ABN-9`, …).
+    pub schemes: Vec<String>,
+    /// Bits per memristor cell.
+    pub cell_bits: Vec<u64>,
+    /// Full-array rewrites per epoch — the wear schedule that sweeps
+    /// the fault-rate axis (via the endurance model).
+    pub writes_per_epoch: Vec<f64>,
+    /// Base RNG seeds (each below 2^53, the JSON-exact window).
+    pub seeds: Vec<u64>,
+    /// Lifetime epochs per cell.
+    pub epochs: u64,
+    /// Test samples per evaluation.
+    pub samples: u64,
+    /// Training examples for the workload recipe.
+    pub train: u64,
+    /// Worker threads per cell evaluation.
+    pub threads: u64,
+    /// Checkpoint cadence within each cell (0 = final only).
+    pub checkpoint_every: u64,
+    /// Writes absorbed before epoch 0.
+    pub initial_writes: f64,
+    /// Error model for every cell: `analytic`, `mc`, or `auto` (the
+    /// PR 9 envelope; `auto` resolves to Monte-Carlo inside campaigns).
+    pub error_model: String,
+}
+
+impl GridSpec {
+    /// Parses and validates a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::Grid`] (stage `spec`) on malformed JSON
+    /// or any validation failure.
+    pub fn from_json(text: &str) -> Result<GridSpec, AccelError> {
+        let spec: GridSpec = serde_json::from_str(text).map_err(|e| AccelError::Grid {
+            stage: "spec".into(),
+            message: format!("parse: {e:?}"),
+        })?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Serializes the spec canonically (compact JSON, struct field
+    /// order) — the form the digest is computed over.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::Grid`] if serialization fails.
+    pub fn to_json(&self) -> Result<String, AccelError> {
+        serde_json::to_string(self).map_err(|e| AccelError::Grid {
+            stage: "spec".into(),
+            message: format!("serialize: {e:?}"),
+        })
+    }
+
+    /// Validates every axis and scalar field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::Grid`] (stage `spec`) naming the first
+    /// offending field.
+    pub fn validate(&self) -> Result<(), AccelError> {
+        let fail = |message: String| {
+            Err(AccelError::Grid {
+                stage: "spec".into(),
+                message,
+            })
+        };
+        if self.version != GRID_SPEC_VERSION {
+            return fail(format!(
+                "spec version {} but this binary reads {GRID_SPEC_VERSION}",
+                self.version
+            ));
+        }
+        if self.models.is_empty()
+            || self.schemes.is_empty()
+            || self.cell_bits.is_empty()
+            || self.writes_per_epoch.is_empty()
+            || self.seeds.is_empty()
+        {
+            return fail("every axis (models, schemes, cell_bits, writes_per_epoch, seeds) must be non-empty".into());
+        }
+        for model in &self.models {
+            if !matches!(model.as_str(), "mlp1" | "mlp2") {
+                return fail(format!("unknown model {model} (try mlp1, mlp2)"));
+            }
+        }
+        for label in &self.schemes {
+            if ProtectionScheme::from_label(label).is_none() {
+                return fail(format!(
+                    "unknown scheme {label} (try NoECC, Static16, Static128, ABN-7..ABN-10)"
+                ));
+            }
+        }
+        for &bits in &self.cell_bits {
+            if !(1..=8).contains(&bits) {
+                return fail(format!("cell_bits {bits} outside 1..=8"));
+            }
+        }
+        for &w in &self.writes_per_epoch {
+            if !w.is_finite() || w <= 0.0 {
+                return fail(format!("writes_per_epoch {w} must be finite and positive"));
+            }
+        }
+        for &seed in &self.seeds {
+            if seed >= (1u64 << 53) {
+                return fail(format!(
+                    "seed {seed} exceeds 2^53 and cannot round-trip through JSON"
+                ));
+            }
+        }
+        if self.epochs == 0 {
+            return fail("epochs must be positive".into());
+        }
+        if self.samples == 0 || self.train == 0 {
+            return fail("samples and train must be positive".into());
+        }
+        if self.threads == 0 {
+            return fail("threads must be positive".into());
+        }
+        if ErrorModel::from_label(&self.error_model).is_none() {
+            return fail(format!(
+                "unknown error_model {} (try analytic, mc, auto)",
+                self.error_model
+            ));
+        }
+        Ok(())
+    }
+
+    /// CRC-32 digest of the canonical serialization — the sweep's
+    /// identity, pinned in the manifest and the merged summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::Grid`] if canonical serialization fails.
+    pub fn digest(&self) -> Result<u64, AccelError> {
+        Ok(u64::from(chaos::crc::crc32(self.to_json()?.as_bytes())))
+    }
+
+    /// Expands the spec into its cells, in the canonical order
+    /// (models → schemes → cell_bits → writes_per_epoch → seeds).
+    pub fn cells(&self) -> Vec<GridCell> {
+        let mut out = Vec::new();
+        for model in &self.models {
+            for scheme in &self.schemes {
+                for &bits in &self.cell_bits {
+                    for &wpe in &self.writes_per_epoch {
+                        for &seed in &self.seeds {
+                            let index = out.len() as u64;
+                            out.push(GridCell {
+                                index,
+                                id: format!(
+                                    "{index:03}_{model}_{scheme}_{bits}b_w{wpe}_s{seed}"
+                                ),
+                                model: model.clone(),
+                                scheme: scheme.clone(),
+                                cell_bits: bits,
+                                writes_per_epoch: wpe,
+                                seed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds the campaign configuration for one cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::Grid`] when the cell's labels fail to
+    /// parse (impossible for cells produced by [`GridSpec::cells`] on
+    /// a validated spec).
+    pub fn cell_config(&self, cell: &GridCell) -> Result<CampaignConfig, AccelError> {
+        let scheme = ProtectionScheme::from_label(&cell.scheme).ok_or_else(|| {
+            AccelError::Grid {
+                stage: "spec".into(),
+                message: format!("unknown scheme {}", cell.scheme),
+            }
+        })?;
+        let error_model =
+            ErrorModel::from_label(&self.error_model).ok_or_else(|| AccelError::Grid {
+                stage: "spec".into(),
+                message: format!("unknown error_model {}", self.error_model),
+            })?;
+        let base = AccelConfig::new(scheme).with_cell_bits(cell.cell_bits as u32);
+        let mut config = CampaignConfig::new(base, self.epochs, cell.seed);
+        config.threads = self.threads as usize;
+        config.writes_per_epoch = cell.writes_per_epoch;
+        config.initial_writes = self.initial_writes;
+        config.checkpoint_every = self.checkpoint_every;
+        config.error_model = error_model;
+        Ok(config)
+    }
+}
+
+/// One expanded grid cell: a point on every axis plus its stable id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridCell {
+    /// Position in spec-expansion order (stable for a given spec).
+    pub index: u64,
+    /// Stable id: index + every axis value, used in artifact names.
+    pub id: String,
+    /// Workload model label.
+    pub model: String,
+    /// Protection scheme label.
+    pub scheme: String,
+    /// Bits per memristor cell.
+    pub cell_bits: u64,
+    /// Full-array rewrites per epoch.
+    pub writes_per_epoch: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+/// The derivable manifest pinning a grid directory to one spec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Manifest {
+    /// Manifest format version ([`GRID_MANIFEST_VERSION`]).
+    version: u64,
+    /// [`GridSpec::digest`] of the owning spec.
+    spec_digest: u64,
+    /// Cell count (redundant with the digest; a human-readable check).
+    cells: u64,
+}
+
+/// Driver knobs for one grid run.
+#[derive(Debug, Clone)]
+pub struct GridOptions {
+    /// Concurrent worker slots.
+    pub workers: usize,
+    /// Extra attempts per cell beyond the first (seed-stable: attempt
+    /// `k` of a cell derives the same worker chaos stream every run).
+    pub cell_retries: u32,
+    /// Cells that may be dropped with explicit gaps before the grid
+    /// fails outright (graceful degradation, like `max_lost_shards`
+    /// one level down).
+    pub max_lost_cells: usize,
+    /// Per-worker watchdog in milliseconds (0 = off). Process
+    /// launchers kill and retry a worker past its deadline; in-process
+    /// launchers cannot kill a thread and ignore it.
+    pub watchdog_ms: u64,
+    /// Extra retries for each lease/manifest read or write.
+    pub lease_retries: u32,
+    /// Driver-side chaos schedule; also seeds each worker's derived
+    /// chaos stream.
+    pub chaos: Option<ChaosSchedule>,
+    /// Owner token recorded in leases (e.g. `driver-<pid>`). Never
+    /// enters byte-compared artifacts.
+    pub owner: String,
+}
+
+impl Default for GridOptions {
+    fn default() -> GridOptions {
+        GridOptions {
+            workers: 2,
+            cell_retries: 2,
+            max_lost_cells: 0,
+            watchdog_ms: 0,
+            lease_retries: 3,
+            chaos: None,
+            owner: "driver".into(),
+        }
+    }
+}
+
+/// What one grid run did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridReport {
+    /// Cells verified complete (including ones done before this run).
+    pub done: usize,
+    /// Cells dropped under the `max_lost_cells` budget, by id.
+    pub lost: Vec<String>,
+    /// Cells whose artifacts were already complete when this run
+    /// started (a resume skipping work).
+    pub skipped: usize,
+    /// Path of the merged columnar summary.
+    pub summary_path: PathBuf,
+}
+
+/// Per-cell driver bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+enum CellProgress {
+    Pending,
+    Running,
+    Done,
+    Lost,
+}
+
+/// One occupied worker slot.
+struct RunningCell {
+    idx: usize,
+    attempt: u32,
+    generation: u64,
+    started_ns: u64,
+    deadline: Option<std::time::Instant>,
+    handle: worker::Handle,
+}
+
+/// The grid driver: spec + directory + launcher + options.
+pub struct Grid {
+    spec: GridSpec,
+    dir: PathBuf,
+    launcher: Launcher,
+    options: GridOptions,
+}
+
+/// Derives the chaos seed a worker runs under: a splitmix-style hash
+/// of (grid seed, cell index, attempt), so retries of a cell draw a
+/// fresh fault stream (a fixed stream could fail deterministically
+/// forever) while staying fully replayable.
+fn worker_chaos_seed(grid_seed: u64, cell_index: u64, attempt: u32) -> u64 {
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    mix(mix(grid_seed ^ cell_index.wrapping_mul(0x632B_E59B_D9B4_E019)) ^ (u64::from(attempt) + 1))
+}
+
+impl Grid {
+    /// Builds a driver over `spec`, coordinating in `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::Grid`] when the spec fails validation.
+    pub fn new(
+        spec: GridSpec,
+        dir: PathBuf,
+        launcher: Launcher,
+        options: GridOptions,
+    ) -> Result<Grid, AccelError> {
+        spec.validate()?;
+        Ok(Grid {
+            spec,
+            dir,
+            launcher,
+            options,
+        })
+    }
+
+    /// The directory layout, relative to the grid dir.
+    fn cells_dir(&self) -> PathBuf {
+        self.dir.join("cells")
+    }
+    fn leases_dir(&self) -> PathBuf {
+        self.dir.join("leases")
+    }
+    fn manifest_path(&self) -> PathBuf {
+        self.dir.join("manifest.json")
+    }
+    fn artifact_path(&self, cell: &GridCell) -> PathBuf {
+        self.cells_dir().join(format!("{}.json", cell.id))
+    }
+    fn events_path(&self, cell: &GridCell) -> PathBuf {
+        self.cells_dir().join(format!("{}.events.jsonl", cell.id))
+    }
+    fn lease_path(&self, cell: &GridCell) -> PathBuf {
+        self.leases_dir().join(format!("{}.lease", cell.id))
+    }
+
+    /// Validates (or writes) the manifest: a digest mismatch means the
+    /// directory belongs to a different sweep and the run is refused;
+    /// a corrupt or missing manifest is rewritten, because it is
+    /// derivable from the spec.
+    fn ensure_manifest(&self, dice: &mut ChaosDice) -> Result<(), AccelError> {
+        let path = self.manifest_path();
+        let digest = self.spec.digest()?;
+        let manifest = Manifest {
+            version: GRID_MANIFEST_VERSION,
+            spec_digest: digest,
+            cells: self.spec.cells().len() as u64,
+        };
+        if path.exists() {
+            let mut parsed: Option<Manifest> = None;
+            for _ in 0..=self.options.lease_retries {
+                let fault = dice.fault(Seam::LeaseRead);
+                if let Ok(bytes) = chaos::fs::read(&path, fault) {
+                    if let Ok(text) = std::str::from_utf8(&bytes) {
+                        if let Ok(m) = serde_json::from_str::<Manifest>(text) {
+                            parsed = Some(m);
+                            break;
+                        }
+                    }
+                }
+            }
+            if let Some(existing) = parsed {
+                if existing.spec_digest != digest {
+                    return Err(AccelError::Grid {
+                        stage: "manifest".into(),
+                        message: format!(
+                            "{} pins spec digest {:#010x}, but this spec digests to \
+                             {:#010x}: refusing to mix two sweeps in one directory",
+                            path.display(),
+                            existing.spec_digest,
+                            digest
+                        ),
+                    });
+                }
+                return Ok(());
+            }
+            // Present but unreadable/corrupt: derivable, so rewrite.
+        }
+        let json = serde_json::to_string_pretty(&manifest).map_err(|e| AccelError::Grid {
+            stage: "manifest".into(),
+            message: format!("serialize: {e:?}"),
+        })?;
+        let mut last = String::new();
+        for _ in 0..=self.options.lease_retries {
+            let fault = dice.fault(Seam::LeaseWrite);
+            match chaos::fs::write_atomic(&path, json.as_bytes(), fault) {
+                Ok(()) => return Ok(()),
+                Err(e) => last = e.to_string(),
+            }
+        }
+        Err(AccelError::Grid {
+            stage: "manifest".into(),
+            message: format!("manifest write failed every attempt: {last}"),
+        })
+    }
+
+    /// Whether a cell's final artifact exists, parses, matches the
+    /// cell, and covers every epoch. Reads roll the [`Seam::LeaseRead`]
+    /// seam (the driver's verification-read seam) with retries.
+    fn artifact_complete(&self, cell: &GridCell, dice: &mut ChaosDice) -> bool {
+        let path = self.artifact_path(cell);
+        if !path.exists() {
+            return false;
+        }
+        for _ in 0..=self.options.lease_retries {
+            let fault = dice.fault(Seam::LeaseRead);
+            let Ok(bytes) = chaos::fs::read(&path, fault) else {
+                continue;
+            };
+            let Ok(text) = std::str::from_utf8(&bytes) else {
+                continue;
+            };
+            let Ok(state) = crate::campaign::CampaignState::from_json(text) else {
+                // Parse failures are not transient; a corrupt final
+                // artifact means the cell must re-run.
+                return false;
+            };
+            return state.scheme == cell.scheme
+                && state.seed == cell.seed
+                && state.epochs == self.spec.epochs
+                && state.completed.len() as u64 == self.spec.epochs;
+        }
+        false
+    }
+
+    /// Removes a cell's stale checkpoint slots. Analytic cells cannot
+    /// resume (the estimator cannot be proven shared — see
+    /// [`AccelError::AnalyticResume`]), so each attempt must start
+    /// from a clean slate; analytic epochs are cheap enough that the
+    /// recomputation is the safe trade.
+    fn clear_cell_slots(&self, cell: &GridCell) {
+        let artifact = self.artifact_path(cell);
+        let name = artifact
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        for suffix in ["a", "b"] {
+            let slot = artifact.with_file_name(format!("{name}.{suffix}"));
+            if slot.exists() {
+                // lint: allow(chaos_seam_coverage, idempotent removal of a stale slot; a failed removal only costs the next attempt an AnalyticResume refusal, which retries)
+                let _ = std::fs::remove_file(&slot);
+            }
+        }
+    }
+
+    /// Runs the whole grid: claim, dispatch, retry, degrade, merge.
+    /// Safe to re-run at any time; completed cells are skipped after
+    /// artifact verification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::Grid`] when a cell exhausts its retries
+    /// past the `max_lost_cells` budget, the directory belongs to a
+    /// different spec, or the merge cannot complete.
+    pub fn run(&mut self) -> Result<GridReport, AccelError> {
+        let cells = self.spec.cells();
+        self.ensure_dirs()?;
+        let mut dice = ChaosDice::new(self.options.chaos);
+        self.ensure_manifest(&mut dice)?;
+
+        let analytic = self.spec.error_model == "analytic";
+        let n = cells.len();
+        let mut progress = vec![CellProgress::Pending; n];
+        let mut attempts = vec![0u64; n];
+        let mut floors = vec![0u64; n];
+        let mut queue: VecDeque<(usize, u32)> = (0..n).map(|i| (i, 0)).collect();
+        let mut running: Vec<RunningCell> = Vec::new();
+        let mut lost: Vec<String> = Vec::new();
+        let mut skipped = 0usize;
+
+        let outcome = self.drive(
+            &cells,
+            &mut dice,
+            analytic,
+            &mut progress,
+            &mut attempts,
+            &mut floors,
+            &mut queue,
+            &mut running,
+            &mut lost,
+            &mut skipped,
+        );
+        // Whatever happened, never leak live workers past the driver.
+        for slot in &mut running {
+            slot.handle.kill();
+        }
+        outcome?;
+
+        let statuses: Vec<CellStatus> = progress
+            .iter()
+            .map(|p| match p {
+                CellProgress::Done => CellStatus::Done,
+                _ => CellStatus::Lost,
+            })
+            .collect();
+        let summary_path = merge::merge(
+            &self.dir,
+            &self.spec,
+            &cells,
+            &statuses,
+            &attempts,
+            &mut dice,
+            self.options.lease_retries,
+        )?;
+        Ok(GridReport {
+            done: progress.iter().filter(|p| **p == CellProgress::Done).count(),
+            lost,
+            skipped,
+            summary_path,
+        })
+    }
+
+    /// Merges without running any cells: every cell must already be
+    /// complete (valid artifact) or recorded lost in its lease.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::Grid`] (stage `merge`) naming the first
+    /// incomplete cell.
+    pub fn merge_only(&mut self) -> Result<GridReport, AccelError> {
+        let cells = self.spec.cells();
+        self.ensure_dirs()?;
+        let mut dice = ChaosDice::new(self.options.chaos);
+        self.ensure_manifest(&mut dice)?;
+        let mut statuses = Vec::with_capacity(cells.len());
+        let mut lost = Vec::new();
+        for cell in &cells {
+            if self.artifact_complete(cell, &mut dice) {
+                statuses.push(CellStatus::Done);
+                continue;
+            }
+            match lease::read(&self.lease_path(cell), &mut dice, self.options.lease_retries) {
+                LeaseView::Valid(state) if state.status == "lost" => {
+                    lost.push(cell.id.clone());
+                    statuses.push(CellStatus::Lost);
+                }
+                _ => {
+                    return Err(AccelError::Grid {
+                        stage: "merge".into(),
+                        message: format!(
+                            "cell {} is neither complete nor recorded lost; run the \
+                             grid (not --merge-only) to finish it",
+                            cell.id
+                        ),
+                    });
+                }
+            }
+        }
+        let attempts = vec![0u64; cells.len()];
+        let summary_path = merge::merge(
+            &self.dir,
+            &self.spec,
+            &cells,
+            &statuses,
+            &attempts,
+            &mut dice,
+            self.options.lease_retries,
+        )?;
+        Ok(GridReport {
+            done: statuses.iter().filter(|s| **s == CellStatus::Done).count(),
+            lost,
+            skipped: 0,
+            summary_path,
+        })
+    }
+
+    /// The dispatch loop, extracted so [`Grid::run`] can kill leftover
+    /// workers on any error path.
+    #[allow(clippy::too_many_arguments)]
+    fn drive(
+        &mut self,
+        cells: &[GridCell],
+        dice: &mut ChaosDice,
+        analytic: bool,
+        progress: &mut [CellProgress],
+        attempts: &mut [u64],
+        floors: &mut [u64],
+        queue: &mut VecDeque<(usize, u32)>,
+        running: &mut Vec<RunningCell>,
+        lost: &mut Vec<String>,
+        skipped: &mut usize,
+    ) -> Result<(), AccelError> {
+        let retries = self.options.lease_retries;
+        while !queue.is_empty() || !running.is_empty() {
+            // Fill free slots from the queue.
+            while running.len() < self.options.workers.max(1) {
+                let Some((idx, attempt)) = queue.pop_front() else {
+                    break;
+                };
+                let cell = &cells[idx];
+                let started_ns = obs::now_ns();
+
+                // Fast path: the artifact is already complete (this
+                // run finished it, or a previous driver died between
+                // the final write and the lease seal).
+                if self.artifact_complete(cell, dice) {
+                    let generation = self.seal_done(cell, floors[idx].max(1), dice);
+                    if attempt == 0 {
+                        *skipped += 1;
+                    }
+                    progress[idx] = CellProgress::Done;
+                    obs::events::emit(
+                        obs::Event::new("grid_cell_done")
+                            .str("cell", &cell.id)
+                            .u64("index", cell.index)
+                            .u64("generation", generation)
+                            .u64("attempts", attempts[idx])
+                            .u64("epochs", self.spec.epochs)
+                            .u64("duration_ns", obs::now_ns().saturating_sub(started_ns)),
+                    );
+                    continue;
+                }
+
+                // Claim the lease. `force = true` past a `done` lease
+                // whose artifact failed verification above — the lease
+                // lied (or the artifact rotted) and the work must
+                // re-run. Claim failure never blocks the cell: work is
+                // idempotent and artifacts are the truth.
+                let generation = match lease::claim(
+                    &self.lease_path(cell),
+                    &cell.id,
+                    &self.options.owner,
+                    floors[idx],
+                    true,
+                    dice,
+                    retries,
+                ) {
+                    ClaimOutcome::Won {
+                        generation,
+                        takeover_from,
+                    } => {
+                        if let Some(prev) = takeover_from {
+                            obs::events::emit(
+                                obs::Event::new("lease_takeover")
+                                    .str("cell", &cell.id)
+                                    .u64("from_generation", prev.generation)
+                                    .u64("to_generation", generation)
+                                    .str("owner", &self.options.owner),
+                            );
+                        }
+                        floors[idx] = generation;
+                        generation
+                    }
+                    ClaimOutcome::AlreadyDone { generation } => generation,
+                    ClaimOutcome::Lost { observed } => {
+                        // Another live claimant — outside the one-
+                        // driver contract. Back off and retry rather
+                        // than fight.
+                        floors[idx] = floors[idx].max(observed.generation);
+                        queue.push_back((idx, attempt));
+                        continue;
+                    }
+                    ClaimOutcome::Unrecorded { .. } => floors[idx].max(1),
+                };
+
+                if analytic {
+                    self.clear_cell_slots(cell);
+                }
+
+                // Worker spawn, under the ProcessSpawn seam: a fault
+                // here is a failed attempt that never launched.
+                attempts[idx] += 1;
+                if dice.fault(Seam::ProcessSpawn).is_some() {
+                    self.attempt_failed(
+                        cells, idx, attempt, "spawn", progress, queue, lost, dice,
+                    )?;
+                    continue;
+                }
+                let chaos_seed = self
+                    .options
+                    .chaos
+                    .map(|s| worker_chaos_seed(s.seed(), cell.index, attempt));
+                match self.launcher.launch(
+                    &self.spec,
+                    cell,
+                    &self.artifact_path(cell),
+                    &self.events_path(cell),
+                    chaos_seed,
+                ) {
+                    Ok(handle) => {
+                        progress[idx] = CellProgress::Running;
+                        let deadline = (self.options.watchdog_ms > 0
+                            && matches!(self.launcher, Launcher::Process { .. }))
+                        .then(|| {
+                            std::time::Instant::now()
+                                + std::time::Duration::from_millis(self.options.watchdog_ms)
+                        });
+                        running.push(RunningCell {
+                            idx,
+                            attempt,
+                            generation,
+                            started_ns,
+                            deadline,
+                            handle,
+                        });
+                    }
+                    Err(e) => {
+                        self.attempt_failed(
+                            cells,
+                            idx,
+                            attempt,
+                            &format!("spawn: {e}"),
+                            progress,
+                            queue,
+                            lost,
+                            dice,
+                        )?;
+                    }
+                }
+            }
+
+            // Poll the running slots.
+            let mut finished: Vec<usize> = Vec::new();
+            for (slot_i, slot) in running.iter_mut().enumerate() {
+                match slot.handle.poll() {
+                    worker::Poll::Running => {
+                        if let Some(deadline) = slot.deadline {
+                            if std::time::Instant::now() >= deadline {
+                                slot.handle.kill();
+                                finished.push(slot_i);
+                            }
+                        }
+                    }
+                    worker::Poll::Exited { .. } => finished.push(slot_i),
+                }
+            }
+            // Resolve finished slots, highest index first so removal
+            // does not shift the rest.
+            finished.sort_unstable_by(|a, b| b.cmp(a));
+            for slot_i in finished {
+                let mut slot = running.remove(slot_i);
+                let cell = &cells[slot.idx];
+                let timed_out = slot
+                    .deadline
+                    .map(|d| std::time::Instant::now() >= d)
+                    .unwrap_or(false);
+                let (ok, detail) = match slot.handle.poll() {
+                    worker::Poll::Exited { ok, detail } => (ok, detail),
+                    worker::Poll::Running => (false, "killed by watchdog".into()),
+                };
+                if ok && self.artifact_complete(cell, dice) {
+                    let generation = self.seal_done(cell, slot.generation, dice);
+                    progress[slot.idx] = CellProgress::Done;
+                    obs::events::emit(
+                        obs::Event::new("grid_cell_done")
+                            .str("cell", &cell.id)
+                            .u64("index", cell.index)
+                            .u64("generation", generation)
+                            .u64("attempts", attempts[slot.idx])
+                            .u64("epochs", self.spec.epochs)
+                            .u64("duration_ns", obs::now_ns().saturating_sub(slot.started_ns)),
+                    );
+                } else {
+                    let reason = if timed_out {
+                        "watchdog".to_string()
+                    } else if ok {
+                        "verify".to_string()
+                    } else {
+                        format!("exit: {detail}")
+                    };
+                    self.attempt_failed(
+                        cells,
+                        slot.idx,
+                        slot.attempt,
+                        &reason,
+                        progress,
+                        queue,
+                        lost,
+                        dice,
+                    )?;
+                }
+            }
+            if !running.is_empty() {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        Ok(())
+    }
+
+    /// Seals a cell's lease `done` (best effort) and returns the
+    /// sealed generation.
+    fn seal_done(&self, cell: &GridCell, generation: u64, dice: &mut ChaosDice) -> u64 {
+        let _ = lease::mark(
+            &self.lease_path(cell),
+            &cell.id,
+            &self.options.owner,
+            generation,
+            "done",
+            dice,
+            self.options.lease_retries,
+        );
+        generation
+    }
+
+    /// Books one failed attempt: requeue while retries remain, then
+    /// spend the `max_lost_cells` budget, then fail the grid.
+    #[allow(clippy::too_many_arguments)]
+    fn attempt_failed(
+        &self,
+        cells: &[GridCell],
+        idx: usize,
+        attempt: u32,
+        reason: &str,
+        progress: &mut [CellProgress],
+        queue: &mut VecDeque<(usize, u32)>,
+        lost: &mut Vec<String>,
+        dice: &mut ChaosDice,
+    ) -> Result<(), AccelError> {
+        let cell = &cells[idx];
+        if attempt < self.options.cell_retries {
+            progress[idx] = CellProgress::Pending;
+            queue.push_back((idx, attempt + 1));
+            return Ok(());
+        }
+        let attempts = u64::from(attempt) + 1;
+        if lost.len() < self.options.max_lost_cells {
+            progress[idx] = CellProgress::Lost;
+            lost.push(cell.id.clone());
+            let _ = lease::mark(
+                &self.lease_path(cell),
+                &cell.id,
+                &self.options.owner,
+                attempts,
+                "lost",
+                dice,
+                self.options.lease_retries,
+            );
+            obs::events::emit(
+                obs::Event::new("grid_cell_lost")
+                    .str("cell", &cell.id)
+                    .u64("index", cell.index)
+                    .u64("attempts", attempts)
+                    .str("reason", reason),
+            );
+            return Ok(());
+        }
+        Err(AccelError::Grid {
+            stage: "cells".into(),
+            message: format!(
+                "cell {} failed after {attempts} attempt(s) ({reason}) and the \
+                 --max-lost-cells budget is exhausted",
+                cell.id
+            ),
+        })
+    }
+
+    /// Creates the cells/ and leases/ directories.
+    fn ensure_dirs(&self) -> Result<(), AccelError> {
+        for dir in [self.cells_dir(), self.leases_dir()] {
+            // lint: allow(chaos_seam_coverage, idempotent mkdir -p of the grid layout; it leaves no partial artifact to tear and its failures surface as typed Grid errors)
+            std::fs::create_dir_all(&dir).map_err(|e| AccelError::Grid {
+                stage: "layout".into(),
+                message: format!("create {}: {e}", dir.display()),
+            })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    fn spec_2x1() -> GridSpec {
+        GridSpec {
+            version: GRID_SPEC_VERSION,
+            models: vec!["mlp2".into()],
+            schemes: vec!["NoECC".into(), "ABN-9".into()],
+            cell_bits: vec![2],
+            writes_per_epoch: vec![2e5],
+            seeds: vec![41],
+            epochs: 2,
+            samples: 8,
+            train: 400,
+            threads: 2,
+            checkpoint_every: 0,
+            initial_writes: 0.0,
+            // Analytic: fast enough for unit tests, and exercises the
+            // clear-stale-slots path (analytic cells cannot resume).
+            error_model: "analytic".into(),
+        }
+    }
+
+    fn tiny_problems() -> HashMap<String, Arc<worker::Problem>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut net = neural::models::mlp2(&mut rng);
+        let mut train = neural::data::digits(400, 1);
+        neural::data::shuffle(&mut train, 2);
+        for _ in 0..3 {
+            net.train_epoch(&train.images, &train.labels, 32, 0.1);
+        }
+        let test = neural::data::digits(8, 99);
+        let qnet = neural::QuantizedNetwork::from_network(&net);
+        let mut problems = HashMap::new();
+        problems.insert(
+            "mlp2".to_string(),
+            Arc::new((qnet, test.images, test.labels)),
+        );
+        problems
+    }
+
+    fn temp_grid_dir(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("grid-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn spec_validation_names_the_offending_field() {
+        let good = spec_2x1();
+        assert!(good.validate().is_ok());
+
+        let cases: Vec<(Box<dyn Fn(&mut GridSpec)>, &str)> = vec![
+            (Box::new(|s| s.version = 99), "version"),
+            (Box::new(|s| s.models.clear()), "non-empty"),
+            (Box::new(|s| s.models = vec!["resnet".into()]), "unknown model"),
+            (Box::new(|s| s.schemes = vec!["bogus".into()]), "unknown scheme"),
+            (Box::new(|s| s.cell_bits = vec![9]), "cell_bits"),
+            (Box::new(|s| s.writes_per_epoch = vec![-1.0]), "writes_per_epoch"),
+            (Box::new(|s| s.seeds = vec![1u64 << 53]), "2^53"),
+            (Box::new(|s| s.epochs = 0), "epochs"),
+            (Box::new(|s| s.error_model = "psychic".into()), "error_model"),
+        ];
+        for (mutate, needle) in cases {
+            let mut bad = good.clone();
+            mutate(&mut bad);
+            match bad.validate() {
+                Err(AccelError::Grid { stage, message }) => {
+                    assert_eq!(stage, "spec");
+                    assert!(message.contains(needle), "{message:?} missing {needle:?}");
+                }
+                other => panic!("expected Grid error for {needle}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_order_ids_and_digest_are_stable() {
+        let mut spec = spec_2x1();
+        spec.seeds = vec![41, 42];
+        let cells = spec.cells();
+        // models × schemes × bits × wpe × seeds, seeds innermost.
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].id, "000_mlp2_NoECC_2b_w200000_s41");
+        assert_eq!(cells[1].id, "001_mlp2_NoECC_2b_w200000_s42");
+        assert_eq!(cells[2].scheme, "ABN-9");
+        assert_eq!(cells[3].seed, 42);
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.index, i as u64);
+        }
+        // The digest survives a JSON round-trip and notices any change.
+        let digest = spec.digest().expect("digest");
+        let reparsed = GridSpec::from_json(&spec.to_json().expect("json")).expect("reparse");
+        assert_eq!(reparsed.digest().expect("digest"), digest);
+        let mut other = spec.clone();
+        other.epochs += 1;
+        assert_ne!(other.digest().expect("digest"), digest);
+    }
+
+    #[test]
+    fn cell_config_reflects_every_axis() {
+        let spec = spec_2x1();
+        let cells = spec.cells();
+        let config = spec.cell_config(&cells[1]).expect("config");
+        assert_eq!(config.base.scheme.label(), "ABN-9");
+        assert_eq!(config.base.device.bits_per_cell, 2);
+        assert_eq!(config.epochs, 2);
+        assert_eq!(config.seed, 41);
+        assert_eq!(config.writes_per_epoch, 2e5);
+        assert_eq!(config.error_model, ErrorModel::Analytic);
+    }
+
+    #[test]
+    fn grid_runs_resumes_and_merges_byte_identical_under_chaos() {
+        let problems = tiny_problems();
+        let spec = spec_2x1();
+
+        // Fault-free reference run.
+        let dir_a = temp_grid_dir("ref");
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let mut grid = Grid::new(
+            spec.clone(),
+            dir_a.clone(),
+            Launcher::InProcess {
+                problems: problems.clone(),
+            },
+            GridOptions::default(),
+        )
+        .expect("grid");
+        let report = grid.run().expect("run");
+        assert_eq!(report.done, 2);
+        assert!(report.lost.is_empty());
+        let reference = std::fs::read(&report.summary_path).expect("summary");
+
+        // Re-running the same directory is a pure resume: every cell
+        // skips, and the summary bytes do not move.
+        let report2 = grid.run().expect("rerun");
+        assert_eq!(report2.skipped, 2);
+        assert_eq!(std::fs::read(&report2.summary_path).expect("summary"), reference);
+
+        // Merge-only over the finished directory reproduces the bytes.
+        let report3 = grid.merge_only().expect("merge only");
+        assert_eq!(report3.done, 2);
+        assert_eq!(std::fs::read(&report3.summary_path).expect("summary"), reference);
+
+        // A different spec is refused for the same directory.
+        let mut other = spec.clone();
+        other.epochs = 3;
+        let mut wrong = Grid::new(
+            other,
+            dir_a.clone(),
+            Launcher::InProcess {
+                problems: problems.clone(),
+            },
+            GridOptions::default(),
+        )
+        .expect("grid");
+        match wrong.run() {
+            Err(AccelError::Grid { stage, .. }) => assert_eq!(stage, "manifest"),
+            other => panic!("expected manifest refusal, got {other:?}"),
+        }
+
+        // The same grid under seeded chaos injection — lease faults,
+        // spawn faults, worker-side write faults, retries — must land
+        // byte-identical results.
+        let dir_b = temp_grid_dir("chaos");
+        let _ = std::fs::remove_dir_all(&dir_b);
+        let mut chaotic = Grid::new(
+            spec.clone(),
+            dir_b.clone(),
+            Launcher::InProcess { problems },
+            GridOptions {
+                chaos: Some(ChaosSchedule::standard(7)),
+                cell_retries: 6,
+                ..GridOptions::default()
+            },
+        )
+        .expect("grid");
+        let chaos_report = chaotic.run().expect("chaos run");
+        assert_eq!(chaos_report.done, 2);
+        assert_eq!(
+            std::fs::read(&chaos_report.summary_path).expect("summary"),
+            reference,
+            "chaos-injected grid diverged from the fault-free bytes"
+        );
+
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn merge_only_refuses_incomplete_cells() {
+        let dir = temp_grid_dir("incomplete");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut grid = Grid::new(
+            spec_2x1(),
+            dir.clone(),
+            Launcher::InProcess {
+                problems: HashMap::new(),
+            },
+            GridOptions::default(),
+        )
+        .expect("grid");
+        match grid.merge_only() {
+            Err(AccelError::Grid { stage, message }) => {
+                assert_eq!(stage, "merge");
+                assert!(message.contains("neither complete nor recorded lost"));
+            }
+            other => panic!("expected merge refusal, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lost_cells_degrade_gracefully_within_budget() {
+        // No problem registered for the model: every launch fails, so
+        // every cell exhausts its retries. With a budget covering all
+        // cells the grid degrades; without one it errors.
+        let spec = spec_2x1();
+        let dir = temp_grid_dir("lost");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut grid = Grid::new(
+            spec.clone(),
+            dir.clone(),
+            Launcher::InProcess {
+                problems: HashMap::new(),
+            },
+            GridOptions {
+                cell_retries: 1,
+                max_lost_cells: 2,
+                ..GridOptions::default()
+            },
+        )
+        .expect("grid");
+        let report = grid.run().expect("degraded run");
+        assert_eq!(report.done, 0);
+        assert_eq!(report.lost.len(), 2);
+        let summary = std::fs::read_to_string(&report.summary_path).expect("summary");
+        let parsed: merge::GridSummary = serde_json::from_str(&summary).expect("parse");
+        assert_eq!(parsed.lost_cells.len(), 2);
+        assert!(parsed.rows.cell_index.is_empty());
+        assert_eq!(parsed.cells.status, vec!["lost", "lost"]);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let dir2 = temp_grid_dir("lost-over");
+        let _ = std::fs::remove_dir_all(&dir2);
+        let mut strict = Grid::new(
+            spec,
+            dir2.clone(),
+            Launcher::InProcess {
+                problems: HashMap::new(),
+            },
+            GridOptions {
+                cell_retries: 1,
+                max_lost_cells: 1,
+                ..GridOptions::default()
+            },
+        )
+        .expect("grid");
+        match strict.run() {
+            Err(AccelError::Grid { stage, message }) => {
+                assert_eq!(stage, "cells");
+                assert!(message.contains("--max-lost-cells"));
+            }
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn worker_chaos_seed_varies_by_cell_and_attempt() {
+        let base = worker_chaos_seed(7, 0, 0);
+        assert_ne!(base, worker_chaos_seed(7, 1, 0));
+        assert_ne!(base, worker_chaos_seed(7, 0, 1));
+        assert_ne!(base, worker_chaos_seed(8, 0, 0));
+        // Replayable: the same coordinates always derive the same seed.
+        assert_eq!(base, worker_chaos_seed(7, 0, 0));
+    }
+}

@@ -79,6 +79,7 @@ pub mod campaign;
 pub mod cost;
 mod engine;
 mod error;
+pub mod grid;
 pub mod hierarchy;
 pub mod mapping;
 mod scheme;

@@ -10,6 +10,15 @@
 //! claim (§II-C6, §V-B) as a degradation curve rather than a point
 //! estimate.
 //!
+//! The sweep is declared as a [`GridSpec`] — the same spec type the
+//! `campaign-grid` runner expands — so the axes (scheme × cell-bits ×
+//! wear schedule × seed) live in one validated structure and each
+//! cell's [`accel::campaign::CampaignConfig`] is derived by
+//! `spec.cell_config`, not
+//! assembled by hand. The spec is written to
+//! `results/campaign_grid_spec.json` so a `campaign-grid` run can
+//! reproduce the exact sweep.
+//!
 //! Campaign state checkpoints to `results/campaign_<scheme>.json`;
 //! re-running with `--resume` continues an interrupted sweep. Per-epoch
 //! wall-clock and checkpoint-write times are recorded separately in
@@ -23,9 +32,9 @@
 
 use std::time::Instant;
 
-use accel::campaign::{Campaign, CampaignConfig};
-use accel::{AccelConfig, ProtectionScheme};
-use bench::{results_dir, threads, workload, write_json};
+use accel::campaign::Campaign;
+use accel::grid::{GridSpec, GRID_SPEC_VERSION};
+use bench::{results_dir, samples, threads, train_size, workload, write_json};
 use serde::Serialize;
 
 /// Wall-clock accounting for one campaign epoch.
@@ -58,6 +67,34 @@ fn main() {
             .unwrap_or(10)
     };
 
+    // The sweep, declared once. 5-bit cells: the aggressive-density
+    // regime where this model's scheme separation concentrates
+    // (Figure 10 notes, DESIGN §6.7) and the data-aware codes earn
+    // their keep (§VIII-A). Wear schedule: 4e3 rewrites/epoch on top
+    // of the 1e6 endurance floor ramps the stuck-cell fraction
+    // 0 → ~0.26 % over ten epochs, bracketing the 0.1 % point
+    // Figure 11 evaluates statically. Beyond ~0.5 % the syndrome
+    // tables run out of coverage and *both* schemes break down —
+    // lifetime past that point is not the graceful-degradation regime
+    // the paper claims.
+    let spec = GridSpec {
+        version: GRID_SPEC_VERSION,
+        models: vec!["mlp1".to_string()],
+        schemes: vec!["NoECC".to_string(), "ABN-9".to_string()],
+        cell_bits: vec![5],
+        writes_per_epoch: vec![4e3],
+        seeds: vec![0xCA_FE],
+        epochs,
+        samples: samples() as u64,
+        train: train_size() as u64,
+        threads: threads() as u64,
+        checkpoint_every: 0, // checkpoints timed manually below
+        initial_writes: 1e6,
+        error_model: "mc".to_string(),
+    };
+    spec.validate().expect("grid spec");
+    write_json("campaign_grid_spec", &spec);
+
     // Per-epoch telemetry (campaign_epoch / shard_done / shard_retry
     // events, DESIGN.md §8) lands next to the checkpoints. A no-op
     // unless the bench crate is built with `--features obs`; the
@@ -71,23 +108,9 @@ fn main() {
     let mut timings: Vec<EpochTiming> = Vec::new();
     let mut finals: Vec<(String, f64, f64)> = Vec::new();
 
-    for scheme in [ProtectionScheme::None, ProtectionScheme::data_aware(9)] {
-        let label = scheme.label();
-        // 5-bit cells: the aggressive-density regime where this model's
-        // scheme separation concentrates (Figure 10 notes, DESIGN §6.7)
-        // and the data-aware codes earn their keep (§VIII-A).
-        let base = AccelConfig::new(scheme).with_cell_bits(5);
-        let mut config = CampaignConfig::new(base, epochs, 0xCA_FE);
-        config.threads = threads();
-        // Wear schedule: 4e3 rewrites/epoch on top of the 1e6 endurance
-        // floor ramps the stuck-cell fraction 0 → ~0.26 % over ten
-        // epochs, bracketing the 0.1 % point Figure 11 evaluates
-        // statically. Beyond ~0.5 % the syndrome tables run out of
-        // coverage and *both* schemes break down — lifetime past that
-        // point is not the graceful-degradation regime the paper
-        // claims.
-        config.writes_per_epoch = 4e3;
-        config.checkpoint_every = 0; // checkpoints timed manually below
+    for cell in spec.cells() {
+        let label = cell.scheme.clone();
+        let config = spec.cell_config(&cell).expect("cell config");
 
         let path = results_dir().join(format!("campaign_{label}.json"));
         let mut campaign = if resume && path.exists() {
@@ -139,6 +162,7 @@ fn main() {
                 checkpoint_fraction: checkpoint_ms / epoch_ms.max(1e-9),
             });
         }
+        campaign.finalize().expect("final checkpoint");
 
         let last = campaign.state().completed.last().expect("completed epoch");
         let first = campaign.state().completed.first().expect("first epoch");

@@ -52,6 +52,15 @@ pub enum Seam {
     /// wear-epoch swap (a fault here models failed verification and
     /// costs a seed-stable re-program, never a wrong answer).
     EngineSwap,
+    /// Spawning a grid worker process (a fault here models fork/exec
+    /// failure: the attempt is charged, the cell stays claimable).
+    ProcessSpawn,
+    /// Writing a grid cell lease file (the atomically-claimed
+    /// coordination record of `accel::grid`).
+    LeaseWrite,
+    /// Reading a grid cell lease file back (claim verification and
+    /// stale-lease inspection).
+    LeaseRead,
 }
 
 impl Seam {
@@ -66,12 +75,15 @@ impl Seam {
             Seam::SocketRead => "socket_read",
             Seam::SocketWrite => "socket_write",
             Seam::EngineSwap => "engine_swap",
+            Seam::ProcessSpawn => "process_spawn",
+            Seam::LeaseWrite => "lease_write",
+            Seam::LeaseRead => "lease_read",
         }
     }
 
     // Seam ids feed the per-seam roll keys, so they are append-only:
-    // adding ids 5–8 cannot perturb the fault sequence any existing
-    // seed produces at seams 1–4.
+    // adding ids 5–8 (serve) and 9–11 (grid) cannot perturb the fault
+    // sequence any existing seed produces at earlier seams.
     fn id(self) -> u64 {
         match self {
             Seam::CheckpointWrite => 1,
@@ -82,6 +94,9 @@ impl Seam {
             Seam::SocketRead => 6,
             Seam::SocketWrite => 7,
             Seam::EngineSwap => 8,
+            Seam::ProcessSpawn => 9,
+            Seam::LeaseWrite => 10,
+            Seam::LeaseRead => 11,
         }
     }
 }
@@ -266,6 +281,20 @@ pub struct ChaosConfig {
     /// Programming a replacement engine set fails verification and
     /// must be retried seed-stably.
     pub swap_error_permille: u32,
+    /// Spawning a grid worker process fails outright (the attempt is
+    /// charged against the cell's retry budget).
+    pub spawn_error_permille: u32,
+    /// Grid lease write fails outright (`EIO`/`ENOSPC`).
+    pub lease_write_error_permille: u32,
+    /// Grid lease write is torn (prefix lands at the final path; the
+    /// CRC envelope must catch it on read-back).
+    pub lease_write_torn_permille: u32,
+    /// Grid lease write silently flips one bit (CRC-visible only).
+    pub lease_write_bitflip_permille: u32,
+    /// Grid lease read fails outright.
+    pub lease_read_error_permille: u32,
+    /// Grid lease read returns silently corrupted bytes.
+    pub lease_read_bitflip_permille: u32,
 }
 
 impl ChaosConfig {
@@ -290,6 +319,12 @@ impl ChaosConfig {
             socket_write_error_permille: 50,
             socket_write_torn_permille: 80,
             swap_error_permille: 250,
+            spawn_error_permille: 80,
+            lease_write_error_permille: 100,
+            lease_write_torn_permille: 80,
+            lease_write_bitflip_permille: 60,
+            lease_read_error_permille: 60,
+            lease_read_bitflip_permille: 60,
         }
     }
 }
@@ -355,6 +390,13 @@ impl ChaosSchedule {
                 0,
             ),
             Seam::EngineSwap => (c.swap_error_permille, 0, 0),
+            Seam::ProcessSpawn => (c.spawn_error_permille, 0, 0),
+            Seam::LeaseWrite => (
+                c.lease_write_error_permille,
+                c.lease_write_torn_permille,
+                c.lease_write_bitflip_permille,
+            ),
+            Seam::LeaseRead => (c.lease_read_error_permille, 0, c.lease_read_bitflip_permille),
         };
         let r = (roll(&[self.seed, seam.id(), index, 0]) % 1000) as u32;
         if r < error_p {
@@ -543,6 +585,57 @@ mod tests {
                     Some(IoFault::BitFlip { .. })
                 ));
             }
+        }
+    }
+
+    #[test]
+    fn grid_seams_fault_at_standard_rates_without_disturbing_old_seams() {
+        // The grid seams (ids 9–11) key their rolls on their own seam
+        // id, so introducing them must not change what any existing
+        // seed injects at the campaign or serve seams — the chaos_soak
+        // and serve_soak goldens (seed 7) depend on this.
+        let before = ChaosSchedule::new(
+            7,
+            ChaosConfig {
+                spawn_error_permille: 0,
+                lease_write_error_permille: 0,
+                lease_write_torn_permille: 0,
+                lease_write_bitflip_permille: 0,
+                lease_read_error_permille: 0,
+                lease_read_bitflip_permille: 0,
+                ..ChaosConfig::standard()
+            },
+        );
+        let after = ChaosSchedule::standard(7);
+        for seam in [
+            Seam::CheckpointWrite,
+            Seam::CheckpointRead,
+            Seam::FinalWrite,
+            Seam::EventWrite,
+            Seam::SocketAccept,
+            Seam::SocketRead,
+            Seam::SocketWrite,
+            Seam::EngineSwap,
+        ] {
+            for index in 0..300 {
+                assert_eq!(before.io_fault(seam, index), after.io_fault(seam, index));
+            }
+        }
+        // And the grid seams fire at their standard rates: often enough
+        // to exercise every recovery path, rarely enough that bounded
+        // retries converge.
+        for seam in [Seam::ProcessSpawn, Seam::LeaseWrite, Seam::LeaseRead] {
+            let faults = (0..1000).filter(|&i| after.io_fault(seam, i).is_some()).count();
+            assert!(faults > 0, "{} never faulted in 1000 rolls", seam.label());
+            assert!(faults < 700, "{} faulted {faults}/1000 rolls", seam.label());
+        }
+        // Spawn failures are hard errors only: there is no meaningful
+        // torn or silently-corrupt fork/exec.
+        for index in 0..1000 {
+            assert!(matches!(
+                after.io_fault(Seam::ProcessSpawn, index),
+                None | Some(IoFault::Error(_))
+            ));
         }
     }
 

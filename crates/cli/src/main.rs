@@ -16,6 +16,10 @@
 //! - `campaign <scheme> <epochs> [flags]` — lifetime fault-injection
 //!   campaign: per-epoch misclassification as stuck-at faults
 //!   accumulate, with JSON checkpoints and `--resume`.
+//! - `campaign-grid <spec.json> [flags]` — expand a JSON grid spec into
+//!   cells (models × schemes × cell-bits × fault-rates × seeds), fan
+//!   them across worker processes through the crash-safe lease/
+//!   checkpoint substrate, and merge a columnar `grid_summary.json`.
 //! - `serve [flags]` — resident inference service over line-delimited
 //!   JSON on a loopback socket (programmed-engine pool, bounded
 //!   queues, graceful wear-epoch swaps).
@@ -48,6 +52,7 @@ fn main() -> ExitCode {
         Some("overheads") => cmd_overheads(&args[1..]),
         Some("lifetime") => cmd_lifetime(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("campaign-grid") => cmd_campaign_grid(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("serve-send") => cmd_serve_send(&args[1..]),
         Some("serve-bench") => cmd_serve_bench(&args[1..]),
@@ -77,13 +82,32 @@ usage:
   reram-ecc overheads <check_bits>
   reram-ecc lifetime <rewrites_per_day> <target_fault_rate>
   reram-ecc campaign <scheme> <epochs> [--samples N] [--train N] [--seed S]
-             [--threads T] [--batch N] [--cell-bits B]
+             [--threads T] [--batch N] [--cell-bits B] [--model mlp1|mlp2]
              [--error-model analytic|mc|auto]
              [--writes-per-epoch W] [--initial-writes W]
-             [--checkpoint-every K] [--remap] [--out PATH] [--resume]
+             [--checkpoint-every K] [--remap] [--out PATH]
+             [--resume | --resume-or-new]
              [--metrics PATH] [--events PATH] [--chaos-seed S]
              [--max-lost-shards N] [--watchdog-ms MS]
              [--shard-retries N] [--retry-backoff-ms MS]
+  reram-ecc campaign-grid <spec.json> [--dir D] [--workers N]
+             [--in-process] [--merge-only] [--chaos-seed S]
+             [--max-lost-cells N] [--cell-retries N] [--lease-retries N]
+             [--watchdog-ms MS] [--events PATH]
+
+grid campaigns (see DESIGN.md, grid lease protocol; README, Grid
+campaigns):
+  The spec JSON lists every axis explicitly: models, schemes,
+  cell_bits, writes_per_epoch, seeds, plus scalar epochs/samples/
+  train/threads/checkpoint_every/initial_writes/error_model. Each
+  cell is one `campaign` run; the driver spawns `reram-ecc campaign …
+  --resume-or-new` workers (or threads with --in-process), coordinates
+  through CRC'd lease files + checkpoint slots, and merges
+  `<dir>/grid_summary.json`. SIGKILL workers or the driver at will:
+  re-running the same command resumes and the merged summary is
+  byte-identical to an uninterrupted run. --max-lost-cells N drops at
+  most N unrecoverable cells (recorded in lost_cells); --merge-only
+  aggregates an already-finished directory without running anything
 
 campaign error model (see DESIGN.md, analytic error model):
   --error-model M  mc (default): Monte-Carlo sampling, the ground
@@ -282,6 +306,33 @@ fn cmd_lifetime(args: &[String]) -> Result<(), String> {
 /// epochs; `--resume` continues an interrupted campaign from that file.
 /// On a mid-campaign error, completed epochs are saved before exiting
 /// non-zero, so partial results are never lost.
+/// Trains the CLI's small demo workload for `model` and returns the
+/// quantized network plus test split. This exact recipe (seeds 17 / 42
+/// / 99, three epochs of batch-32 SGD at lr 0.1) is shared by
+/// `campaign` and `campaign-grid`'s in-process mode, so a grid run is
+/// byte-identical whichever launcher evaluated a cell.
+fn train_problem(
+    model: &str,
+    train_n: usize,
+    samples: usize,
+) -> Result<(neural::QuantizedNetwork, neural::Tensor, Vec<usize>), String> {
+    eprintln!("[campaign] training {model} on {train_n} synthetic digits…");
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
+    let mut net = match model {
+        "mlp1" => neural::models::mlp1(&mut rng),
+        "mlp2" => neural::models::mlp2(&mut rng),
+        other => return Err(format!("unknown model {other} (try mlp1, mlp2)")),
+    };
+    let mut train = neural::data::digits(train_n, 42);
+    neural::data::shuffle(&mut train, 3);
+    for _ in 0..3 {
+        net.train_epoch(&train.images, &train.labels, 32, 0.1);
+    }
+    let qnet = neural::QuantizedNetwork::try_from_network(&net).map_err(|e| e.to_string())?;
+    let test = neural::data::digits(samples, 99);
+    Ok((qnet, test.images, test.labels))
+}
+
 fn cmd_campaign(args: &[String]) -> Result<(), String> {
     let scheme_label = args.first().ok_or("missing argument <scheme>")?;
     let scheme = ProtectionScheme::from_label(scheme_label).ok_or_else(|| {
@@ -295,12 +346,14 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     let mut threads = 1usize;
     let mut batch = 1usize;
     let mut cell_bits = 2u32;
+    let mut model = "mlp2".to_string();
     let mut error_model = ErrorModel::Mc;
     let mut writes_per_epoch = 2e5f64;
     let mut initial_writes = 1e6f64;
     let mut checkpoint_every = 1u64;
     let mut remap = false;
     let mut resume = false;
+    let mut resume_or_new = false;
     let mut out: Option<String> = None;
     let mut metrics: Option<String> = None;
     let mut events: Option<String> = None;
@@ -324,6 +377,7 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
             "--threads" => threads = parsed(value("--threads")?, "threads")?,
             "--batch" => batch = parsed(value("--batch")?, "batch")?,
             "--cell-bits" => cell_bits = parsed(value("--cell-bits")?, "cell-bits")?,
+            "--model" => model = value("--model")?.clone(),
             "--error-model" => {
                 let label = value("--error-model")?;
                 error_model = ErrorModel::from_label(label).ok_or_else(|| {
@@ -365,12 +419,20 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
                 i += 1;
                 continue;
             }
+            "--resume-or-new" => {
+                resume_or_new = true;
+                i += 1;
+                continue;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
         i += 2;
     }
     if samples == 0 || train_n == 0 {
         return Err("--samples and --train must be positive".into());
+    }
+    if resume && resume_or_new {
+        return Err("--resume and --resume-or-new are mutually exclusive".into());
     }
     if batch == 0 {
         return Err("--batch must be positive".into());
@@ -383,7 +445,7 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         let p = std::path::Path::new(path);
         // On resume, append to the interrupted run's log (truncating a
         // line a crash left incomplete) instead of clobbering it.
-        let opened = if resume {
+        let opened = if resume || resume_or_new {
             obs::events::log_to_file_resume(p)
         } else {
             obs::events::log_to_file(p)
@@ -406,16 +468,7 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
 
     // A small trained workload keeps the CLI demo fast; the bench
     // driver (`lifetime_campaign`) runs the paper-scale networks.
-    eprintln!("[campaign] training MLP2 on {train_n} synthetic digits…");
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
-    let mut net = neural::models::mlp2(&mut rng);
-    let mut train = neural::data::digits(train_n, 42);
-    neural::data::shuffle(&mut train, 3);
-    for _ in 0..3 {
-        net.train_epoch(&train.images, &train.labels, 32, 0.1);
-    }
-    let qnet = neural::QuantizedNetwork::try_from_network(&net).map_err(|e| e.to_string())?;
-    let test = neural::data::digits(samples, 99);
+    let (qnet, test_images, test_labels) = train_problem(&model, train_n, samples)?;
 
     let mut base = AccelConfig::new(scheme).with_cell_bits(cell_bits).with_batch(batch);
     base.remap = remap;
@@ -434,6 +487,11 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         PathBuf::from(out.unwrap_or_else(|| format!("results/campaign-{scheme_label}.json")));
     let mut campaign = if resume {
         Campaign::resume_with_chaos(config, &out_path, chaos).map_err(|e| e.to_string())?
+    } else if resume_or_new {
+        // Grid workers and other supervisors use this: resume when any
+        // verifiable artifact exists, start fresh when the path is
+        // empty or every artifact is corrupt (recomputable either way).
+        Campaign::new_or_resume_with_chaos(config, &out_path, chaos).map_err(|e| e.to_string())?
     } else {
         let mut fresh = Campaign::new(config)
             .map_err(|e| e.to_string())?
@@ -450,7 +508,7 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         );
     }
 
-    if let Err(e) = campaign.run(&qnet, &test.images, &test.labels) {
+    if let Err(e) = campaign.run(&qnet, &test_images, &test_labels) {
         // Partial-result dump: completed epochs survive the failure.
         // The event log already holds every line up to the failure
         // (written through per event); just detach the sink.
@@ -465,6 +523,10 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         );
         return Err(e.to_string());
     }
+    // A resume that found every epoch already in the checkpoint slots
+    // has nothing to run; make sure the final artifact still lands
+    // (byte-identical rewrite when it already exists).
+    campaign.finalize().map_err(|e| e.to_string())?;
 
     println!(
         "{:>5} {:>12} {:>10} {:>10} {:>8} {:>11} {:>14}",
@@ -499,6 +561,134 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     if let Some(path) = &events {
         println!("event log:  {path}");
     }
+    Ok(())
+}
+
+/// Runs (or merges) a sharded campaign grid: expand the spec, fan the
+/// cells across workers through the crash-safe lease + checkpoint
+/// substrate, and merge the columnar summary. Killing this driver —
+/// or any of its workers — at any point is recoverable by re-running
+/// the same command.
+fn cmd_campaign_grid(args: &[String]) -> Result<(), String> {
+    use accel::grid::{Grid, GridOptions, GridSpec, Launcher};
+
+    let spec_path = args.first().ok_or("missing argument <spec.json>")?;
+    let mut dir = PathBuf::from("results/grid");
+    let mut workers = 2usize;
+    let mut in_process = false;
+    let mut merge_only = false;
+    let mut chaos_seed: Option<u64> = None;
+    let mut max_lost_cells = 0usize;
+    let mut cell_retries = 2u32;
+    let mut lease_retries = 3u32;
+    let mut watchdog_ms = 0u64;
+    let mut events: Option<String> = None;
+
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |name: &str| -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match flag {
+            "--dir" => dir = PathBuf::from(value("--dir")?),
+            "--workers" => workers = parsed(value("--workers")?, "workers")?,
+            "--chaos-seed" => chaos_seed = Some(parsed(value("--chaos-seed")?, "chaos-seed")?),
+            "--max-lost-cells" => {
+                max_lost_cells = parsed(value("--max-lost-cells")?, "max-lost-cells")?;
+            }
+            "--cell-retries" => cell_retries = parsed(value("--cell-retries")?, "cell-retries")?,
+            "--lease-retries" => {
+                lease_retries = parsed(value("--lease-retries")?, "lease-retries")?;
+            }
+            "--watchdog-ms" => watchdog_ms = parsed(value("--watchdog-ms")?, "watchdog-ms")?,
+            "--events" => events = Some(value("--events")?.clone()),
+            "--in-process" => {
+                in_process = true;
+                i += 1;
+                continue;
+            }
+            "--merge-only" => {
+                merge_only = true;
+                i += 1;
+                continue;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    if workers == 0 {
+        return Err("--workers must be positive".into());
+    }
+
+    let spec_text = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read spec {spec_path}: {e}"))?;
+    let spec = GridSpec::from_json(&spec_text).map_err(|e| e.to_string())?;
+    let cells = spec.cells();
+    eprintln!(
+        "[grid] {} cells ({} models × {} schemes × {} cell-bits × {} write rates × {} seeds), \
+         {} workers{}",
+        cells.len(),
+        spec.models.len(),
+        spec.schemes.len(),
+        spec.cell_bits.len(),
+        spec.writes_per_epoch.len(),
+        spec.seeds.len(),
+        workers,
+        if in_process { " (in-process)" } else { "" }
+    );
+
+    if let Some(path) = &events {
+        // The driver's own event log (grid_cell_done / grid_cell_lost /
+        // lease_takeover / chaos_fault). Always resume-opened: a
+        // restarted driver appends to the history it is recovering.
+        obs::events::log_to_file_resume(std::path::Path::new(path))
+            .map_err(|e| format!("cannot open event log {path}: {e}"))?;
+    }
+
+    let launcher = if in_process {
+        // Train each model once and share it across worker threads —
+        // the same recipe process workers run, so results match.
+        let mut problems = std::collections::HashMap::new();
+        for model in &spec.models {
+            let problem = train_problem(model, spec.train as usize, spec.samples as usize)?;
+            problems.insert(model.clone(), std::sync::Arc::new(problem));
+        }
+        Launcher::InProcess { problems }
+    } else {
+        let program = std::env::current_exe()
+            .map_err(|e| format!("cannot locate own binary for worker spawn: {e}"))?;
+        Launcher::Process { program }
+    };
+
+    let options = GridOptions {
+        workers,
+        cell_retries,
+        max_lost_cells,
+        watchdog_ms,
+        lease_retries,
+        chaos: chaos_seed.map(chaos::ChaosSchedule::standard),
+        owner: format!("driver-{}", std::process::id()),
+    };
+    let mut grid = Grid::new(spec, dir, launcher, options).map_err(|e| e.to_string())?;
+    let report = if merge_only {
+        grid.merge_only().map_err(|e| e.to_string())?
+    } else {
+        grid.run().map_err(|e| e.to_string())?
+    };
+    obs::events::stop_logging();
+
+    println!(
+        "grid: {} cell(s) done ({} already complete), {} lost",
+        report.done,
+        report.skipped,
+        report.lost.len()
+    );
+    for id in &report.lost {
+        println!("lost: {id}");
+    }
+    println!("summary: {}", report.summary_path.display());
     Ok(())
 }
 

@@ -39,10 +39,11 @@ use crate::parser::{PanicKind, ParsedFile};
 /// "typed errors out, never a panic". Everything transitively callable
 /// from here without a `catch_unwind` cut is in `panic_reachability`
 /// scope.
-pub const ENTRY_POINTS: [&str; 3] = [
+pub const ENTRY_POINTS: [&str; 4] = [
     "accel::sim::evaluate",
     "accel::campaign::Campaign::run",
     "accel::serve::Service::start",
+    "accel::grid::Grid::run",
 ];
 
 /// The schema definition file `schema_drift` reads. When absent (a
@@ -109,11 +110,13 @@ fn panic_reachability(
 
 /// Files guarded by `chaos_seam_coverage`: everywhere the chaos soaks
 /// inject I/O faults — the campaign's checkpoint/final-write paths,
-/// the serve daemon, and the obs event log (whose torn-write seam the
-/// durability tests drive).
+/// the serve daemon, the grid driver's lease/manifest/merge I/O, and
+/// the obs event log (whose torn-write seam the durability tests
+/// drive).
 fn in_seam_scope(path: &str) -> bool {
     path == "crates/accel/src/campaign.rs"
         || path.starts_with("crates/accel/src/serve/")
+        || path.starts_with("crates/accel/src/grid/")
         || path == "crates/obs/src/events.rs"
 }
 

@@ -208,4 +208,67 @@ cmp "$serve_dir/run1.sorted" "$serve_dir/run2.sorted" \
 rm -rf "$serve_dir"
 echo "serve smoke passed"
 
+echo "=== grid smoke (campaign-grid, SIGKILL worker + driver, resume, byte-compare) ==="
+# The grid runner's kill-anything contract (DESIGN.md "Failure model &
+# recovery"): a sharded sweep whose worker AND driver are SIGKILLed
+# mid-run under chaos seed 7, then resumed with the same command line,
+# merges a grid_summary.json byte-identical to an uninterrupted
+# fault-free run. Run the binary directly so worker/driver PIDs are
+# real kill targets.
+grid_dir="$(mktemp -d)"
+grid_bin="./target/release/reram-ecc"
+cat > "$grid_dir/spec.json" <<'EOF'
+{
+  "version": 1,
+  "models": ["mlp2"],
+  "schemes": ["NoECC", "ABN-9"],
+  "cell_bits": [2],
+  "writes_per_epoch": [200000.0],
+  "seeds": [41],
+  "epochs": 3,
+  "samples": 16,
+  "train": 300,
+  "threads": 1,
+  "checkpoint_every": 1,
+  "initial_writes": 1000000.0,
+  "error_model": "mc"
+}
+EOF
+"$grid_bin" campaign-grid "$grid_dir/spec.json" --dir "$grid_dir/clean" \
+  --workers 2 > /dev/null 2>&1
+# Interrupted run: SIGKILL the first worker that appears (a worker's
+# argv carries `--out <dir>/cells/...`; the driver's does not), then
+# SIGKILL the driver while its leases are still claimed.
+"$grid_bin" campaign-grid "$grid_dir/spec.json" --dir "$grid_dir/chaos" \
+  --workers 2 --chaos-seed 7 --cell-retries 6 --max-lost-cells 0 \
+  > /dev/null 2>&1 &
+grid_pid=$!
+worker_pid=""
+for _ in $(seq 1 1200); do
+  for p in /proc/[0-9]*/cmdline; do
+    if tr '\0' ' ' < "$p" 2> /dev/null | grep -q -- "--out $grid_dir/chaos"; then
+      worker_pid="${p#/proc/}"
+      worker_pid="${worker_pid%/cmdline}"
+      break 2
+    fi
+  done
+  kill -0 "$grid_pid" 2> /dev/null \
+    || { echo "FAIL: grid driver exited before a worker could be killed" >&2; exit 1; }
+  sleep 0.05
+done
+[ -n "$worker_pid" ] || { echo "FAIL: no grid worker appeared to kill" >&2; exit 1; }
+kill -9 "$worker_pid" 2> /dev/null || true
+sleep 0.2
+kill -9 "$grid_pid" 2> /dev/null || true
+wait "$grid_pid" 2> /dev/null || true
+# Resume with the same command line: stale leases from the dead driver
+# are taken over, the killed cell resumes from its checkpoint slots.
+"$grid_bin" campaign-grid "$grid_dir/spec.json" --dir "$grid_dir/chaos" \
+  --workers 2 --chaos-seed 7 --cell-retries 6 --max-lost-cells 0 \
+  > /dev/null 2>&1
+cmp "$grid_dir/clean/grid_summary.json" "$grid_dir/chaos/grid_summary.json" \
+  || { echo "FAIL: grid summary after SIGKILL+resume diverged from the clean run" >&2; exit 1; }
+rm -rf "$grid_dir"
+echo "grid smoke passed"
+
 echo "all checks passed"
